@@ -1,0 +1,83 @@
+"""Extension — Bayesian posterior vs. EM maximum-likelihood on the same data.
+
+The paper's Section 7 lists richer parameter estimation as future work;
+LAMARC 2.0 (reference [17]) ships both a maximum-likelihood and a Bayesian
+mode.  This bench runs both modes of this package on one simulated dataset
+(true θ = 1) and checks that they agree with each other and with the data:
+the EM point estimate should fall inside the Bayesian credible interval, and
+both should land within a small factor of the closed-form Watterson anchor.
+The benchmarked unit is one joint (genealogy, θ) Gibbs/GMH iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bayesian import BayesianSampler, ThetaPrior
+from repro.core.config import MPCGSConfig, SamplerConfig
+from repro.core.mpcgs import MPCGS
+from repro.genealogy.upgma import upgma_tree
+from repro.likelihood.engines import BatchedEngine
+from repro.likelihood.mutation_models import Felsenstein81
+
+from conftest import make_dataset
+
+TRUE_THETA = 1.0
+
+
+def test_bayesian_vs_ml(benchmark, record):
+    dataset = make_dataset(n_sequences=10, n_sites=250, true_theta=TRUE_THETA, seed=41)
+    watterson = dataset.alignment.watterson_theta()
+    model = Felsenstein81(dataset.alignment.base_frequencies(pseudocount=1.0))
+
+    # --- Bayesian posterior ------------------------------------------------
+    engine = BatchedEngine(alignment=dataset.alignment, model=model)
+    sampler = BayesianSampler(
+        engine,
+        prior=ThetaPrior(),
+        config=SamplerConfig(n_proposals=16, n_samples=400, burn_in=150),
+        initial_theta=watterson,
+    )
+    posterior = sampler.run(upgma_tree(dataset.alignment, 1.0), np.random.default_rng(2))
+    lo, hi = posterior.credible_interval(0.95)
+
+    # --- EM maximum likelihood ---------------------------------------------
+    ml = MPCGS(
+        dataset.alignment,
+        MPCGSConfig(
+            sampler=SamplerConfig(n_proposals=16, n_samples=300, burn_in=100),
+            n_em_iterations=4,
+        ),
+    ).run(theta0=watterson, rng=np.random.default_rng(3))
+
+    # Benchmark one joint update step (proposal set + Gibbs theta draw).
+    tree = upgma_tree(dataset.alignment, 1.0)
+    loglik = engine.evaluate(tree)
+    rng = np.random.default_rng(9)
+
+    def one_joint_update():
+        new_tree, new_loglik, _ = sampler._genealogy_step(tree, loglik, watterson, rng)
+        return sampler.prior.sample_conditional(new_tree, rng)
+
+    benchmark(one_joint_update)
+
+    record(
+        "bayesian_vs_ml",
+        {
+            "true_theta": TRUE_THETA,
+            "watterson_theta": watterson,
+            "bayesian_posterior_mean": posterior.posterior_mean(),
+            "bayesian_posterior_median": posterior.posterior_median(),
+            "bayesian_95ci": [lo, hi],
+            "ml_theta": float(ml.theta),
+            "paper": "Section 7 / LAMARC 2.0: Bayesian and ML modes should agree on the same data",
+        },
+    )
+
+    # Shape: both estimators are positive, the ML point estimate lies inside
+    # (a slightly widened) credible interval, and both stay within a small
+    # factor of the Watterson anchor.
+    assert 0 < lo < hi
+    assert 0.8 * lo < ml.theta < 1.25 * hi
+    assert 0.2 * watterson < posterior.posterior_median() < 8.0 * watterson
+    assert 0.2 * watterson < ml.theta < 8.0 * watterson

@@ -1,0 +1,78 @@
+"""Figure 5 — the relative likelihood curve from a badly misspecified driving θ.
+
+The paper's Fig. 5 shows L(θ)/L(θ₀) for data whose true θ is 1.0 sampled
+with a driving value θ₀ = 0.01: the curve rises steeply away from θ₀ and
+peaks in the vicinity of the truth, which is what allows the estimation to
+recover from a poor starting guess.
+
+At this reproduction's reduced scale (hundreds of genealogy samples per
+chain rather than the paper's tens of thousands) a *single* expectation pass
+driven at θ₀ = 0.01 cannot mix far enough for its curve to peak at the
+truth; what recovers the truth is the Expectation-Maximization loop of
+Fig. 11, which re-drives each successive chain at the previous maximizer.
+The bench therefore runs the full EM driver from θ₀ = 0.01 and reproduces
+the figure from the final iteration's samples, while also recording the
+first-pass peak to show the per-pass improvement.  The benchmarked quantity
+is the batched curve evaluation itself — the work of the paper's
+posterior-likelihood kernel (Section 5.2.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import MPCGSConfig, SamplerConfig
+from repro.core.estimator import RelativeLikelihood
+from repro.core.mpcgs import MPCGS
+
+from conftest import make_dataset
+
+TRUE_THETA = 1.0
+DRIVING_THETA = 0.01
+
+
+def test_fig5_likelihood_curve(benchmark, record):
+    dataset = make_dataset(n_sequences=8, n_sites=250, true_theta=TRUE_THETA, seed=55)
+    config = MPCGSConfig(
+        sampler=SamplerConfig(n_proposals=16, samples_per_set=1, n_samples=120, burn_in=120),
+        n_em_iterations=6,
+        likelihood_engine="batched",
+        mutation_model="F81",
+    )
+    result = MPCGS(dataset.alignment, config).run(theta0=DRIVING_THETA, rng=np.random.default_rng(3))
+
+    thetas = np.geomspace(DRIVING_THETA, 10.0, 200)
+
+    first = result.iterations[0]
+    first_curve = RelativeLikelihood(
+        first.chain.interval_matrix, driving_theta=first.driving_theta
+    ).log_curve(thetas)
+    first_peak = float(thetas[int(np.argmax(first_curve))])
+
+    final = result.iterations[-1]
+    likelihood = RelativeLikelihood(final.chain.interval_matrix, driving_theta=final.driving_theta)
+
+    log_curve = benchmark(likelihood.log_curve, thetas)
+    peak_theta = float(thetas[int(np.argmax(log_curve))])
+
+    record(
+        "fig5_likelihood_curve",
+        {
+            "driving_theta": DRIVING_THETA,
+            "true_theta": TRUE_THETA,
+            "first_pass_peak_theta": first_peak,
+            "em_theta_trajectory": [float(t) for t in result.theta_trajectory],
+            "final_theta": float(result.theta),
+            "final_curve_peak_theta": peak_theta,
+            "log_relative_likelihood_at_driving_theta": float(log_curve[0]),
+            "paper": "curve peaks near the true theta = 1.0 despite driving theta = 0.01",
+        },
+    )
+
+    # Shape: every pass moves the maximizer well above its driving value, the
+    # EM loop ends within a small factor of the truth, and the final curve
+    # rates the original driving value as astronomically unlikely.
+    assert first_peak > 3 * DRIVING_THETA
+    assert 0.2 * TRUE_THETA < result.theta < 4.0 * TRUE_THETA
+    assert peak_theta > 20 * DRIVING_THETA
+    assert log_curve[0] < -50.0

@@ -1,0 +1,56 @@
+"""Table 2 / Figure 14 — speedup vs number of genealogy samples.
+
+The paper sweeps the samples drawn per EM iteration from 20,000 to 100,000
+and finds the speedup roughly flat (3.69x – 4.32x): the amount of
+parallelizable work per sample does not depend on how many samples are
+taken.  The sweep here is scaled to 40–160 samples; the shape to check is
+that the speedup varies little (well under 2x) across a 4x range of sample
+counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import make_dataset, measure_speedup, time_mpcgs_sampler
+
+SAMPLE_COUNTS = (40, 80, 160)
+N_SEQUENCES = 12
+N_SITES = 200
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_dataset(N_SEQUENCES, N_SITES, true_theta=1.0, seed=41)
+
+
+def test_table2_speedup_vs_samples(benchmark, record, dataset):
+    rows = []
+    for n_samples in SAMPLE_COUNTS:
+        result = measure_speedup(dataset, n_samples=n_samples, burn_in=n_samples // 4, seed=7)
+        rows.append(result)
+
+    speedups = np.array([r["speedup"] for r in rows])
+
+    benchmark.pedantic(
+        time_mpcgs_sampler,
+        args=(dataset, 1.0, SAMPLE_COUNTS[0], SAMPLE_COUNTS[0] // 4, 7),
+        rounds=1,
+        iterations=1,
+    )
+
+    record(
+        "table2_speedup_vs_samples",
+        {
+            "rows": rows,
+            "paper": {
+                "samples": [20000, 30000, 40000, 60000, 80000, 100000],
+                "speedups": [3.69, 3.8, 3.95, 4.19, 4.27, 4.32],
+            },
+        },
+    )
+
+    # Shape: mpcgs is faster, and the speedup is roughly flat across the sweep.
+    assert np.all(speedups > 1.0)
+    assert speedups.max() / speedups.min() < 2.0

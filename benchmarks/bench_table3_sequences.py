@@ -1,0 +1,51 @@
+"""Table 3 / Figure 15 — speedup vs number of sequences.
+
+The paper sweeps the number of sequences from 12 to 132 and observes the
+speedup staying flat or declining slightly (3.69x down to ~2.4x): adding
+sequences adds tree nodes, which adds serial depth to the pruning recursion
+on both sides, so the parallel advantage does not grow.  The sweep here is
+8–24 sequences; the shape to check is that the speedup does not *increase*
+appreciably with the sequence count (in contrast to Table 4, where it grows
+with sequence length).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import make_dataset, measure_speedup, time_mpcgs_sampler
+
+SEQUENCE_COUNTS = (8, 12, 16, 24)
+N_SITES = 200
+N_SAMPLES = 60
+
+
+def test_table3_speedup_vs_sequences(benchmark, record):
+    rows = []
+    for i, n_sequences in enumerate(SEQUENCE_COUNTS):
+        dataset = make_dataset(n_sequences, N_SITES, true_theta=1.0, seed=60 + i)
+        rows.append(measure_speedup(dataset, n_samples=N_SAMPLES, burn_in=15, seed=8))
+
+    speedups = np.array([r["speedup"] for r in rows])
+
+    reference = make_dataset(SEQUENCE_COUNTS[0], N_SITES, 1.0, seed=60)
+    benchmark.pedantic(
+        time_mpcgs_sampler, args=(reference, 1.0, N_SAMPLES, 15, 8), rounds=1, iterations=1
+    )
+
+    record(
+        "table3_speedup_vs_sequences",
+        {
+            "rows": rows,
+            "paper": {
+                "sequences": [12, 24, 36, 48, 60, 84, 108, 132],
+                "speedups": [3.69, 3.41, 2.9, 2.78, 2.57, 2.43, 2.43, 2.83],
+            },
+        },
+    )
+
+    # Shape: always faster than serial, and growth with sequence count (if
+    # any) is far weaker than the growth with sequence length in Table 4.
+    assert np.all(speedups > 1.0)
+    assert speedups[-1] < 2.5 * speedups[0]

@@ -1,0 +1,52 @@
+"""Table 4 / Figure 16 — speedup vs sequence length.
+
+The paper sweeps the sequence length from 200 to 2,000 base pairs and finds
+the speedup growing roughly linearly (3.69x to 23.28x): longer sequences
+mean more per-proposal likelihood work that parallelizes perfectly over
+sites, which is also why the authors call long sequences the favourable
+regime.  The sweep here is 100–800 bp; the shape to check is monotone growth
+of the speedup with sequence length, with the longest sequences gaining
+substantially over the shortest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import make_dataset, measure_speedup, time_mpcgs_sampler
+
+SEQUENCE_LENGTHS = (100, 200, 400, 800)
+N_SEQUENCES = 12
+N_SAMPLES = 60
+
+
+def test_table4_speedup_vs_sequence_length(benchmark, record):
+    rows = []
+    for i, n_sites in enumerate(SEQUENCE_LENGTHS):
+        dataset = make_dataset(N_SEQUENCES, n_sites, true_theta=1.0, seed=80 + i)
+        rows.append(measure_speedup(dataset, n_samples=N_SAMPLES, burn_in=15, seed=9))
+
+    speedups = np.array([r["speedup"] for r in rows])
+
+    reference = make_dataset(N_SEQUENCES, SEQUENCE_LENGTHS[0], 1.0, seed=80)
+    benchmark.pedantic(
+        time_mpcgs_sampler, args=(reference, 1.0, N_SAMPLES, 15, 9), rounds=1, iterations=1
+    )
+
+    record(
+        "table4_speedup_vs_sequence_length",
+        {
+            "rows": rows,
+            "paper": {
+                "lengths": [200, 400, 600, 800, 1000, 2000],
+                "speedups": [3.69, 5.67, 7.86, 10.22, 12.63, 23.28],
+            },
+        },
+    )
+
+    # Shape: speedup grows with sequence length, and the longest length is
+    # substantially faster relative to serial than the shortest.
+    assert np.all(speedups > 1.0)
+    assert np.all(np.diff(speedups) > -0.5)  # monotone up to measurement noise
+    assert speedups[-1] > 1.5 * speedups[0]

@@ -1,0 +1,106 @@
+"""Shared machinery for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section 6) at reduced scale, measures its headline quantity with
+pytest-benchmark, and appends the reproduced rows to
+``benchmarks/results/results.json`` so EXPERIMENTS.md can quote concrete
+numbers from an actual run.
+
+The central helper is :func:`measure_speedup`, which reproduces the paper's
+performance metric: the ratio of the serial (LAMARC-style, per-site scalar)
+sampler's wall-clock time to the multi-proposal (batched/vectorized)
+sampler's wall-clock time for the same number of retained genealogy samples.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.baselines.lamarc import LamarcSampler
+from repro.core.config import SamplerConfig
+from repro.core.sampler import MultiProposalSampler
+from repro.genealogy.upgma import upgma_tree
+from repro.likelihood.engines import BatchedEngine, SerialEngine
+from repro.likelihood.mutation_models import Felsenstein81
+from repro.simulate.datasets import SyntheticDataset, synthesize_dataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_result(experiment: str, payload: dict) -> None:
+    """Append one experiment's reproduced rows to the shared results file."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "results.json"
+    existing = {}
+    if path.exists():
+        existing = json.loads(path.read_text())
+    existing[experiment] = payload
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True))
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Fixture exposing :func:`record_result` to benchmarks."""
+    return record_result
+
+
+def make_dataset(n_sequences: int, n_sites: int, true_theta: float, seed: int) -> SyntheticDataset:
+    """Simulate a benchmark dataset (the ms + seq-gen pipeline) from a fixed seed."""
+    rng = np.random.default_rng(seed)
+    return synthesize_dataset(n_sequences, n_sites, true_theta, rng)
+
+
+def time_serial_sampler(dataset: SyntheticDataset, theta: float, n_samples: int, burn_in: int, seed: int) -> float:
+    """Wall-clock seconds for the single-proposal sampler with the scalar engine."""
+    model = Felsenstein81(dataset.alignment.base_frequencies(pseudocount=1.0))
+    engine = SerialEngine(alignment=dataset.alignment, model=model)
+    tree = upgma_tree(dataset.alignment, theta)
+    cfg = SamplerConfig(n_samples=n_samples, burn_in=burn_in)
+    start = time.perf_counter()
+    LamarcSampler(engine, theta, cfg).run(tree, np.random.default_rng(seed))
+    return time.perf_counter() - start
+
+
+def time_mpcgs_sampler(
+    dataset: SyntheticDataset,
+    theta: float,
+    n_samples: int,
+    burn_in: int,
+    seed: int,
+    n_proposals: int = 16,
+) -> float:
+    """Wall-clock seconds for the multi-proposal sampler with the batched engine."""
+    model = Felsenstein81(dataset.alignment.base_frequencies(pseudocount=1.0))
+    engine = BatchedEngine(alignment=dataset.alignment, model=model)
+    tree = upgma_tree(dataset.alignment, theta)
+    cfg = SamplerConfig(n_proposals=n_proposals, n_samples=n_samples, burn_in=burn_in)
+    start = time.perf_counter()
+    MultiProposalSampler(engine, theta, cfg).run(tree, np.random.default_rng(seed))
+    return time.perf_counter() - start
+
+
+def measure_speedup(
+    dataset: SyntheticDataset,
+    *,
+    n_samples: int,
+    burn_in: int,
+    theta: float = 1.0,
+    seed: int = 0,
+    n_proposals: int = 16,
+) -> dict:
+    """Serial-time / mpcgs-time for the same number of retained samples."""
+    serial = time_serial_sampler(dataset, theta, n_samples, burn_in, seed)
+    parallel = time_mpcgs_sampler(dataset, theta, n_samples, burn_in, seed, n_proposals)
+    return {
+        "n_sequences": dataset.alignment.n_sequences,
+        "n_sites": dataset.alignment.n_sites,
+        "n_samples": n_samples,
+        "serial_seconds": serial,
+        "mpcgs_seconds": parallel,
+        "speedup": serial / parallel,
+    }

@@ -1,0 +1,88 @@
+"""Two-parameter estimation: θ together with an exponential growth rate.
+
+The paper's future-work section (Section 7) sketches how mpcgs would be
+extended to additional population parameters: a proposal/posterior pair for
+the new parameter plus a posterior-likelihood curve over it.  This example
+exercises that path with the classic second LAMARC parameter — exponential
+population growth ``g`` — using the growth-aware coalescent prior in
+``repro.likelihood.growth_prior`` and the growth-coalescent simulator in
+``repro.simulate.growth_sim``:
+
+1. simulate genealogies from a *growing* population (θ = 1, g = 2),
+2. maximize the pooled two-parameter likelihood over a (θ, g) grid with
+   local refinement, and
+3. contrast the result with samples from a constant-size population, where
+   the growth estimate collapses back toward zero.
+
+It also evaluates the *relative* likelihood surface (the Eq. 26 analogue a
+driven sampler would use) near the driving point, showing it is flat there —
+the reason the sampler's EM loop re-drives each iteration at the previous
+maximizer rather than trusting far-away curve values.
+
+Run with::
+
+    python examples/growth_model.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.likelihood.growth_prior import (
+    GrowthPooledLikelihood,
+    GrowthRelativeLikelihood,
+    maximize_theta_growth,
+)
+from repro.simulate.coalescent_sim import simulate_genealogy
+from repro.simulate.growth_sim import simulate_growth_intervals
+
+
+def estimate(samples: np.ndarray):
+    return maximize_theta_growth(
+        GrowthPooledLikelihood(samples),
+        theta_grid=np.linspace(0.3, 3.0, 17),
+        growth_grid=np.linspace(-2.0, 6.0, 17),
+    )
+
+
+def main(seed: int = 9) -> None:
+    rng = np.random.default_rng(seed)
+    n_tips, true_theta, true_growth = 12, 1.0, 2.0
+    n_samples = 2000
+
+    print(f"simulating {n_samples} genealogies from a growing population "
+          f"(theta = {true_theta}, g = {true_growth}) ...")
+    growing = np.vstack(
+        [simulate_growth_intervals(n_tips, true_theta, true_growth, rng) for _ in range(n_samples)]
+    )
+    est_growing = estimate(growing)
+    print(f"  pooled MLE: theta = {est_growing.theta:.3f}, g = {est_growing.growth:.3f} "
+          f"(truth: {true_theta}, {true_growth})")
+
+    print(f"\nsimulating {n_samples} genealogies from a constant-size population "
+          f"(theta = {true_theta}) ...")
+    constant = np.vstack(
+        [
+            simulate_genealogy(n_tips, true_theta, rng).interval_representation()
+            for _ in range(n_samples)
+        ]
+    )
+    est_constant = estimate(constant)
+    print(f"  pooled MLE: theta = {est_constant.theta:.3f}, g = {est_constant.growth:.3f} "
+          f"(truth: {true_theta}, 0.0)")
+
+    # The sampler-style relative surface is centred at its driving point: for
+    # genealogies drawn at the driving parameters it is ~0 nearby, which is
+    # why the EM loop re-drives at each new maximizer instead of reading far
+    # θ values off one curve.
+    relative = GrowthRelativeLikelihood(constant, driving_theta=true_theta, driving_growth=0.0)
+    nearby = relative.log_surface(np.array([0.9, 1.0, 1.1]), np.array([-0.2, 0.0, 0.2]))
+    print("\nrelative log-likelihood surface near the driving point (should be ~0):")
+    print(np.array2string(nearby, precision=3))
+
+    print("\nA growing population leaves a signature of short deep intervals; the "
+          "two-parameter likelihood recovers it, and reports ~zero growth when it is absent.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Relative likelihood curve — the Fig. 5 workflow.
+
+Simulates data at a true θ of 1.0, runs one sampling pass driven by a badly
+misspecified θ₀ = 0.01 (exactly the paper's Fig. 5 setup), and prints the
+relative likelihood curve L(θ) as an ASCII plot plus the gradient-ascent
+maximizer.  The point of the figure — and of this example — is that even
+with a driving value two orders of magnitude off, the curve peaks near the
+true value, which is what lets the EM iteration recover.
+
+Run with::
+
+    python examples/likelihood_curve.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SamplerConfig, maximize_theta, synthesize_dataset, upgma_tree
+from repro.core.estimator import RelativeLikelihood
+from repro.core.sampler import MultiProposalSampler
+from repro.likelihood.engines import BatchedEngine
+from repro.likelihood.mutation_models import Felsenstein81
+
+
+def ascii_plot(xs: np.ndarray, ys: np.ndarray, width: int = 61, height: int = 16) -> str:
+    """Minimal ASCII line plot (log-x axis handled by the caller)."""
+    lo, hi = float(np.min(ys)), float(np.max(ys))
+    span = hi - lo if hi > lo else 1.0
+    rows = []
+    for level in range(height, -1, -1):
+        threshold = lo + span * level / height
+        row = "".join("*" if y >= threshold else " " for y in ys)
+        rows.append(f"{threshold:>10.1f} |{row}")
+    axis = " " * 12 + "-" * width
+    labels = f"{'theta:':>12} {xs[0]:<10.3g}{' ' * (width - 24)}{xs[-1]:>10.3g}"
+    return "\n".join(rows + [axis, labels])
+
+
+def main(seed: int = 5) -> None:
+    rng = np.random.default_rng(seed)
+    true_theta, driving_theta = 1.0, 0.01
+
+    data = synthesize_dataset(n_sequences=10, n_sites=400, true_theta=true_theta, rng=rng)
+    model = Felsenstein81(data.alignment.base_frequencies(pseudocount=1.0))
+    tree = upgma_tree(data.alignment, driving_theta)
+
+    print(f"sampling driven by theta0 = {driving_theta} (true theta = {true_theta}) ...")
+    engine = BatchedEngine(alignment=data.alignment, model=model)
+    chain = MultiProposalSampler(
+        engine, theta=driving_theta, config=SamplerConfig(n_proposals=16, n_samples=600, burn_in=150)
+    ).run(tree, rng)
+
+    likelihood = RelativeLikelihood(chain.interval_matrix, driving_theta=driving_theta)
+    thetas = np.geomspace(driving_theta, 10.0, 61)
+    log_curve = likelihood.log_curve(thetas)
+
+    print("\nlog relative likelihood  ln L(theta) / L(theta0):\n")
+    print(ascii_plot(thetas, log_curve))
+
+    estimate = maximize_theta(likelihood, theta0=driving_theta)
+    peak_theta = thetas[int(np.argmax(log_curve))]
+    print(f"\ncurve peak (grid):            theta = {peak_theta:.3f}")
+    print(f"gradient ascent (Algorithm 2): theta = {estimate.theta:.3f}")
+    print(f"true value:                    theta = {true_theta}")
+    print("\nNote: a single EM pass driven from 0.01 under-estimates; the full "
+          "driver repeats the pass with the new driving value (see quickstart.py).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: estimate θ from simulated sequence data with mpcgs.
+
+This is the end-to-end workflow of the paper's proof-of-concept program
+(Fig. 11) in a dozen lines of library calls:
+
+1. simulate a dataset at a known true θ (the ms + seq-gen pipeline of
+   Section 6.1),
+2. run the multi-proposal (Generalized Metropolis-Hastings) sampler through
+   a few Expectation-Maximization iterations, and
+3. print the relative-likelihood-curve maximizer after each iteration.
+
+Run with::
+
+    python examples/quickstart.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import MPCGS, MPCGSConfig, SamplerConfig, synthesize_dataset
+
+
+def main(seed: int = 7) -> None:
+    rng = np.random.default_rng(seed)
+
+    # --- 1. Simulate data at a known truth -------------------------------
+    true_theta = 1.0
+    data = synthesize_dataset(n_sequences=10, n_sites=300, true_theta=true_theta, rng=rng)
+    print(
+        f"simulated {data.alignment.n_sequences} sequences x {data.alignment.n_sites} sites "
+        f"at true theta = {true_theta}"
+    )
+    print(f"segregating sites: {data.alignment.segregating_sites()}")
+    print(f"Watterson's moment estimate: {data.alignment.watterson_theta():.3f}")
+
+    # --- 2. Configure and run the sampler --------------------------------
+    config = MPCGSConfig(
+        sampler=SamplerConfig(n_proposals=16, n_samples=400, burn_in=100),
+        n_em_iterations=5,
+    )
+    driver = MPCGS(data.alignment, config)
+    result = driver.run(theta0=0.1, rng=rng)
+
+    # --- 3. Report -------------------------------------------------------
+    print("\nEM trajectory (driving theta -> maximizer):")
+    for it in result.iterations:
+        print(
+            f"  iteration {it.iteration + 1}: {it.driving_theta:.4f} -> {it.estimate.theta:.4f}"
+            f"   (acceptance {it.chain.acceptance_rate:.2f},"
+            f" {it.chain.n_likelihood_evaluations} likelihood evaluations)"
+        )
+    print(f"\nfinal estimate: theta = {result.theta:.4f}   (true value {true_theta})")
+    print(f"total genealogies sampled: {result.total_samples}")
+    print(f"total sampler wall time: {result.wall_time_seconds:.2f} s")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 7)

@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so the package can be installed in
+fully-offline environments that lack the ``wheel`` package required by the
+PEP 517 build path (``pip install -e . --no-build-isolation --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

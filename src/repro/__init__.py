@@ -1,0 +1,117 @@
+"""repro — multi-proposal (Generalized Metropolis-Hastings) coalescent genealogy sampler.
+
+A from-scratch reproduction of Davis (2016/2017), *Scalable Parallelization
+of a Markov Coalescent Genealogy Sampler*: the mpcgs sampler, its
+LAMARC-style single-proposal baseline, the population-genetics substrates
+they share (coalescent genealogies, Felsenstein pruning likelihoods,
+mutation models, neutral-coalescent and sequence-evolution simulators), and
+a simulated SIMD device substrate that stands in for the paper's CUDA GPU.
+
+Quickstart::
+
+    import numpy as np
+    from repro import MPCGS, MPCGSConfig, synthesize_dataset
+
+    rng = np.random.default_rng(7)
+    data = synthesize_dataset(n_sequences=8, n_sites=200, true_theta=1.0, rng=rng)
+    result = MPCGS(data.alignment, MPCGSConfig()).run(theta0=0.1, rng=rng)
+    print(result.theta)
+"""
+
+from .core.bayesian import BayesianResult, BayesianSampler, ThetaPrior
+from .core.config import EstimatorConfig, MPCGSConfig, SamplerConfig
+from .core.estimator import RelativeLikelihood, ThetaEstimate, maximize_theta
+from .core.gmh import GeneralizedMetropolisHastings, ProposalSet
+from .core.mpcgs import MPCGS, EMIteration, MPCGSResult
+from .core.sampler import MultiProposalSampler
+from .baselines.heated import HeatedChainSampler, default_temperatures
+from .baselines.lamarc import LamarcSampler
+from .baselines.multichain import MultiChainSampler
+from .genealogy.newick import from_newick, to_newick
+from .genealogy.tree import Genealogy
+from .genealogy.upgma import upgma_tree
+from .likelihood.coalescent_prior import PooledThetaLikelihood
+from .likelihood.engines import (
+    BatchedEngine,
+    ConstantEngine,
+    SerialEngine,
+    VectorizedEngine,
+    make_engine,
+)
+from .likelihood.felsenstein import batched_log_likelihood, log_likelihood
+from .likelihood.growth_prior import (
+    GrowthPooledLikelihood,
+    GrowthRelativeLikelihood,
+    maximize_theta_growth,
+)
+from .likelihood.mutation_models import (
+    F84,
+    HKY85,
+    Felsenstein81,
+    JukesCantor69,
+    Kimura80,
+    make_model,
+)
+from .sequences.alignment import Alignment
+from .sequences.fasta import read_fasta, write_fasta
+from .sequences.phylip import read_phylip, write_phylip
+from .sequences.popgen_stats import summarize_alignment
+from .simulate.coalescent_sim import simulate_genealogy
+from .simulate.datasets import SyntheticDataset, synthesize_dataset
+from .simulate.growth_sim import simulate_growth_genealogy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MPCGS",
+    "MPCGSConfig",
+    "MPCGSResult",
+    "EMIteration",
+    "SamplerConfig",
+    "EstimatorConfig",
+    "MultiProposalSampler",
+    "GeneralizedMetropolisHastings",
+    "ProposalSet",
+    "LamarcSampler",
+    "MultiChainSampler",
+    "RelativeLikelihood",
+    "ThetaEstimate",
+    "maximize_theta",
+    "Genealogy",
+    "upgma_tree",
+    "to_newick",
+    "from_newick",
+    "Alignment",
+    "read_phylip",
+    "write_phylip",
+    "log_likelihood",
+    "batched_log_likelihood",
+    "make_engine",
+    "SerialEngine",
+    "VectorizedEngine",
+    "BatchedEngine",
+    "make_model",
+    "Felsenstein81",
+    "JukesCantor69",
+    "Kimura80",
+    "F84",
+    "HKY85",
+    "simulate_genealogy",
+    "synthesize_dataset",
+    "SyntheticDataset",
+    "simulate_growth_genealogy",
+    "BayesianSampler",
+    "BayesianResult",
+    "ThetaPrior",
+    "HeatedChainSampler",
+    "default_temperatures",
+    "ConstantEngine",
+    "PooledThetaLikelihood",
+    "GrowthRelativeLikelihood",
+    "GrowthPooledLikelihood",
+    "maximize_theta_growth",
+    "read_fasta",
+    "write_fasta",
+    "summarize_alignment",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Baseline samplers: single-proposal Metropolis-Hastings and multiple independent chains."""
+
+from .heated import HeatedChainSampler, default_temperatures
+from .lamarc import LamarcSampler
+from .multichain import MultiChainSampler, gmh_parallel_time, multichain_parallel_time
+
+__all__ = [
+    "LamarcSampler",
+    "MultiChainSampler",
+    "multichain_parallel_time",
+    "gmh_parallel_time",
+    "HeatedChainSampler",
+    "default_temperatures",
+]

@@ -1,0 +1,121 @@
+"""Multiple-independent-chains baseline (the approach of Fig. 6).
+
+The conventional way to parallelize an MCMC sampler is to run P independent
+chains — one per processor — and pool their post-burn-in samples.  Every
+chain must repeat the burn-in, so with B burn-in steps and N total samples
+the per-processor work is ``B + N/P`` and, by Amdahl's law (Eq. 27),
+efficiency collapses toward the burn-in cost as P grows.  This module
+implements that baseline so the scalability argument can be measured rather
+than asserted: it runs the chains (sequentially — we have one core — but
+records per-chain work), pools the traces, and reports both the measured
+work and the idealized parallel-time model the paper uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import SamplerConfig
+from ..diagnostics.traces import ChainResult, ChainTrace
+from ..genealogy.tree import Genealogy
+from ..likelihood.engines import LikelihoodEngine
+from .lamarc import LamarcSampler
+
+__all__ = ["MultiChainSampler", "multichain_parallel_time", "gmh_parallel_time"]
+
+
+def multichain_parallel_time(burn_in: float, total_samples: float, n_processors: int) -> float:
+    """Idealized per-processor step count ``B + N/P`` for P independent chains (Eq. 27)."""
+    if n_processors < 1:
+        raise ValueError("n_processors must be positive")
+    return burn_in + total_samples / n_processors
+
+
+def gmh_parallel_time(burn_in: float, total_samples: float, n_processors: int) -> float:
+    """Idealized per-processor step count ``(B + N)/P`` when burn-in parallelizes too."""
+    if n_processors < 1:
+        raise ValueError("n_processors must be positive")
+    return (burn_in + total_samples) / n_processors
+
+
+@dataclass
+class MultiChainSampler:
+    """P independent LAMARC-style chains with pooled output.
+
+    Parameters
+    ----------
+    engine_factory:
+        Callable returning a fresh likelihood engine for each chain (each
+        chain keeps its own work counters).
+    theta:
+        Driving θ₀ shared by all chains.
+    n_chains:
+        Number of independent chains (the P of Fig. 6).
+    config:
+        Per-run totals: ``n_samples`` is the *pooled* target, split evenly
+        across chains; ``burn_in`` is per chain (that is the point).
+    """
+
+    engine_factory: object
+    theta: float
+    n_chains: int
+    config: SamplerConfig
+
+    def __post_init__(self) -> None:
+        if self.n_chains < 1:
+            raise ValueError("n_chains must be positive")
+        if self.theta <= 0:
+            raise ValueError("theta must be positive")
+
+    def run(self, initial_tree: Genealogy, rng: np.random.Generator) -> ChainResult:
+        """Run all chains and pool their post-burn-in samples."""
+        per_chain = int(np.ceil(self.config.n_samples / self.n_chains))
+        chain_cfg = self.config.scaled(n_samples=per_chain)
+
+        pooled = ChainTrace(n_intervals=initial_tree.n_tips - 1)
+        total_steps = 0
+        total_accepted = 0
+        total_evals = 0
+        total_time = 0.0
+        per_chain_results: list[ChainResult] = []
+
+        for chain_index in range(self.n_chains):
+            engine: LikelihoodEngine = self.engine_factory()  # type: ignore[operator]
+            sampler = LamarcSampler(engine=engine, theta=self.theta, config=chain_cfg)
+            child_rng = np.random.default_rng(rng.integers(2**63))
+            result = sampler.run(initial_tree, child_rng)
+            per_chain_results.append(result)
+
+            mat = result.interval_matrix
+            for row, loglik, height in zip(
+                mat, result.trace.log_likelihoods, result.trace.heights
+            ):
+                pooled.record(row, loglik, height)
+            total_steps += result.n_proposal_sets
+            total_accepted += result.n_accepted
+            total_evals += result.n_likelihood_evaluations
+            total_time += result.wall_time_seconds
+
+        n_proc = self.n_chains
+        ideal_parallel = multichain_parallel_time(
+            burn_in=self.config.burn_in,
+            total_samples=self.config.n_samples,
+            n_processors=n_proc,
+        )
+        return ChainResult(
+            trace=pooled,
+            driving_theta=self.theta,
+            n_proposal_sets=total_steps,
+            n_accepted=total_accepted,
+            n_decisions=total_steps,
+            n_likelihood_evaluations=total_evals,
+            wall_time_seconds=total_time,
+            extras={
+                "n_chains": self.n_chains,
+                "per_chain_steps": [r.n_proposal_sets for r in per_chain_results],
+                "ideal_parallel_steps": ideal_parallel,
+                "serial_steps_equivalent": self.config.burn_in + self.config.n_samples,
+            },
+        )

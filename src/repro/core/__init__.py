@@ -1,0 +1,22 @@
+"""The paper's primary contribution: the multi-proposal (GMH) coalescent genealogy sampler."""
+
+from .config import EstimatorConfig, MPCGSConfig, SamplerConfig
+from .estimator import RelativeLikelihood, ThetaEstimate, maximize_theta
+from .gmh import GeneralizedMetropolisHastings, ProposalSet
+from .mpcgs import MPCGS, EMIteration, MPCGSResult
+from .sampler import MultiProposalSampler
+
+__all__ = [
+    "SamplerConfig",
+    "EstimatorConfig",
+    "MPCGSConfig",
+    "RelativeLikelihood",
+    "ThetaEstimate",
+    "maximize_theta",
+    "GeneralizedMetropolisHastings",
+    "ProposalSet",
+    "MPCGS",
+    "EMIteration",
+    "MPCGSResult",
+    "MultiProposalSampler",
+]

@@ -1,0 +1,101 @@
+"""Run configuration for the multi-proposal coalescent genealogy sampler.
+
+Collects every tunable of the program flow in Fig. 11 — proposal-set size,
+burn-in length, samples per EM iteration, number of EM iterations, and the
+likelihood/maximization knobs — in one validated dataclass so drivers,
+benchmarks, and the CLI share a single source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["SamplerConfig", "EstimatorConfig", "MPCGSConfig"]
+
+
+@dataclass(frozen=True)
+class SamplerConfig:
+    """Configuration of one Markov chain run (burn-in + sampling).
+
+    Attributes
+    ----------
+    n_proposals:
+        Size N of each GMH proposal set (the paper's device-thread count per
+        proposal kernel launch).  ``1`` reduces GMH to standard
+        Metropolis-Hastings.
+    samples_per_set:
+        How many times the index variable I is sampled from each proposal
+        set's stationary distribution before a new set is generated
+        (Algorithm 1 samples N times; it may be any positive number).
+    n_samples:
+        Total number of genealogy samples to record after burn-in.
+    burn_in:
+        Number of genealogy samples to discard as burn-in before recording.
+    thin:
+        Keep one recorded sample every ``thin`` draws (1 = keep all).
+    """
+
+    n_proposals: int = 32
+    samples_per_set: int | None = None
+    n_samples: int = 400
+    burn_in: int = 100
+    thin: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_proposals < 1:
+            raise ValueError("n_proposals must be at least 1")
+        if self.samples_per_set is not None and self.samples_per_set < 1:
+            raise ValueError("samples_per_set must be at least 1")
+        if self.n_samples < 1:
+            raise ValueError("n_samples must be at least 1")
+        if self.burn_in < 0:
+            raise ValueError("burn_in cannot be negative")
+        if self.thin < 1:
+            raise ValueError("thin must be at least 1")
+
+    @property
+    def effective_samples_per_set(self) -> int:
+        """Samples drawn per proposal set (defaults to the proposal count, as in Algorithm 1)."""
+        return self.samples_per_set if self.samples_per_set is not None else self.n_proposals
+
+    def scaled(self, **changes) -> "SamplerConfig":
+        """Return a copy with the given fields replaced (convenience for sweeps)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class EstimatorConfig:
+    """Configuration of the likelihood-curve maximization (Algorithm 2)."""
+
+    gradient_delta: float = 1e-4
+    convergence_tol: float = 1e-5
+    max_iterations: int = 200
+    max_step_halvings: int = 40
+
+    def __post_init__(self) -> None:
+        if self.gradient_delta <= 0:
+            raise ValueError("gradient_delta must be positive")
+        if self.convergence_tol <= 0:
+            raise ValueError("convergence_tol must be positive")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+        if self.max_step_halvings < 1:
+            raise ValueError("max_step_halvings must be at least 1")
+
+
+@dataclass(frozen=True)
+class MPCGSConfig:
+    """Top-level configuration of the EM driver (Fig. 11 main loop)."""
+
+    sampler: SamplerConfig = field(default_factory=SamplerConfig)
+    estimator: EstimatorConfig = field(default_factory=EstimatorConfig)
+    n_em_iterations: int = 4
+    theta_convergence_tol: float = 1e-3
+    likelihood_engine: str = "batched"
+    mutation_model: str = "F81"
+
+    def __post_init__(self) -> None:
+        if self.n_em_iterations < 1:
+            raise ValueError("n_em_iterations must be at least 1")
+        if self.theta_convergence_tol <= 0:
+            raise ValueError("theta_convergence_tol must be positive")

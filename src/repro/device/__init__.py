@@ -1,0 +1,27 @@
+"""Simulated SIMD device substrate: kernels, per-thread RNG, packed memory, reductions, cost model."""
+
+from .kernels import DataLikelihoodKernel, PosteriorLikelihoodKernel, ProposalKernel, SimulatedDevice
+from .memory import BufferState, PackedSequenceStore, UnifiedBuffer
+from .perfmodel import AmdahlModel, DeviceModel, DeviceSpec, KernelCost
+from .reduction import ReductionPlan, block_reduce, plan_reduction, warp_reduce
+from .rng import ThreadStreams, host_generator
+
+__all__ = [
+    "SimulatedDevice",
+    "DataLikelihoodKernel",
+    "ProposalKernel",
+    "PosteriorLikelihoodKernel",
+    "PackedSequenceStore",
+    "UnifiedBuffer",
+    "BufferState",
+    "AmdahlModel",
+    "DeviceModel",
+    "DeviceSpec",
+    "KernelCost",
+    "warp_reduce",
+    "block_reduce",
+    "plan_reduction",
+    "ReductionPlan",
+    "ThreadStreams",
+    "host_generator",
+]

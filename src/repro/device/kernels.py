@@ -1,0 +1,176 @@
+"""The three device kernels of Section 5.2, on the simulated device.
+
+Each kernel pairs the *numerical* work (delegated to the vectorized
+implementations in :mod:`repro.likelihood` and :mod:`repro.proposals`) with
+the *execution model* of the simulated device: a launch grid, per-thread RNG
+streams, shuffle-style reductions, and cost accounting through
+:class:`~repro.device.perfmodel.DeviceModel`.  The numbers a kernel returns
+are bit-identical to calling the underlying library functions directly; what
+the device wrapper adds is the bookkeeping the scaling benchmarks and
+ablations read out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..genealogy.tree import Genealogy
+from ..likelihood.coalescent_prior import batched_log_prior
+from ..likelihood.engines import BatchedEngine
+from ..likelihood.felsenstein import batched_log_likelihood
+from ..likelihood.logspace import log_sum
+from ..likelihood.mutation_models import MutationModel
+from ..proposals.neighborhood import NeighborhoodResimulator
+from ..sequences.alignment import Alignment
+from .memory import PackedSequenceStore, UnifiedBuffer
+from .perfmodel import DeviceModel, DeviceSpec, KernelCost
+from .rng import ThreadStreams
+
+__all__ = ["SimulatedDevice", "DataLikelihoodKernel", "ProposalKernel", "PosteriorLikelihoodKernel"]
+
+
+@dataclass
+class SimulatedDevice:
+    """A simulated SIMD accelerator hosting the three mpcgs kernels.
+
+    Collects every launch's :class:`KernelCost` so a run can report its
+    projected device time alongside measured host wall-clock time.
+    """
+
+    spec: DeviceSpec = field(default_factory=DeviceSpec)
+    launches: list[KernelCost] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.model = DeviceModel(self.spec)
+
+    def record(self, cost: KernelCost) -> None:
+        """Record one kernel launch's cost."""
+        self.launches.append(cost)
+
+    @property
+    def projected_time(self) -> float:
+        """Sum of critical-path times of every launch so far (model units)."""
+        return float(sum(c.total_time for c in self.launches))
+
+    @property
+    def total_work(self) -> float:
+        """Sum of all-lane work of every launch (serial-equivalent model units)."""
+        return float(sum(c.total_work for c in self.launches))
+
+    @property
+    def n_launches(self) -> int:
+        """Number of kernel launches recorded."""
+        return len(self.launches)
+
+    def reset(self) -> None:
+        """Forget all recorded launches."""
+        self.launches.clear()
+
+
+class DataLikelihoodKernel:
+    """Device wrapper around the batched Felsenstein pruning evaluation (Section 5.2.2)."""
+
+    def __init__(self, device: SimulatedDevice, alignment: Alignment, model: MutationModel) -> None:
+        self.device = device
+        self.alignment = alignment
+        self.model = model
+        # The constant-memory image of the sequence data (Section 5.1.3).
+        self.constant_memory = PackedSequenceStore(alignment)
+
+    def launch(self, trees: list[Genealogy]) -> np.ndarray:
+        """Evaluate log P(D | G) for each genealogy, one child launch per tree."""
+        if not trees:
+            return np.zeros(0)
+        result = batched_log_likelihood(list(trees), self.alignment, self.model)
+        for _ in trees:
+            self.device.record(
+                self.device.model.data_likelihood_kernel(
+                    n_sites=self.alignment.n_sites, n_sequences=self.alignment.n_sequences
+                )
+            )
+        return result
+
+
+class ProposalKernel:
+    """Device wrapper around proposal-set generation (Section 5.2.1).
+
+    Each device thread owns one proposal: it draws its random numbers from
+    its own stream up front, resimulates the shared neighbourhood φ, and
+    launches a data-likelihood child kernel; a final shuffle reduction
+    produces the cumulative weights the sampling stage needs.
+    """
+
+    def __init__(
+        self,
+        device: SimulatedDevice,
+        alignment: Alignment,
+        model: MutationModel,
+        theta: float,
+        n_proposals: int,
+        *,
+        seed: int = 0,
+    ) -> None:
+        if n_proposals < 1:
+            raise ValueError("n_proposals must be positive")
+        self.device = device
+        self.alignment = alignment
+        self.model = model
+        self.n_proposals = int(n_proposals)
+        self.resimulator = NeighborhoodResimulator(theta)
+        self.streams = ThreadStreams(n_proposals, seed=seed)
+        self.likelihood_kernel = DataLikelihoodKernel(device, alignment, model)
+        self._launch_counter = 0
+        # Unified-memory result buffer shared with the host sampling stage.
+        self.result_buffer = UnifiedBuffer((n_proposals + 1,), dtype=np.float64)
+
+    def launch(self, current: Genealogy, target: int) -> tuple[list[Genealogy], np.ndarray]:
+        """Generate the proposal set for neighbourhood ``target`` and its log-likelihoods."""
+        self._launch_counter += 1
+        streams = self.streams.spawn(self._launch_counter)
+        proposals = [
+            self.resimulator.propose(current, target, streams.generator(thread_id)).tree
+            for thread_id in range(self.n_proposals)
+        ]
+        trees = proposals + [current]
+        log_liks = self.likelihood_kernel.launch(trees)
+        self.device.record(
+            self.device.model.proposal_kernel(
+                n_proposals=self.n_proposals,
+                n_sites=self.alignment.n_sites,
+                n_sequences=self.alignment.n_sequences,
+            )
+        )
+        self.result_buffer.device_write(log_liks)
+        return trees, log_liks
+
+
+class PosteriorLikelihoodKernel:
+    """Device wrapper around the relative-likelihood evaluation (Section 5.2.3)."""
+
+    def __init__(self, device: SimulatedDevice) -> None:
+        self.device = device
+
+    def launch(
+        self, interval_matrix: np.ndarray, driving_theta: float, thetas: np.ndarray
+    ) -> np.ndarray:
+        """log L(θ) for each candidate θ, normalized against the driving θ₀."""
+        mat = np.asarray(interval_matrix, dtype=float)
+        thetas = np.atleast_1d(np.asarray(thetas, dtype=float))
+        log_prior = batched_log_prior(mat, thetas)
+        log_prior0 = batched_log_prior(mat, np.asarray([driving_theta]))[:, 0]
+        log_ratios = log_prior - log_prior0[:, None]
+        out = np.empty(thetas.size)
+        for j in range(thetas.size):
+            out[j] = log_sum(log_ratios[:, j]) - np.log(mat.shape[0])
+            self.device.record(
+                self.device.model.posterior_likelihood_kernel(
+                    n_samples=mat.shape[0], n_intervals=mat.shape[1]
+                )
+            )
+        return out
+
+
+# Re-export for convenience so the engines module does not need to import kernels.
+BatchedEngine = BatchedEngine

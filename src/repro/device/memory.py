@@ -1,0 +1,140 @@
+"""Device memory abstractions: constant memory and unified buffers.
+
+Two memory-system features of the CUDA platform matter to the paper's
+implementation (Section 5.1.3):
+
+* **Constant memory** holds the sequence data, packed two bits per base so a
+  whole warp can be fed from one 8-byte read.  :class:`PackedSequenceStore`
+  reproduces the packing and unpacking exactly (2 bits per base, 32 bases
+  per 64-bit word) so the layout-dependent arithmetic is tested code rather
+  than prose.
+
+* **Unified memory** lets host and device code address the same buffers
+  without explicit copies.  :class:`UnifiedBuffer` models the host/device
+  coherence state machine (host-dirty / device-dirty / clean) and counts the
+  implied transfers, which the performance model charges for.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from ..sequences.alignment import Alignment
+
+__all__ = ["PackedSequenceStore", "UnifiedBuffer", "BufferState"]
+
+_BASES_PER_WORD = 32  # 64-bit word / 2 bits per base
+_MISSING_SENTINEL = 0  # missing data are stored as 'A' in the packed form and masked separately
+
+
+class PackedSequenceStore:
+    """Sequence data packed 2 bits per base into 64-bit words (constant memory image)."""
+
+    def __init__(self, alignment: Alignment) -> None:
+        self.n_sequences = alignment.n_sequences
+        self.n_sites = alignment.n_sites
+        codes = alignment.codes
+        self._missing_mask = codes == 4
+        clean = np.where(self._missing_mask, _MISSING_SENTINEL, codes).astype(np.uint64)
+
+        self.words_per_sequence = int(np.ceil(self.n_sites / _BASES_PER_WORD))
+        self._words = np.zeros((self.n_sequences, self.words_per_sequence), dtype=np.uint64)
+        for site in range(self.n_sites):
+            word_index = site // _BASES_PER_WORD
+            shift = np.uint64(2 * (site % _BASES_PER_WORD))
+            self._words[:, word_index] |= clean[:, site] << shift
+
+    @property
+    def n_words(self) -> int:
+        """Total 64-bit words in the constant-memory image."""
+        return int(self._words.size)
+
+    @property
+    def size_bytes(self) -> int:
+        """Size of the packed image in bytes."""
+        return self.n_words * 8
+
+    def word(self, sequence: int, word_index: int) -> int:
+        """One 64-bit word — the unit a whole warp reads simultaneously."""
+        return int(self._words[sequence, word_index])
+
+    def base(self, sequence: int, site: int) -> int:
+        """Decode a single base code from the packed image."""
+        if not 0 <= site < self.n_sites:
+            raise IndexError("site out of range")
+        word = self._words[sequence, site // _BASES_PER_WORD]
+        shift = np.uint64(2 * (site % _BASES_PER_WORD))
+        code = int((word >> shift) & np.uint64(0b11))
+        if self._missing_mask[sequence, site]:
+            return 4
+        return code
+
+    def unpack(self) -> np.ndarray:
+        """Reconstruct the full ``(n_sequences, n_sites)`` code matrix."""
+        sites = np.arange(self.n_sites)
+        word_idx = sites // _BASES_PER_WORD
+        shifts = (2 * (sites % _BASES_PER_WORD)).astype(np.uint64)
+        words = self._words[:, word_idx]  # (n_sequences, n_sites)
+        codes = ((words >> shifts[None, :]) & np.uint64(0b11)).astype(np.int8)
+        codes[self._missing_mask] = 4
+        return codes
+
+
+class BufferState(Enum):
+    """Coherence state of a unified-memory buffer."""
+
+    CLEAN = "clean"
+    HOST_DIRTY = "host_dirty"
+    DEVICE_DIRTY = "device_dirty"
+
+
+class UnifiedBuffer:
+    """A host/device-shared array with transfer accounting.
+
+    The array itself lives in one NumPy allocation (there is no real device),
+    but reads and writes must be declared as host- or device-side so the
+    buffer can track when a synchronizing transfer *would* occur; the device
+    performance model charges those transfers.
+    """
+
+    def __init__(self, shape: tuple[int, ...], dtype=np.float64) -> None:
+        self.array = np.zeros(shape, dtype=dtype)
+        self.state = BufferState.CLEAN
+        self.host_to_device_transfers = 0
+        self.device_to_host_transfers = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the buffer in bytes."""
+        return int(self.array.nbytes)
+
+    def host_write(self, values: np.ndarray) -> None:
+        """Write from host code; marks the buffer host-dirty."""
+        self.array[...] = values
+        self.state = BufferState.HOST_DIRTY
+
+    def device_write(self, values: np.ndarray) -> None:
+        """Write from device code; marks the buffer device-dirty."""
+        self.array[...] = values
+        self.state = BufferState.DEVICE_DIRTY
+
+    def device_read(self) -> np.ndarray:
+        """Read from device code, synchronizing if the host wrote last."""
+        if self.state is BufferState.HOST_DIRTY:
+            self.host_to_device_transfers += 1
+            self.state = BufferState.CLEAN
+        return self.array
+
+    def host_read(self) -> np.ndarray:
+        """Read from host code, synchronizing if the device wrote last."""
+        if self.state is BufferState.DEVICE_DIRTY:
+            self.device_to_host_transfers += 1
+            self.state = BufferState.CLEAN
+        return self.array
+
+    @property
+    def total_transfers(self) -> int:
+        """Total implied host↔device transfers so far."""
+        return self.host_to_device_transfers + self.device_to_host_transfers

@@ -1,0 +1,261 @@
+"""Performance model of the simulated device.
+
+The evaluation hardware of the paper (a Kepler-class CUDA card) is not
+available here, so scaling behaviour beyond what one CPU core can measure is
+*projected* with an explicit cost model instead of asserted.  Two models are
+provided:
+
+* :class:`AmdahlModel` — the step-count argument of Section 3 / Fig. 6 /
+  Eq. 27: with a burn-in of B steps and N retained samples, P independent
+  chains each pay ``B + N/P`` steps, whereas the GMH sampler's burn-in
+  parallelizes along with everything else, giving ``(B + N)/P`` (plus a
+  small serial residue).  Speedup and efficiency curves over P follow.
+
+* :class:`DeviceModel` — a throughput model of one sampler iteration on a
+  device with ``n_processing_elements`` lanes: per-proposal likelihood work
+  (proportional to sites × tree nodes) runs ``min(P, work_items)``-wide,
+  reductions cost their critical-path steps (see
+  :mod:`repro.device.reduction`), and kernel launches and host↔device
+  synchronizations add fixed overheads.  The model is deliberately simple —
+  its purpose is to reproduce the *shape* of the paper's scaling figures and
+  to let ablations ask "what if the proposal set were larger than the
+  device" style questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .reduction import plan_reduction
+
+__all__ = ["AmdahlModel", "DeviceSpec", "DeviceModel", "KernelCost"]
+
+
+# --------------------------------------------------------------------------- #
+# Amdahl / multi-chain step-count model (Fig. 6, Eq. 27)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class AmdahlModel:
+    """Step-count scaling model for burn-in-limited parallel MCMC."""
+
+    burn_in: float
+    n_samples: float
+
+    def __post_init__(self) -> None:
+        if self.burn_in < 0 or self.n_samples <= 0:
+            raise ValueError("burn_in must be >= 0 and n_samples > 0")
+
+    @property
+    def serial_steps(self) -> float:
+        """Steps a single chain performs: B + N."""
+        return self.burn_in + self.n_samples
+
+    def multichain_steps(self, n_processors: int | np.ndarray) -> np.ndarray:
+        """Per-processor steps for P independent chains: B + N/P (Eq. 27's subject)."""
+        p = np.asarray(n_processors, dtype=float)
+        if np.any(p < 1):
+            raise ValueError("processor counts must be >= 1")
+        return self.burn_in + self.n_samples / p
+
+    def gmh_steps(self, n_processors: int | np.ndarray, serial_fraction: float = 0.0) -> np.ndarray:
+        """Per-processor steps when burn-in parallelizes too: (B + N)/P plus a serial residue."""
+        if not 0.0 <= serial_fraction < 1.0:
+            raise ValueError("serial_fraction must be in [0, 1)")
+        p = np.asarray(n_processors, dtype=float)
+        if np.any(p < 1):
+            raise ValueError("processor counts must be >= 1")
+        total = self.serial_steps
+        return serial_fraction * total + (1.0 - serial_fraction) * total / p
+
+    def multichain_speedup(self, n_processors: int | np.ndarray) -> np.ndarray:
+        """Speedup of the multi-chain approach over one chain."""
+        return self.serial_steps / self.multichain_steps(n_processors)
+
+    def gmh_speedup(
+        self, n_processors: int | np.ndarray, serial_fraction: float = 0.0
+    ) -> np.ndarray:
+        """Speedup of the GMH approach over one chain."""
+        return self.serial_steps / self.gmh_steps(n_processors, serial_fraction)
+
+    def multichain_efficiency(self, n_processors: int | np.ndarray) -> np.ndarray:
+        """Parallel efficiency (speedup / P) of the multi-chain approach."""
+        p = np.asarray(n_processors, dtype=float)
+        return self.multichain_speedup(p) / p
+
+    def gmh_efficiency(
+        self, n_processors: int | np.ndarray, serial_fraction: float = 0.0
+    ) -> np.ndarray:
+        """Parallel efficiency (speedup / P) of the GMH approach."""
+        p = np.asarray(n_processors, dtype=float)
+        return self.gmh_speedup(p, serial_fraction) / p
+
+    def multichain_speedup_limit(self) -> float:
+        """The Amdahl limit lim_{P→∞} of the multi-chain speedup: (B + N) / B."""
+        if self.burn_in == 0:
+            return float("inf")
+        return self.serial_steps / self.burn_in
+
+
+# --------------------------------------------------------------------------- #
+# Device throughput model
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Capabilities and unit costs of the simulated device.
+
+    Times are in arbitrary units (one unit = the cost of one site-node
+    likelihood update on one lane); the defaults are loosely calibrated so
+    relative numbers resemble a Kepler-class part but nothing downstream
+    depends on the absolute scale.
+    """
+
+    n_processing_elements: int = 2048
+    warp_size: int = 32
+    kernel_launch_overhead: float = 500.0
+    host_sync_overhead: float = 2000.0
+    memory_access_penalty: float = 4.0
+    reduction_step_cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_processing_elements < 1:
+            raise ValueError("n_processing_elements must be positive")
+        if self.warp_size < 1 or self.warp_size & (self.warp_size - 1):
+            raise ValueError("warp_size must be a positive power of two")
+        for name in (
+            "kernel_launch_overhead",
+            "host_sync_overhead",
+            "memory_access_penalty",
+            "reduction_step_cost",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Cost breakdown of one kernel launch on the simulated device."""
+
+    name: str
+    work_items: int
+    work_per_item: float
+    parallel_time: float
+    serial_time: float
+
+    @property
+    def total_time(self) -> float:
+        """Critical-path time of the launch."""
+        return self.parallel_time + self.serial_time
+
+    @property
+    def total_work(self) -> float:
+        """Total work performed across all lanes (the serial-equivalent cost)."""
+        return self.work_items * self.work_per_item
+
+
+class DeviceModel:
+    """Cost model for the mpcgs kernels on a device with P lanes."""
+
+    def __init__(self, spec: DeviceSpec | None = None) -> None:
+        self.spec = spec or DeviceSpec()
+
+    # -- individual kernels ------------------------------------------------ #
+    def data_likelihood_kernel(self, n_sites: int, n_sequences: int) -> KernelCost:
+        """One data-likelihood evaluation: one lane per site, pruning over 2n−1 nodes."""
+        if n_sites < 1 or n_sequences < 2:
+            raise ValueError("need at least one site and two sequences")
+        spec = self.spec
+        n_nodes = 2 * n_sequences - 1
+        work_per_site = n_nodes * (1.0 + spec.memory_access_penalty / 8.0)
+        waves = int(np.ceil(n_sites / spec.n_processing_elements))
+        parallel = waves * work_per_site
+        plan = plan_reduction(n_sites, spec.warp_size)
+        serial = spec.kernel_launch_overhead + plan.parallel_steps * spec.reduction_step_cost
+        return KernelCost(
+            name="data_likelihood",
+            work_items=n_sites,
+            work_per_item=work_per_site,
+            parallel_time=parallel,
+            serial_time=serial,
+        )
+
+    def proposal_kernel(self, n_proposals: int, n_sites: int, n_sequences: int) -> KernelCost:
+        """One proposal-set generation: one lane per proposal, each launching a likelihood kernel."""
+        if n_proposals < 1:
+            raise ValueError("n_proposals must be positive")
+        spec = self.spec
+        n_nodes = 2 * n_sequences - 1
+        resimulation_work = 20.0 * n_nodes  # interval bookkeeping per proposal
+        child = self.data_likelihood_kernel(n_sites, n_sequences)
+        # Dynamic parallelism: the child launches run concurrently, but the
+        # total lane demand is n_proposals × n_sites.
+        lane_demand = n_proposals * n_sites
+        waves = int(np.ceil(lane_demand / spec.n_processing_elements))
+        parallel = (
+            resimulation_work
+            * int(np.ceil(n_proposals / spec.n_processing_elements))
+            + waves * child.work_per_item
+        )
+        plan = plan_reduction(n_proposals, spec.warp_size)
+        serial = (
+            spec.kernel_launch_overhead
+            + plan.parallel_steps * spec.reduction_step_cost
+            + spec.host_sync_overhead / 4.0
+        )
+        return KernelCost(
+            name="proposal",
+            work_items=lane_demand,
+            work_per_item=child.work_per_item + resimulation_work / max(n_sites, 1),
+            parallel_time=parallel,
+            serial_time=serial,
+        )
+
+    def posterior_likelihood_kernel(self, n_samples: int, n_intervals: int) -> KernelCost:
+        """One relative-likelihood evaluation: one lane per sampled genealogy."""
+        if n_samples < 1 or n_intervals < 1:
+            raise ValueError("n_samples and n_intervals must be positive")
+        spec = self.spec
+        work_per_sample = 4.0 * n_intervals
+        waves = int(np.ceil(n_samples / spec.n_processing_elements))
+        parallel = waves * work_per_sample
+        plan = plan_reduction(n_samples, spec.warp_size)
+        # Two reductions: a max (normalization) and a sum (Section 5.2.3).
+        serial = spec.kernel_launch_overhead + 2 * plan.parallel_steps * spec.reduction_step_cost
+        return KernelCost(
+            name="posterior_likelihood",
+            work_items=n_samples,
+            work_per_item=work_per_sample,
+            parallel_time=parallel,
+            serial_time=serial,
+        )
+
+    # -- whole-run projections ---------------------------------------------- #
+    def chain_iteration_time(
+        self, n_proposals: int, n_sites: int, n_sequences: int, samples_per_set: int
+    ) -> float:
+        """Projected device time of one GMH iteration (proposal set + index draws)."""
+        proposal = self.proposal_kernel(n_proposals, n_sites, n_sequences)
+        # Index sampling is a host-side walk over N+1 cumulative weights.
+        sampling = samples_per_set * (n_proposals + 1) * 0.01
+        return proposal.total_time + sampling
+
+    def serial_iteration_time(self, n_sites: int, n_sequences: int) -> float:
+        """Projected single-lane time of one classic MH iteration (one proposal)."""
+        n_nodes = 2 * n_sequences - 1
+        work_per_site = n_nodes * (1.0 + self.spec.memory_access_penalty / 8.0)
+        return n_sites * work_per_site + 20.0 * n_nodes
+
+    def projected_speedup(
+        self, n_proposals: int, n_sites: int, n_sequences: int, samples_per_set: int | None = None
+    ) -> float:
+        """Projected speedup of the device sampler over the serial sampler, per retained sample.
+
+        The serial sampler produces one sample per iteration; the GMH
+        sampler produces ``samples_per_set`` samples per iteration (default:
+        one per proposal, as in Algorithm 1).
+        """
+        per_set = samples_per_set if samples_per_set is not None else n_proposals
+        device_time = self.chain_iteration_time(n_proposals, n_sites, n_sequences, per_set)
+        serial_time = self.serial_iteration_time(n_sites, n_sequences)
+        return (serial_time * per_set) / device_time

@@ -1,0 +1,112 @@
+"""Warp-shuffle-style reductions.
+
+The paper's kernels end with reductions: the proposal kernel additively
+reduces data-likelihood terms, the data-likelihood kernel multiplicatively
+reduces per-site likelihoods (as log sums), and the posterior-likelihood
+kernel first max-reduces (for normalization) and then add-reduces
+(Section 5.2).  On the device these are performed with warp shuffle
+operations — each thread exchanges a register value with a lane a fixed
+offset away, halving the active lane count each step — followed by one
+cross-warp pass through shared memory.
+
+:func:`warp_reduce` reproduces that exact schedule (so the number of shuffle
+steps and shared-memory slots can be asserted against the hardware-model
+expectations), and :class:`ReductionPlan` reports the step counts the
+performance model charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["warp_reduce", "block_reduce", "ReductionPlan", "plan_reduction"]
+
+_ASSOCIATIVE_OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "sum": np.add,
+    "max": np.maximum,
+    "min": np.minimum,
+    "prod": np.multiply,
+}
+
+_IDENTITY = {"sum": 0.0, "max": -np.inf, "min": np.inf, "prod": 1.0}
+
+
+def warp_reduce(values: np.ndarray, op: str = "sum", warp_size: int = 32) -> np.ndarray:
+    """Reduce each warp of ``values`` with a shuffle-down schedule.
+
+    ``values`` is treated as a flat array of lane registers; it is padded
+    with the operation's identity up to a multiple of the warp size.  The
+    result has one value per warp (lane 0's register after ``log2(warp
+    size)`` shuffle steps).
+    """
+    if op not in _ASSOCIATIVE_OPS:
+        raise ValueError(f"unsupported reduction op {op!r}")
+    if warp_size < 1 or warp_size & (warp_size - 1):
+        raise ValueError("warp_size must be a positive power of two")
+    flat = np.asarray(values, dtype=float).ravel()
+    n_warps = max(1, int(np.ceil(flat.size / warp_size)))
+    padded = np.full(n_warps * warp_size, _IDENTITY[op])
+    padded[: flat.size] = flat
+    lanes = padded.reshape(n_warps, warp_size)
+
+    func = _ASSOCIATIVE_OPS[op]
+    offset = warp_size // 2
+    while offset >= 1:
+        # __shfl_down(value, offset): lane i reads lane i+offset's register.
+        shifted = np.concatenate(
+            [lanes[:, offset:], np.full((n_warps, offset), _IDENTITY[op])], axis=1
+        )
+        lanes = func(lanes, shifted)
+        offset //= 2
+    return lanes[:, 0]
+
+
+def block_reduce(values: np.ndarray, op: str = "sum", warp_size: int = 32) -> float:
+    """Full block reduction: warp shuffles, then a single-thread pass over warp results.
+
+    Mirrors the paper's scheme of placing one value per warp into shared
+    memory and letting a master thread fold them (Section 5.2.1–5.2.2).
+    """
+    per_warp = warp_reduce(values, op=op, warp_size=warp_size)
+    func = _ASSOCIATIVE_OPS[op]
+    result = _IDENTITY[op]
+    for v in per_warp:  # the serial master-thread pass
+        result = float(func(result, v))
+    return result
+
+
+@dataclass(frozen=True)
+class ReductionPlan:
+    """Cost breakdown of a block reduction."""
+
+    n_values: int
+    warp_size: int
+    n_warps: int
+    shuffle_steps_per_warp: int
+    shared_memory_slots: int
+    serial_combines: int
+
+    @property
+    def parallel_steps(self) -> int:
+        """Steps on the critical path: shuffle steps plus the serial tail."""
+        return self.shuffle_steps_per_warp + self.serial_combines
+
+
+def plan_reduction(n_values: int, warp_size: int = 32) -> ReductionPlan:
+    """Describe the reduction schedule for ``n_values`` lane values."""
+    if n_values < 1:
+        raise ValueError("n_values must be positive")
+    if warp_size < 1 or warp_size & (warp_size - 1):
+        raise ValueError("warp_size must be a positive power of two")
+    n_warps = int(np.ceil(n_values / warp_size))
+    return ReductionPlan(
+        n_values=n_values,
+        warp_size=warp_size,
+        n_warps=n_warps,
+        shuffle_steps_per_warp=int(np.log2(warp_size)),
+        shared_memory_slots=n_warps,
+        serial_combines=n_warps,
+    )

@@ -1,0 +1,71 @@
+"""Per-thread random number streams (the MTGP32 substitute).
+
+The paper needs two generators: a host Mersenne Twister for the auxiliary
+neighbourhood variable φ, and a device-side generator (MTGP32) that keeps
+independent state per thread so that concurrently executing proposal threads
+draw uncorrelated variates (Section 5.1.2).  The modern counter-based
+equivalent is Philox: every thread's stream is derived from a common seed
+plus the thread index, giving reproducible, independent streams without any
+shared mutable state — exactly the property the device generator provides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ThreadStreams", "host_generator"]
+
+
+def host_generator(seed: int | None = None) -> np.random.Generator:
+    """The host-side generator (MT19937 in the paper; PCG64 here)."""
+    return np.random.default_rng(seed)
+
+
+class ThreadStreams:
+    """A fixed-size pool of independent per-thread generators.
+
+    Parameters
+    ----------
+    n_threads:
+        Number of device threads that need streams (the proposal-set size in
+        the proposal kernel).
+    seed:
+        Base seed; thread ``i`` uses the Philox counter-based generator keyed
+        by ``(seed, i)``.
+    """
+
+    def __init__(self, n_threads: int, seed: int = 0) -> None:
+        if n_threads < 1:
+            raise ValueError("n_threads must be positive")
+        self.n_threads = int(n_threads)
+        self.seed = int(seed)
+        self._generators = [
+            np.random.Generator(np.random.Philox(key=[self.seed, i])) for i in range(n_threads)
+        ]
+
+    def generator(self, thread_id: int) -> np.random.Generator:
+        """The generator owned by ``thread_id``."""
+        if not 0 <= thread_id < self.n_threads:
+            raise IndexError(f"thread_id {thread_id} out of range [0, {self.n_threads})")
+        return self._generators[thread_id]
+
+    def __len__(self) -> int:
+        return self.n_threads
+
+    def __iter__(self):
+        return iter(self._generators)
+
+    def spawn(self, seed_offset: int) -> "ThreadStreams":
+        """A fresh pool with a shifted seed (used between proposal-kernel launches)."""
+        return ThreadStreams(self.n_threads, seed=self.seed + int(seed_offset))
+
+    def uniforms(self, n_per_thread: int) -> np.ndarray:
+        """Draw ``(n_threads, n_per_thread)`` uniforms, one row per thread.
+
+        Mirrors the paper's practice of generating every random number a
+        proposal thread will need *before* any branching, so all threads
+        advance their streams in lockstep (Section 5.2.1).
+        """
+        if n_per_thread < 1:
+            raise ValueError("n_per_thread must be positive")
+        return np.vstack([g.random(n_per_thread) for g in self._generators])

@@ -1,0 +1,40 @@
+"""Diagnostics: chain traces, convergence statistics, accuracy metrics, Markov-chain utilities."""
+
+from .accuracy import AccuracyRow, ReplicateSummary, pearson_correlation, summarize_replicates
+from .convergence import (
+    autocorrelation,
+    detect_burn_in,
+    effective_sample_size,
+    gelman_rubin,
+    integrated_autocorrelation_time,
+    running_mean,
+)
+from .markov import DiscreteMarkovChain, weather_chain
+from .stationarity import (
+    GewekeResult,
+    HeidelbergerWelchResult,
+    geweke_z_score,
+    heidelberger_welch,
+)
+from .traces import ChainResult, ChainTrace
+
+__all__ = [
+    "ChainTrace",
+    "ChainResult",
+    "autocorrelation",
+    "integrated_autocorrelation_time",
+    "effective_sample_size",
+    "gelman_rubin",
+    "detect_burn_in",
+    "running_mean",
+    "pearson_correlation",
+    "summarize_replicates",
+    "ReplicateSummary",
+    "AccuracyRow",
+    "DiscreteMarkovChain",
+    "weather_chain",
+    "GewekeResult",
+    "HeidelbergerWelchResult",
+    "geweke_z_score",
+    "heidelberger_welch",
+]

@@ -1,0 +1,69 @@
+"""Accuracy metrics for the Table 1 / Fig. 13 comparison.
+
+The paper quantifies agreement between the production LAMARC package and the
+mpcgs proof of concept with per-θ estimates, their standard deviations over
+replicate runs, and the Pearson correlation coefficient between the two
+samplers' estimates across the swept true-θ values (r = 0.905 in the paper,
+characterized as "very strong").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["pearson_correlation", "ReplicateSummary", "summarize_replicates", "AccuracyRow"]
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient r between two equal-length vectors."""
+    a = np.asarray(x, dtype=float)
+    b = np.asarray(y, dtype=float)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("inputs must be 1-D arrays of equal length")
+    if a.size < 2:
+        raise ValueError("need at least two points")
+    a_c = a - a.mean()
+    b_c = b - b.mean()
+    denom = np.sqrt(np.dot(a_c, a_c) * np.dot(b_c, b_c))
+    if denom == 0.0:
+        raise ValueError("correlation undefined for constant input")
+    return float(np.dot(a_c, b_c) / denom)
+
+
+@dataclass(frozen=True)
+class ReplicateSummary:
+    """Mean and standard deviation of θ estimates over replicate runs."""
+
+    mean: float
+    std: float
+    n_replicates: int
+
+
+def summarize_replicates(estimates: np.ndarray) -> ReplicateSummary:
+    """Summarize replicate θ estimates the way Table 1 reports them."""
+    arr = np.asarray(estimates, dtype=float)
+    if arr.ndim != 1 or arr.size < 1:
+        raise ValueError("estimates must be a non-empty 1-D array")
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return ReplicateSummary(mean=float(arr.mean()), std=std, n_replicates=int(arr.size))
+
+
+@dataclass(frozen=True)
+class AccuracyRow:
+    """One row of the Table 1 reproduction."""
+
+    true_theta: float
+    baseline: ReplicateSummary
+    mpcgs: ReplicateSummary
+
+    def as_tuple(self) -> tuple[float, float, float, float, float]:
+        """(true θ, baseline mean, baseline std, mpcgs mean, mpcgs std) — the paper's columns."""
+        return (
+            self.true_theta,
+            self.baseline.mean,
+            self.baseline.std,
+            self.mpcgs.mean,
+            self.mpcgs.std,
+        )

@@ -1,0 +1,135 @@
+"""MCMC convergence diagnostics.
+
+The paper's background section (2.3) discusses burn-in, convergence to the
+stationary distribution, and the practice of comparing multiple chains.
+These diagnostics quantify those notions for the sampler's scalar traces
+(data log-likelihood, tree height, interval sums):
+
+* autocorrelation and integrated autocorrelation time,
+* effective sample size (ESS),
+* Gelman-Rubin potential scale reduction factor R̂ across chains,
+* a simple burn-in detector based on when the running mean stabilizes
+  (used by the Fig. 2 reproduction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "autocorrelation",
+    "integrated_autocorrelation_time",
+    "effective_sample_size",
+    "gelman_rubin",
+    "detect_burn_in",
+    "running_mean",
+]
+
+
+def autocorrelation(series: np.ndarray, max_lag: int | None = None) -> np.ndarray:
+    """Normalized autocorrelation function of a scalar trace.
+
+    ``out[k]`` is the lag-``k`` autocorrelation; ``out[0] == 1``.  Computed
+    with the standard biased estimator (dividing by ``n``), which keeps the
+    integrated autocorrelation time estimator stable.
+    """
+    x = np.asarray(series, dtype=float)
+    if x.ndim != 1 or x.size < 2:
+        raise ValueError("series must be a 1-D array with at least two points")
+    n = x.size
+    if max_lag is None:
+        max_lag = n - 1
+    max_lag = min(max_lag, n - 1)
+    centered = x - x.mean()
+    var = float(np.dot(centered, centered)) / n
+    if var == 0.0:
+        out = np.zeros(max_lag + 1)
+        out[0] = 1.0
+        return out
+    out = np.empty(max_lag + 1)
+    for k in range(max_lag + 1):
+        out[k] = float(np.dot(centered[: n - k], centered[k:])) / (n * var)
+    return out
+
+
+def integrated_autocorrelation_time(series: np.ndarray, *, window: int | None = None) -> float:
+    """Integrated autocorrelation time τ using Geyer's initial-positive-sequence cutoff.
+
+    ``τ = 1 + 2 Σ_k ρ_k`` summed until the autocorrelation first becomes
+    non-positive (or until ``window`` lags if given).
+    """
+    rho = autocorrelation(series, max_lag=window)
+    total = 1.0
+    for k in range(1, rho.size):
+        if rho[k] <= 0.0:
+            break
+        total += 2.0 * float(rho[k])
+    return total
+
+
+def effective_sample_size(series: np.ndarray) -> float:
+    """Effective number of independent samples, ``n / τ``."""
+    x = np.asarray(series, dtype=float)
+    tau = integrated_autocorrelation_time(x)
+    return float(x.size / max(tau, 1.0))
+
+
+def gelman_rubin(chains: list[np.ndarray] | np.ndarray) -> float:
+    """Gelman-Rubin potential scale reduction factor R̂ across chains.
+
+    Values near 1 indicate the chains are sampling the same distribution;
+    the multi-chain comparison the paper mentions as a burn-in check uses
+    exactly this statistic.
+    """
+    arrs = [np.asarray(c, dtype=float) for c in chains]
+    if len(arrs) < 2:
+        raise ValueError("Gelman-Rubin needs at least two chains")
+    length = min(a.size for a in arrs)
+    if length < 2:
+        raise ValueError("chains must have at least two samples each")
+    mat = np.vstack([a[:length] for a in arrs])  # (m, n)
+    m, n = mat.shape
+    chain_means = mat.mean(axis=1)
+    chain_vars = mat.var(axis=1, ddof=1)
+    within = chain_vars.mean()
+    between = n * chain_means.var(ddof=1)
+    if within == 0.0:
+        return 1.0
+    var_hat = (n - 1) / n * within + between / n
+    return float(np.sqrt(var_hat / within))
+
+
+def running_mean(series: np.ndarray) -> np.ndarray:
+    """Cumulative running mean of a scalar trace (used for Fig. 2)."""
+    x = np.asarray(series, dtype=float)
+    return np.cumsum(x) / np.arange(1, x.size + 1)
+
+
+def detect_burn_in(
+    series: np.ndarray, *, window_fraction: float = 0.1, tolerance: float = 0.05
+) -> int:
+    """Heuristic burn-in length: first index whose window mean matches the tail.
+
+    The trace is split into consecutive windows of ``window_fraction`` of its
+    length; burn-in ends at the first window whose mean lies within
+    ``tolerance`` standard deviations (of the final half of the trace) of
+    the final-half mean.  Returns the sample index at which retention should
+    start (0 means no burn-in needed; the full length means the chain never
+    stabilized).
+    """
+    x = np.asarray(series, dtype=float)
+    if x.ndim != 1 or x.size < 10:
+        raise ValueError("series must be 1-D with at least ten points")
+    if not 0 < window_fraction <= 0.5:
+        raise ValueError("window_fraction must be in (0, 0.5]")
+    tail = x[x.size // 2 :]
+    target = tail.mean()
+    spread = tail.std()
+    if spread == 0.0:
+        return 0
+    window = max(2, int(round(window_fraction * x.size)))
+    for start in range(0, x.size - window + 1, window):
+        chunk = x[start : start + window]
+        if abs(chunk.mean() - target) <= tolerance * spread * np.sqrt(window):
+            return start
+    return x.size

@@ -1,0 +1,147 @@
+"""Stationarity diagnostics: Geweke z-scores and Heidelberger-Welch-style tests.
+
+Section 2.3 of the paper discusses the burn-in problem: a chain started from
+a low-probability state traverses a biased transient before reaching its
+stationary distribution, and deciding *when* that transient has ended is
+"both domain and implementation specific".  Beyond the running-mean detector
+in :mod:`repro.diagnostics.convergence`, two standard formal diagnostics are
+provided here:
+
+* **Geweke (1992)** — compares the mean of an early window of the trace with
+  the mean of a late window, standardized by their (autocorrelation-aware)
+  variances; |z| ≳ 2 signals that the early window has not yet converged.
+* **Heidelberger-Welch (1983, simplified)** — repeatedly discards a growing
+  prefix of the trace and applies the Geweke comparison until the remaining
+  trace looks stationary, reporting how much of the chain should be dropped.
+
+Both operate on scalar traces (data log-likelihood, tree height, interval
+sums) exactly like the rest of the diagnostics subpackage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .convergence import integrated_autocorrelation_time
+
+__all__ = ["geweke_z_score", "GewekeResult", "HeidelbergerWelchResult", "heidelberger_welch"]
+
+
+@dataclass(frozen=True)
+class GewekeResult:
+    """Result of a Geweke comparison between an early and a late window."""
+
+    z_score: float
+    early_mean: float
+    late_mean: float
+    early_fraction: float
+    late_fraction: float
+
+    @property
+    def converged(self) -> bool:
+        """True when the windows agree to within two standard errors."""
+        return abs(self.z_score) < 2.0
+
+
+def _window_variance(window: np.ndarray) -> float:
+    """Variance of a window mean, inflated by the integrated autocorrelation time."""
+    if window.size < 2:
+        return float("inf")
+    tau = integrated_autocorrelation_time(window)
+    return float(window.var(ddof=1) * tau / window.size)
+
+
+def geweke_z_score(
+    series: np.ndarray,
+    *,
+    early_fraction: float = 0.1,
+    late_fraction: float = 0.5,
+) -> GewekeResult:
+    """Geweke convergence z-score between the start and the end of a trace.
+
+    Parameters
+    ----------
+    series:
+        Scalar chain trace.
+    early_fraction:
+        Fraction of the trace (from the start) forming the early window.
+    late_fraction:
+        Fraction of the trace (from the end) forming the late window.  The
+        two windows must not overlap.
+    """
+    x = np.asarray(series, dtype=float)
+    if x.ndim != 1 or x.size < 20:
+        raise ValueError("series must be 1-D with at least twenty points")
+    if not 0 < early_fraction < 1 or not 0 < late_fraction < 1:
+        raise ValueError("window fractions must be in (0, 1)")
+    if early_fraction + late_fraction >= 1.0:
+        raise ValueError("early and late windows must not overlap")
+    n = x.size
+    early = x[: max(2, int(round(early_fraction * n)))]
+    late = x[n - max(2, int(round(late_fraction * n))) :]
+    var = _window_variance(early) + _window_variance(late)
+    if var <= 0 or not np.isfinite(var):
+        z = 0.0
+    else:
+        z = float((early.mean() - late.mean()) / np.sqrt(var))
+    return GewekeResult(
+        z_score=z,
+        early_mean=float(early.mean()),
+        late_mean=float(late.mean()),
+        early_fraction=early_fraction,
+        late_fraction=late_fraction,
+    )
+
+
+@dataclass(frozen=True)
+class HeidelbergerWelchResult:
+    """Result of the iterative stationarity test."""
+
+    passed: bool
+    discard: int
+    n_kept: int
+    z_score: float
+
+    @property
+    def discard_fraction(self) -> float:
+        """Fraction of the original trace that had to be discarded."""
+        total = self.discard + self.n_kept
+        return self.discard / total if total else 0.0
+
+
+def heidelberger_welch(
+    series: np.ndarray,
+    *,
+    max_discard_fraction: float = 0.5,
+    steps: int = 10,
+) -> HeidelbergerWelchResult:
+    """Simplified Heidelberger-Welch stationarity test.
+
+    Starting with the full trace, apply the Geweke comparison; if it fails,
+    drop the first ``1/steps`` of the original length and repeat, up to
+    ``max_discard_fraction`` of the trace.  Returns the first passing prefix
+    removal (``passed=True``) or the final failing state (``passed=False``).
+    """
+    x = np.asarray(series, dtype=float)
+    if x.ndim != 1 or x.size < 40:
+        raise ValueError("series must be 1-D with at least forty points")
+    if not 0 < max_discard_fraction < 1:
+        raise ValueError("max_discard_fraction must be in (0, 1)")
+    if steps < 1:
+        raise ValueError("steps must be positive")
+
+    n = x.size
+    increment = max(1, n // steps)
+    discard = 0
+    result = geweke_z_score(x)
+    while not result.converged and discard + increment <= int(max_discard_fraction * n):
+        discard += increment
+        result = geweke_z_score(x[discard:])
+    return HeidelbergerWelchResult(
+        passed=result.converged,
+        discard=discard,
+        n_kept=n - discard,
+        z_score=result.z_score,
+    )

@@ -1,0 +1,113 @@
+"""Chain output containers.
+
+A sampler run produces a sequence of genealogy samples.  As the paper notes
+(Section 5.1.3), the maximization stage only needs each sample's coalescent
+interval lengths, so that is what the trace stores per sample — alongside
+per-sample scalars (data log-likelihood, tree height) used by convergence
+diagnostics and the accuracy experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ChainTrace", "ChainResult"]
+
+
+class ChainTrace:
+    """Growable store of per-sample statistics for one chain."""
+
+    def __init__(self, n_intervals: int) -> None:
+        if n_intervals < 1:
+            raise ValueError("n_intervals must be positive")
+        self.n_intervals = n_intervals
+        self._intervals: list[np.ndarray] = []
+        self._log_likelihoods: list[float] = []
+        self._heights: list[float] = []
+
+    def record(self, intervals: np.ndarray, log_likelihood: float, height: float) -> None:
+        """Append one genealogy sample's reduced representation."""
+        arr = np.asarray(intervals, dtype=float)
+        if arr.shape != (self.n_intervals,):
+            raise ValueError(
+                f"expected {self.n_intervals} interval lengths, got shape {arr.shape}"
+            )
+        self._intervals.append(arr)
+        self._log_likelihoods.append(float(log_likelihood))
+        self._heights.append(float(height))
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    @property
+    def interval_matrix(self) -> np.ndarray:
+        """``(n_samples, n_intervals)`` matrix of coalescent interval lengths."""
+        if not self._intervals:
+            return np.zeros((0, self.n_intervals))
+        return np.vstack(self._intervals)
+
+    @property
+    def log_likelihoods(self) -> np.ndarray:
+        """Per-sample data log-likelihoods log P(D | G)."""
+        return np.asarray(self._log_likelihoods)
+
+    @property
+    def heights(self) -> np.ndarray:
+        """Per-sample tree heights (TMRCA)."""
+        return np.asarray(self._heights)
+
+
+@dataclass
+class ChainResult:
+    """Final output of one sampler run.
+
+    Attributes
+    ----------
+    trace:
+        Recorded post-burn-in samples.
+    driving_theta:
+        The θ₀ the chain was driven with (needed by the relative-likelihood
+        estimator, Eq. 26).
+    n_proposal_sets:
+        How many proposal sets (GMH) or proposals (single-proposal MH) were
+        generated, including burn-in.
+    n_accepted:
+        For single-proposal MH, accepted moves; for GMH, draws that selected
+        a state other than the generator.
+    n_likelihood_evaluations:
+        Total data-likelihood evaluations performed (the dominant cost).
+    wall_time_seconds:
+        Wall-clock duration of the run.
+    extras:
+        Free-form per-sampler metadata (e.g. per-chain breakdown for the
+        multi-chain baseline).
+    """
+
+    trace: ChainTrace
+    driving_theta: float
+    n_proposal_sets: int = 0
+    n_accepted: int = 0
+    n_decisions: int = 0
+    n_likelihood_evaluations: int = 0
+    wall_time_seconds: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def n_samples(self) -> int:
+        """Number of recorded (post-burn-in) genealogy samples."""
+        return len(self.trace)
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of accept/index decisions that moved away from the generating state."""
+        decisions = self.n_decisions if self.n_decisions else self.n_proposal_sets
+        if decisions == 0:
+            return 0.0
+        return self.n_accepted / decisions
+
+    @property
+    def interval_matrix(self) -> np.ndarray:
+        """Shortcut to the trace's interval matrix."""
+        return self.trace.interval_matrix

@@ -1,0 +1,14 @@
+"""Genealogical tree substrate: tree structure, Newick I/O, UPGMA seeding."""
+
+from .newick import from_newick, to_newick
+from .tree import Genealogy, TreeValidationError
+from .upgma import upgma_from_distances, upgma_tree
+
+__all__ = [
+    "Genealogy",
+    "TreeValidationError",
+    "to_newick",
+    "from_newick",
+    "upgma_tree",
+    "upgma_from_distances",
+]

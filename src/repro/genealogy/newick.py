@@ -1,0 +1,210 @@
+"""Newick tree format parsing and serialization.
+
+Hudson's ``ms`` emits simulated genealogies as Newick strings and ``seq-gen``
+consumes them (Section 6.1); our simulators do the same, so the genealogy
+substrate needs a Newick round-trip.  Only the features required for
+coalescent genealogies are supported: rooted, strictly bifurcating trees with
+branch lengths on every edge and (optionally) labels on the tips.
+
+The parser is a small recursive-descent parser over the grammar::
+
+    tree     := subtree ';'
+    subtree  := leaf | internal
+    leaf     := label [':' length]
+    internal := '(' subtree ',' subtree ')' [label] [':' length]
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tree import Genealogy, TreeValidationError
+
+__all__ = ["to_newick", "from_newick"]
+
+
+def to_newick(tree: Genealogy, precision: int = 6) -> str:
+    """Serialize a genealogy as a Newick string with branch lengths."""
+
+    def render(node: int) -> str:
+        if tree.is_tip(node):
+            label = tree.tip_names[node]
+        else:
+            c0, c1 = tree.children[node]
+            label = f"({render(int(c0))},{render(int(c1))})"
+        parent = int(tree.parent[node])
+        if parent < 0:
+            return label
+        length = tree.times[parent] - tree.times[node]
+        return f"{label}:{length:.{precision}f}"
+
+    return render(tree.root) + ";"
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def advance(self) -> str:
+        ch = self.peek()
+        self.pos += 1
+        return ch
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t\n\r":
+            self.pos += 1
+
+    def error(self, msg: str) -> ValueError:
+        context = self.text[max(0, self.pos - 15) : self.pos + 15]
+        return ValueError(f"Newick parse error at position {self.pos}: {msg} (near {context!r})")
+
+
+def from_newick(text: str, tip_names: tuple[str, ...] | None = None) -> Genealogy:
+    """Parse a Newick string into a :class:`Genealogy`.
+
+    The tree must be strictly bifurcating with branch lengths.  Tip times are
+    normalized to 0; interior node times are reconstructed from the branch
+    lengths (the tree must be ultrametric to within a small tolerance, which
+    coalescent genealogies of contemporaneous samples always are — small
+    violations from limited output precision are repaired by averaging).
+
+    Parameters
+    ----------
+    text:
+        The Newick string.
+    tip_names:
+        If given, tips are reindexed so their order matches this tuple
+        (useful for aligning with an :class:`~repro.sequences.alignment.Alignment`).
+    """
+    parser = _Parser(text.strip())
+
+    # Each parsed node: (label, children list, branch length to parent)
+    def parse_subtree() -> dict:
+        parser.skip_ws()
+        if parser.peek() == "(":
+            parser.advance()
+            left = parse_subtree()
+            parser.skip_ws()
+            if parser.advance() != ",":
+                raise parser.error("expected ','")
+            right = parse_subtree()
+            parser.skip_ws()
+            if parser.advance() != ")":
+                raise parser.error("expected ')'")
+            label = parse_label()
+            length = parse_length()
+            return {"label": label, "children": [left, right], "length": length}
+        label = parse_label()
+        if not label:
+            raise parser.error("expected a tip label")
+        length = parse_length()
+        return {"label": label, "children": [], "length": length}
+
+    def parse_label() -> str:
+        parser.skip_ws()
+        start = parser.pos
+        while parser.peek() not in "():,;" and parser.peek() != "":
+            parser.advance()
+        return parser.text[start : parser.pos].strip()
+
+    def parse_length() -> float | None:
+        parser.skip_ws()
+        if parser.peek() != ":":
+            return None
+        parser.advance()
+        start = parser.pos
+        while parser.peek() not in "(),;" and parser.peek() != "":
+            parser.advance()
+        try:
+            return float(parser.text[start : parser.pos])
+        except ValueError:
+            raise parser.error("invalid branch length") from None
+
+    root_spec = parse_subtree()
+    parser.skip_ws()
+    if parser.peek() == ";":
+        parser.advance()
+    parser.skip_ws()
+    if parser.pos != len(parser.text):
+        raise parser.error("trailing characters after tree")
+
+    # Collect tips and interior nodes; compute depths (distance from root).
+    tips: list[dict] = []
+    internals: list[dict] = []
+
+    def walk(node: dict, depth: float) -> None:
+        node["depth"] = depth
+        if node["children"]:
+            internals.append(node)
+            for child in node["children"]:
+                length = child["length"]
+                if length is None:
+                    raise ValueError("Newick tree is missing a branch length")
+                if length < 0:
+                    raise ValueError("Newick tree has a negative branch length")
+                walk(child, depth + length)
+        else:
+            tips.append(node)
+
+    walk(root_spec, 0.0)
+    n_tips = len(tips)
+    if n_tips < 2:
+        raise ValueError("Newick tree must have at least two tips")
+    if len(internals) != n_tips - 1:
+        raise ValueError("Newick tree is not strictly bifurcating")
+
+    # Ultrametric repair: tip depths can differ slightly due to rounding in
+    # the source file; use the maximum depth as the height reference.
+    depths = np.array([t["depth"] for t in tips])
+    height = float(depths.max())
+    if height <= 0:
+        raise ValueError("Newick tree has zero height")
+    if np.any(np.abs(depths - height) > 1e-3 * max(height, 1.0)):
+        raise ValueError("Newick tree is not ultrametric; cannot form a coalescent genealogy")
+
+    # Assign indices: tips 0..n-1 (ordered by requested tip_names or by
+    # appearance), internals n..2n-2 ordered by increasing time.
+    labels = [t["label"] or f"tip{i}" for i, t in enumerate(tips)]
+    if tip_names is not None:
+        if sorted(labels) != sorted(tip_names):
+            raise ValueError("Newick tip labels do not match the requested tip names")
+        order = [labels.index(name) for name in tip_names]
+        tips = [tips[i] for i in order]
+        labels = list(tip_names)
+    for i, tip in enumerate(tips):
+        tip["index"] = i
+        tip["time"] = 0.0
+
+    for node in internals:
+        node["time"] = height - node["depth"]
+    internals_sorted = sorted(internals, key=lambda nd: nd["time"])
+    for j, node in enumerate(internals_sorted):
+        node["index"] = n_tips + j
+
+    n_nodes = 2 * n_tips - 1
+    times = np.zeros(n_nodes)
+    parent = np.full(n_nodes, -1, dtype=np.int64)
+    children = np.full((n_nodes, 2), -1, dtype=np.int64)
+
+    def wire(node: dict) -> None:
+        idx = node["index"]
+        times[idx] = node["time"]
+        for child in node["children"]:
+            children_idx = child["index"]
+            parent[children_idx] = idx
+            wire(child)
+        if node["children"]:
+            children[idx] = (node["children"][0]["index"], node["children"][1]["index"])
+
+    wire(root_spec)
+
+    tree = Genealogy(times=times, parent=parent, children=children, tip_names=tuple(labels))
+    try:
+        tree.validate()
+    except TreeValidationError as exc:
+        raise ValueError(f"parsed Newick tree is not a valid genealogy: {exc}") from exc
+    return tree

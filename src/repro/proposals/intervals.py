@@ -1,0 +1,190 @@
+"""Feasible-interval machinery for neighbourhood resimulation.
+
+Resimulating a neighbourhood (Section 4.2, Figs. 7–9) requires knowing, for
+every moment in the affected time range, how many *inactive* lineages — the
+branches of the tree that are not being resimulated — are present, because
+the conditional coalescent density of the new events depends on both the
+active and the inactive lineage counts.  The time range is therefore split
+into *feasible intervals* delimited by (a) the times at which an active
+lineage appears (the child subtree roots), (b) the times at which the
+inactive lineage count changes (fixed coalescent events), and (c) the
+ancestor time that bounds the resimulation from above.  Within one feasible
+interval both counts are constant except for the stochastic merges being
+simulated.
+
+This module computes the inactive-lineage profile and the interval
+decomposition; :mod:`repro.proposals.kinetics` supplies the per-interval
+transition weights and event-time sampling; :mod:`repro.proposals.neighborhood`
+strings everything into the full proposal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..genealogy.tree import Genealogy
+
+__all__ = ["Region", "FeasibleInterval", "extract_region", "build_intervals"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """The neighbourhood of resimulation around a target node.
+
+    Attributes
+    ----------
+    target:
+        The targeted non-root interior node (deleted and re-created).
+    parent:
+        The target's parent (also deleted and re-created).
+    ancestor:
+        The parent's parent, or ``-1`` when the parent is the root (in which
+        case the resimulation is unbounded above).
+    ancestor_time:
+        Time of the ancestor, or ``inf`` when unbounded.
+    child_roots:
+        The three subtree roots left dangling by the deletion: the target's
+        two children and the target's sibling.
+    child_times:
+        Times of the three child roots.
+    """
+
+    target: int
+    parent: int
+    ancestor: int
+    ancestor_time: float
+    child_roots: tuple[int, int, int]
+    child_times: tuple[float, float, float]
+
+    @property
+    def bounded(self) -> bool:
+        """True when an ancestor node caps the resimulation time range."""
+        return np.isfinite(self.ancestor_time)
+
+
+@dataclass(frozen=True)
+class FeasibleInterval:
+    """One feasible interval of the resimulation range.
+
+    Attributes
+    ----------
+    start, end:
+        Calendar times (backwards from the present) bounding the interval;
+        ``end`` may be ``inf`` for the final interval of an unbounded
+        (parent-was-root) resimulation.
+    n_inactive:
+        Number of inactive (fixed) lineages present throughout the interval.
+    activations:
+        Number of active lineages that appear exactly at ``start`` (child
+        subtree roots whose time equals the interval start).
+    """
+
+    start: float
+    end: float
+    n_inactive: int
+    activations: int
+
+    @property
+    def length(self) -> float:
+        """Interval length (may be ``inf`` for the last unbounded interval)."""
+        return self.end - self.start
+
+
+def extract_region(tree: Genealogy, target: int) -> Region:
+    """Identify the neighbourhood of resimulation around ``target``.
+
+    ``target`` must be an interior node other than the root.
+    """
+    if tree.is_tip(target):
+        raise ValueError(f"target {target} is a tip; only interior nodes can be resimulated")
+    root = tree.root
+    if target == root:
+        raise ValueError("the root cannot be targeted for resimulation")
+    parent = int(tree.parent[target])
+    ancestor = int(tree.parent[parent])
+    c0, c1 = (int(c) for c in tree.children[target])
+    sibling = tree.sibling(target)
+    child_roots = (c0, c1, sibling)
+    child_times = tuple(float(tree.times[c]) for c in child_roots)
+    ancestor_time = float(tree.times[ancestor]) if ancestor >= 0 else float("inf")
+    return Region(
+        target=target,
+        parent=parent,
+        ancestor=ancestor,
+        ancestor_time=ancestor_time,
+        child_roots=child_roots,
+        child_times=child_times,
+    )
+
+
+def inactive_lineage_count(tree: Genealogy, region: Region, time: float) -> int:
+    """Number of fixed (inactive) lineages crossing ``time``.
+
+    A fixed lineage is an edge ``child → parent`` of the tree that does not
+    involve the deleted nodes (the target and its parent) and that spans the
+    queried time: ``time(child) <= time < time(parent)``.
+    """
+    nodes = np.arange(tree.n_nodes)
+    parent = tree.parent
+    has_parent = parent >= 0
+    involves_removed = (
+        (nodes == region.target)
+        | (nodes == region.parent)
+        | (parent == region.target)
+        | (parent == region.parent)
+    )
+    fixed = has_parent & ~involves_removed
+    child_times = tree.times
+    parent_times = np.where(has_parent, tree.times[np.clip(parent, 0, None)], np.inf)
+    crossing = fixed & (child_times <= time) & (time < parent_times)
+    return int(np.count_nonzero(crossing))
+
+
+def build_intervals(tree: Genealogy, region: Region) -> list[FeasibleInterval]:
+    """Split the resimulation range into feasible intervals.
+
+    The range starts at the youngest child-root time and ends at the
+    ancestor time (or extends to infinity when the parent was the root).
+    Breakpoints are inserted at every child-root time (an active lineage
+    appears) and at every fixed-node time strictly inside the range (the
+    inactive count changes there).
+    """
+    start_time = min(region.child_times)
+    end_time = region.ancestor_time
+
+    breakpoints: set[float] = set(region.child_times)
+    removed = {region.target, region.parent}
+    for node in range(tree.n_nodes):
+        if node in removed:
+            continue
+        t = float(tree.times[node])
+        if start_time < t < end_time:
+            breakpoints.add(t)
+    ordered = sorted(breakpoints)
+    if region.bounded:
+        if ordered[-1] < end_time:
+            ordered.append(end_time)
+    else:
+        ordered.append(float("inf"))
+
+    intervals: list[FeasibleInterval] = []
+    child_times = np.asarray(region.child_times)
+    for i in range(len(ordered) - 1):
+        lo, hi = ordered[i], ordered[i + 1]
+        midpoint = lo + (min(hi, lo + 1.0) - lo) * 0.5 if np.isfinite(hi) else lo + 0.5
+        n_inactive = inactive_lineage_count(tree, region, midpoint)
+        # Each child root activates in exactly one interval: the one whose
+        # start equals its time (child times are themselves breakpoints, so
+        # exact floating-point equality is the right test here).
+        activations = int(np.count_nonzero(child_times == lo))
+        intervals.append(
+            FeasibleInterval(start=lo, end=hi, n_inactive=n_inactive, activations=activations)
+        )
+    if not intervals:
+        raise ValueError("resimulation region is empty; the tree is degenerate")
+    return intervals
+
+
+__all__.append("inactive_lineage_count")

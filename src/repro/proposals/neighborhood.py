@@ -1,0 +1,267 @@
+"""Neighbourhood resimulation — the LAMARC proposal mechanism.
+
+The proposal deletes a targeted non-root interior node and its parent
+(Fig. 7), leaving three "child" subtree roots dangling below the target's
+grandparent (the *ancestor*), and then re-simulates how those three lineages
+coalesce back into a single lineage, conditional on the rest of the tree and
+on the driving θ (Figs. 8–9).  Because the re-simulation draws from the
+conditional coalescent prior P(G | θ, rest of tree), the Metropolis-Hastings
+acceptance ratio collapses to a data-likelihood ratio (Eq. 28) and the
+generalized-MH proposal-set weights collapse to P(D | G̃ᵢ) (Eq. 31).
+
+The simulation proceeds over the feasible intervals computed by
+:mod:`repro.proposals.intervals`:
+
+1. a *backward pass* computes, for every interval and every possible number
+   of active lineages, the probability of finishing the resimulation with a
+   single active lineage by the ancestor time (the paper's ``P_i(n)``
+   recursion), and
+2. a *forward pass* walks the intervals from the most recent to the oldest,
+   sampling how many coalescent events each interval contains (weighted by
+   the backward probabilities, so the walk is conditioned on a valid
+   outcome) and then where inside the interval they fall, using the
+   per-interval kinetics of :mod:`repro.proposals.kinetics`.
+
+The proposal may re-pair the three child subtrees arbitrarily, so both node
+times and tree topology change (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..genealogy.tree import Genealogy
+from .intervals import FeasibleInterval, Region, build_intervals, extract_region
+from .kinetics import IntervalKinetics
+
+__all__ = ["NeighborhoodResimulator", "ResimulationOutcome", "eligible_targets"]
+
+_TIME_EPS = 1e-12
+
+
+def eligible_targets(tree: Genealogy) -> np.ndarray:
+    """Interior nodes that may be targeted: every interior node except the root."""
+    internal = tree.internal_nodes()
+    return internal[internal != tree.root]
+
+
+@dataclass(frozen=True)
+class ResimulationOutcome:
+    """A resimulated genealogy plus bookkeeping about what changed."""
+
+    tree: Genealogy
+    region: Region
+    new_times: tuple[float, float]
+    topology_changed: bool
+
+
+class NeighborhoodResimulator:
+    """Generates LAMARC-style neighbourhood-resimulation proposals.
+
+    Parameters
+    ----------
+    theta:
+        Driving value of θ for the conditional coalescent prior.
+    validate:
+        When True every proposed genealogy is structurally validated before
+        being returned (useful in tests; too slow for production chains).
+    """
+
+    def __init__(self, theta: float, *, validate: bool = False) -> None:
+        if theta <= 0:
+            raise ValueError("theta must be positive")
+        self.theta = float(theta)
+        self.validate = bool(validate)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def choose_target(self, tree: Genealogy, rng: np.random.Generator) -> int:
+        """Sample the auxiliary neighbourhood variable φ uniformly (Section 4.3)."""
+        targets = eligible_targets(tree)
+        if targets.size == 0:
+            raise ValueError(
+                "no eligible resimulation targets; the genealogy needs at least 3 tips"
+            )
+        return int(targets[rng.integers(targets.size)])
+
+    def propose(
+        self, tree: Genealogy, target: int, rng: np.random.Generator
+    ) -> ResimulationOutcome:
+        """Resimulate the neighbourhood around ``target`` and return the new genealogy."""
+        region = extract_region(tree, target)
+        intervals = build_intervals(tree, region)
+        kinetics = [
+            IntervalKinetics(n_inactive=iv.n_inactive, theta=self.theta) for iv in intervals
+        ]
+
+        goal = self._backward_pass(intervals, kinetics)
+        merge_times = self._forward_pass(intervals, kinetics, goal, rng)
+        new_tree, new_nodes = self._rebuild(tree, region, merge_times, rng)
+
+        if self.validate:
+            new_tree.validate()
+
+        old_key = tree.topology_key()
+        new_key = new_tree.topology_key()
+        return ResimulationOutcome(
+            tree=new_tree,
+            region=region,
+            new_times=(float(new_tree.times[new_nodes[0]]), float(new_tree.times[new_nodes[1]])),
+            topology_changed=old_key != new_key,
+        )
+
+    def propose_random(
+        self, tree: Genealogy, rng: np.random.Generator
+    ) -> ResimulationOutcome:
+        """Choose a target uniformly at random and resimulate it."""
+        return self.propose(tree, self.choose_target(tree, rng), rng)
+
+    # ------------------------------------------------------------------ #
+    # Backward pass: P_i(n) of the paper
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _backward_pass(
+        intervals: list[FeasibleInterval], kinetics: list[IntervalKinetics]
+    ) -> np.ndarray:
+        """Probability of a valid finish given ``a`` active lineages at each interval start.
+
+        ``goal[m, a-1]`` is the probability that, starting interval ``m``
+        with ``a`` active lineages (activations at the start of interval
+        ``m`` already counted), the process ends the resimulation range with
+        exactly one active lineage and suffers no active–inactive
+        coalescence.
+        """
+        n_intervals = len(intervals)
+        goal = np.zeros((n_intervals + 1, 3))
+        # Virtual state beyond the final boundary: success iff one active lineage.
+        goal[n_intervals] = np.array([1.0, 0.0, 0.0])
+        for m in range(n_intervals - 1, -1, -1):
+            span = intervals[m].length
+            s_matrix = kinetics[m].transition_matrix(span)
+            next_activations = intervals[m + 1].activations if m + 1 < n_intervals else 0
+            for a in range(1, 4):
+                total = 0.0
+                for b in range(1, a + 1):
+                    carried = b + next_activations
+                    if carried > 3:
+                        continue
+                    total += s_matrix[a - 1, b - 1] * goal[m + 1, carried - 1]
+                goal[m, a - 1] = total
+        return goal
+
+    # ------------------------------------------------------------------ #
+    # Forward pass: conditioned sampling of merge times
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _forward_pass(
+        intervals: list[FeasibleInterval],
+        kinetics: list[IntervalKinetics],
+        goal: np.ndarray,
+        rng: np.random.Generator,
+    ) -> list[float]:
+        """Sample the two merge times, conditioned on a valid finish."""
+        n_intervals = len(intervals)
+        merge_times: list[float] = []
+        active = 0
+        for m, interval in enumerate(intervals):
+            active += interval.activations
+            if active < 1 or active > 3:
+                raise RuntimeError("active lineage bookkeeping is inconsistent")
+            span = interval.length
+            next_activations = intervals[m + 1].activations if m + 1 < n_intervals else 0
+            s_matrix = kinetics[m].transition_matrix(span)
+
+            weights = np.zeros(active)
+            for b in range(1, active + 1):
+                carried = b + next_activations
+                if carried > 3:
+                    continue
+                weights[b - 1] = s_matrix[active - 1, b - 1] * goal[m + 1, carried - 1]
+            total = weights.sum()
+            if total <= 0.0:
+                # Should not happen: the backward pass guarantees a positive
+                # path exists from any reachable state.
+                raise RuntimeError("conditioned resimulation reached a dead end")
+            end_state = 1 + int(rng.choice(active, p=weights / total))
+
+            if end_state < active:
+                offsets = kinetics[m].sample_merge_times(active, end_state, span, rng)
+                for off in offsets:
+                    bounded = np.isfinite(span)
+                    upper = span * (1.0 - _TIME_EPS) if bounded else off
+                    off = min(max(off, span * _TIME_EPS if bounded else _TIME_EPS), upper)
+                    merge_times.append(interval.start + off)
+            active = end_state
+
+        if active != 1 or len(merge_times) != 2:
+            raise RuntimeError(
+                f"resimulation finished with {active} active lineages and "
+                f"{len(merge_times)} merges; expected 1 and 2"
+            )
+        return sorted(merge_times)
+
+    # ------------------------------------------------------------------ #
+    # Tree surgery
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _rebuild(
+        tree: Genealogy,
+        region: Region,
+        merge_times: list[float],
+        rng: np.random.Generator,
+    ) -> tuple[Genealogy, tuple[int, int]]:
+        """Stitch the resimulated neighbourhood back into a copy of the tree."""
+        new = tree.copy()
+        node_a, node_b = region.target, region.parent  # indices reused for the new events
+
+        # Active handles: the three dangling subtree roots, ordered by time so
+        # that whoever is active at each merge is well defined.
+        children = list(region.child_roots)
+        child_times = {c: float(tree.times[c]) for c in children}
+
+        new_nodes = (node_a, node_b)
+        active: list[int] = []
+        pending = sorted(children, key=lambda c: child_times[c])
+        for event_index, t_merge in enumerate(merge_times):
+            # Activate every child whose time is at or below the merge time.
+            while pending and child_times[pending[0]] <= t_merge:
+                active.append(pending.pop(0))
+            if len(active) < 2:
+                # Guard against floating-point ordering issues: activate the
+                # next pending child (its time can only be epsilon above).
+                active.append(pending.pop(0))
+            pair_idx = rng.choice(len(active), size=2, replace=False)
+            first, second = (active[int(i)] for i in sorted(pair_idx))
+            new_node = new_nodes[event_index]
+            # Ensure the merge is strictly older than both children.
+            t_min = max(float(new.times[first]), float(new.times[second]))
+            t_node = max(t_merge, t_min + _TIME_EPS)
+            new.times[new_node] = t_node
+            new.children[new_node] = (first, second)
+            new.parent[first] = new_node
+            new.parent[second] = new_node
+            active = [x for x in active if x not in (first, second)]
+            active.append(new_node)
+
+        assert not pending and len(active) == 1
+        top = active[0]
+
+        if region.bounded:
+            ancestor = region.ancestor
+            new.parent[top] = ancestor
+            slots = new.children[ancestor]
+            for k in range(2):
+                if slots[k] == region.parent:
+                    new.children[ancestor, k] = top
+            # The second merge must stay strictly below the ancestor.
+            if new.times[top] >= new.times[ancestor]:
+                new.times[top] = new.times[ancestor] - _TIME_EPS * max(
+                    1.0, float(new.times[ancestor])
+                )
+        else:
+            new.parent[top] = -1
+
+        return new, new_nodes

@@ -1,0 +1,43 @@
+"""Sequence substrate: alignments, PHYLIP I/O, sequence evolution simulation."""
+
+from .alignment import Alignment, BASE_TO_CODE, CODE_TO_BASE, MISSING, NUCLEOTIDES
+from .evolve import evolve_sequences
+from .fasta import dumps_fasta, loads_fasta, read_fasta, write_fasta
+from .phylip import dumps, loads, read_phylip, write_phylip
+from .popgen_stats import (
+    PopGenSummary,
+    expected_neutral_sfs,
+    folded_site_frequency_spectrum,
+    nucleotide_diversity,
+    pairwise_mismatch_distribution,
+    site_frequency_spectrum,
+    summarize_alignment,
+    tajimas_d,
+    watterson_theta,
+)
+
+__all__ = [
+    "Alignment",
+    "NUCLEOTIDES",
+    "BASE_TO_CODE",
+    "CODE_TO_BASE",
+    "MISSING",
+    "evolve_sequences",
+    "read_phylip",
+    "write_phylip",
+    "loads",
+    "dumps",
+    "loads_fasta",
+    "dumps_fasta",
+    "read_fasta",
+    "write_fasta",
+    "PopGenSummary",
+    "summarize_alignment",
+    "site_frequency_spectrum",
+    "folded_site_frequency_spectrum",
+    "expected_neutral_sfs",
+    "nucleotide_diversity",
+    "pairwise_mismatch_distribution",
+    "tajimas_d",
+    "watterson_theta",
+]

@@ -1,0 +1,71 @@
+"""FASTA alignment I/O.
+
+The paper's toolchain exchanges data in PHYLIP format (Section 5.1.1), but
+essentially every modern sequence pipeline also speaks FASTA, so the sequence
+substrate supports both.  Only aligned nucleotide FASTA is handled: every
+record must have the same length, and ambiguity codes map to missing data
+exactly as in :mod:`repro.sequences.alignment`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .alignment import Alignment
+
+__all__ = ["loads_fasta", "dumps_fasta", "read_fasta", "write_fasta"]
+
+
+def loads_fasta(text: str) -> Alignment:
+    """Parse FASTA-formatted text into an :class:`Alignment`.
+
+    Headers are everything after ``>`` up to the first whitespace; sequence
+    lines may be wrapped arbitrarily.  Raises :class:`ValueError` on empty
+    input, missing headers, duplicate names, or ragged sequence lengths.
+    """
+    names: list[str] = []
+    chunks: list[list[str]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            header = line[1:].strip()
+            if not header:
+                raise ValueError(f"empty FASTA header on line {lineno}")
+            name = header.split()[0]
+            names.append(name)
+            chunks.append([])
+        else:
+            if not names:
+                raise ValueError(f"sequence data on line {lineno} before any '>' header")
+            chunks[-1].append(line)
+    if not names:
+        raise ValueError("no FASTA records found")
+    sequences = ["".join(parts) for parts in chunks]
+    for name, seq in zip(names, sequences):
+        if not seq:
+            raise ValueError(f"record {name!r} has no sequence data")
+    return Alignment.from_sequences(list(zip(names, sequences)))
+
+
+def dumps_fasta(alignment: Alignment, *, width: int = 70) -> str:
+    """Serialize an alignment as FASTA text with lines wrapped at ``width``."""
+    if width < 1:
+        raise ValueError("width must be positive")
+    lines: list[str] = []
+    for name, seq in alignment:
+        lines.append(f">{name}")
+        for start in range(0, len(seq), width):
+            lines.append(seq[start : start + width])
+    return "\n".join(lines) + "\n"
+
+
+def read_fasta(path: str | Path) -> Alignment:
+    """Read a FASTA file from disk."""
+    return loads_fasta(Path(path).read_text())
+
+
+def write_fasta(alignment: Alignment, path: str | Path, *, width: int = 70) -> None:
+    """Write an alignment to disk in FASTA format."""
+    Path(path).write_text(dumps_fasta(alignment, width=width))

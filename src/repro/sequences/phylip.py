@@ -1,0 +1,155 @@
+"""PHYLIP sequence file reading and writing.
+
+The proof-of-concept program of the paper takes its input "in the PHYLIP
+genealogical data format, in which the first line provides the number of
+samples and the length of the samples.  Each successive line leads with a
+fixed-length name of the sample followed by the sequence data"
+(Section 5.1.1).  ``seq-gen`` — which the paper uses to synthesize test
+data — emits the same format, so this module is both the ingest path for the
+sampler and the output path for our ``seq-gen`` substitute.
+
+Both *sequential* PHYLIP (each sequence on one, possibly wrapped, line) and
+*interleaved* PHYLIP are supported for reading; writing always produces the
+strict sequential form with 10-character name fields, which every downstream
+tool (including the original LAMARC converters) accepts.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import TextIO
+
+from .alignment import Alignment
+
+__all__ = ["read_phylip", "write_phylip", "loads", "dumps"]
+
+_NAME_WIDTH = 10
+
+
+def _open_maybe(path_or_file: str | os.PathLike | TextIO, mode: str):
+    if hasattr(path_or_file, "read") or hasattr(path_or_file, "write"):
+        return path_or_file, False
+    return open(path_or_file, mode), True
+
+
+def read_phylip(path_or_file: str | os.PathLike | TextIO) -> Alignment:
+    """Read a PHYLIP file (sequential or interleaved) into an :class:`Alignment`."""
+    handle, should_close = _open_maybe(path_or_file, "r")
+    try:
+        text = handle.read()
+    finally:
+        if should_close:
+            handle.close()
+    return loads(text)
+
+
+def loads(text: str) -> Alignment:
+    """Parse PHYLIP-formatted text into an :class:`Alignment`."""
+    lines = [ln.rstrip("\n") for ln in text.splitlines()]
+    # Skip leading blank lines.
+    while lines and not lines[0].strip():
+        lines.pop(0)
+    if not lines:
+        raise ValueError("empty PHYLIP input")
+    header = lines[0].split()
+    if len(header) < 2:
+        raise ValueError(f"malformed PHYLIP header line: {lines[0]!r}")
+    try:
+        n_seqs, n_sites = int(header[0]), int(header[1])
+    except ValueError as exc:
+        raise ValueError(f"malformed PHYLIP header line: {lines[0]!r}") from exc
+    if n_seqs < 2 or n_sites < 1:
+        raise ValueError(f"implausible PHYLIP header: {n_seqs} sequences, {n_sites} sites")
+
+    body = [ln for ln in lines[1:] if ln.strip()]
+    if not body:
+        raise ValueError("PHYLIP input has a header but no sequence data")
+
+    names: list[str] = []
+    seqs: list[str] = []
+
+    # First block: each of the first n_seqs non-blank lines starts with a name.
+    if len(body) < n_seqs:
+        raise ValueError(
+            f"PHYLIP header promises {n_seqs} sequences but only {len(body)} data lines present"
+        )
+    for ln in body[:n_seqs]:
+        name, data = _split_name_line(ln, n_sites)
+        names.append(name)
+        seqs.append(data)
+
+    # Remaining lines: either continuation blocks (interleaved) or wrapped
+    # sequential data.  Both are handled by round-robin appending per block.
+    rest = body[n_seqs:]
+    if rest:
+        # Interleaved continuation blocks have exactly n_seqs lines per block
+        # and no names.  Wrapped sequential data also appends in order; the
+        # round-robin fill below handles both as long as lengths work out.
+        idx = 0
+        for ln in rest:
+            seqs[idx % n_seqs] += ln.replace(" ", "")
+            idx += 1
+
+    cleaned = [s.replace(" ", "") for s in seqs]
+    for name, seq in zip(names, cleaned):
+        if len(seq) != n_sites:
+            raise ValueError(
+                f"sequence {name!r} has {len(seq)} sites, header promised {n_sites}"
+            )
+    return Alignment.from_sequences(list(zip(names, cleaned)))
+
+
+def _split_name_line(line: str, n_sites: int) -> tuple[str, str]:
+    """Split a PHYLIP data line into (name, sequence-fragment).
+
+    Strict PHYLIP uses a fixed 10-character name field; relaxed PHYLIP
+    separates the name from the data with whitespace.  We accept both,
+    preferring whichever interpretation yields a fragment consistent with the
+    declared sequence length (a fragment can be shorter than ``n_sites`` when
+    the sequence is wrapped over several lines, but never longer).
+    """
+    stripped = line.strip()
+    relaxed: tuple[str, str] | None = None
+    parts = stripped.split(None, 1)
+    if len(parts) == 2:
+        relaxed = (parts[0], parts[1].replace(" ", ""))
+
+    fixed: tuple[str, str] | None = None
+    name = line[:_NAME_WIDTH].strip()
+    data = line[_NAME_WIDTH:].replace(" ", "").strip()
+    if name and data:
+        fixed = (name, data)
+
+    candidates = [c for c in (fixed, relaxed) if c is not None]
+    if not candidates:
+        raise ValueError(f"cannot parse PHYLIP line: {line!r}")
+    # Prefer a candidate whose data length does not exceed the declared
+    # sequence length; exact matches win outright.
+    for candidate in candidates:
+        if len(candidate[1]) == n_sites:
+            return candidate
+    for candidate in candidates:
+        if len(candidate[1]) <= n_sites:
+            return candidate
+    return candidates[0]
+
+
+def write_phylip(alignment: Alignment, path_or_file: str | os.PathLike | TextIO) -> None:
+    """Write an :class:`Alignment` in strict sequential PHYLIP format."""
+    handle, should_close = _open_maybe(path_or_file, "w")
+    try:
+        handle.write(dumps(alignment))
+    finally:
+        if should_close:
+            handle.close()
+
+
+def dumps(alignment: Alignment) -> str:
+    """Render an :class:`Alignment` as strict sequential PHYLIP text."""
+    buf = io.StringIO()
+    buf.write(f" {alignment.n_sequences} {alignment.n_sites}\n")
+    for name, seq in alignment:
+        safe_name = name[:_NAME_WIDTH].ljust(_NAME_WIDTH)
+        buf.write(f"{safe_name}{seq}\n")
+    return buf.getvalue()

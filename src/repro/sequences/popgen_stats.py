@@ -1,0 +1,228 @@
+"""Classical population-genetics summary statistics.
+
+Coalescent genealogy samplers are routinely sanity-checked against the
+closed-form moment estimators that population geneticists used before
+sampler-based inference existed (Section 2.4 motivates θ = μNₑ as *the*
+quantity of interest).  This module provides those estimators over an
+:class:`~repro.sequences.alignment.Alignment`:
+
+* the site frequency spectrum (SFS), folded and unfolded,
+* the number of segregating sites ``S`` and Watterson's ``θ_W``,
+* the average pairwise difference ``π`` and the corresponding ``θ_π``,
+* Tajima's ``D`` (the normalized difference between ``θ_π`` and ``θ_W``),
+* the pairwise mismatch distribution,
+* the expected neutral SFS for comparison against observed spectra.
+
+All per-site estimators are reported both per site and per locus so they can
+be compared directly with the sampler's θ estimates (which are per site in
+this package, matching ``seq-gen -s``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .alignment import MISSING, Alignment
+
+__all__ = [
+    "site_frequency_spectrum",
+    "folded_site_frequency_spectrum",
+    "expected_neutral_sfs",
+    "segregating_sites",
+    "watterson_theta",
+    "nucleotide_diversity",
+    "pairwise_mismatch_distribution",
+    "tajimas_d",
+    "PopGenSummary",
+    "summarize_alignment",
+]
+
+
+def _harmonic(n: int) -> float:
+    """a_n = Σ_{i=1}^{n-1} 1/i, the Watterson normalizer."""
+    return float(np.sum(1.0 / np.arange(1, n)))
+
+
+def _harmonic_sq(n: int) -> float:
+    """b_n = Σ_{i=1}^{n-1} 1/i², used in Tajima's variance."""
+    return float(np.sum(1.0 / np.arange(1, n) ** 2))
+
+
+def _minor_allele_counts(alignment: Alignment) -> np.ndarray:
+    """Derived/minor allele count per polymorphic site.
+
+    For every segregating site, the count of sequences carrying the less
+    common base (ties resolved towards the smaller count, i.e. the folded
+    spectrum convention).  Sites with missing data are evaluated over the
+    observed bases only; sites with more than two alleles contribute the
+    count of all non-majority bases.
+    """
+    counts = []
+    for s in range(alignment.n_sites):
+        col = alignment.codes[:, s]
+        col = col[col != MISSING]
+        if col.size == 0:
+            continue
+        _, tallies = np.unique(col, return_counts=True)
+        if tallies.size < 2:
+            continue
+        counts.append(int(col.size - tallies.max()))
+    return np.asarray(counts, dtype=int)
+
+
+def site_frequency_spectrum(alignment: Alignment) -> np.ndarray:
+    """Unfolded site frequency spectrum using the majority base as ancestral.
+
+    Returns an array ``sfs`` of length ``n_sequences - 1`` where ``sfs[k-1]``
+    is the number of sites at which exactly ``k`` sequences carry a
+    non-majority ("derived") base.  Without an outgroup the true ancestral
+    state is unknown, so the majority base stands in for it — the standard
+    fallback, which biases high-frequency classes but leaves the low-frequency
+    classes (the ones growth/decline analyses read) intact.
+    """
+    n = alignment.n_sequences
+    sfs = np.zeros(n - 1, dtype=int)
+    for k in _minor_allele_counts(alignment):
+        if 1 <= k <= n - 1:
+            sfs[k - 1] += 1
+    return sfs
+
+
+def folded_site_frequency_spectrum(alignment: Alignment) -> np.ndarray:
+    """Folded SFS: entry ``k-1`` counts sites whose minor allele appears ``k`` times.
+
+    Length ``floor(n_sequences / 2)``; does not require knowing the ancestral
+    state.
+    """
+    n = alignment.n_sequences
+    folded = np.zeros(n // 2, dtype=int)
+    for k in _minor_allele_counts(alignment):
+        k = min(k, n - k)
+        if k >= 1:
+            folded[k - 1] += 1
+    return folded
+
+
+def expected_neutral_sfs(n_sequences: int, theta_per_locus: float) -> np.ndarray:
+    """Expected unfolded SFS under the standard neutral coalescent.
+
+    E[ξ_k] = θ / k for ``k = 1 .. n-1`` where θ is per locus (Fu 1995).
+    Benchmarks compare this against the observed spectrum of simulated data.
+    """
+    if n_sequences < 2:
+        raise ValueError("need at least two sequences")
+    if theta_per_locus < 0:
+        raise ValueError("theta must be non-negative")
+    k = np.arange(1, n_sequences)
+    return theta_per_locus / k
+
+
+def segregating_sites(alignment: Alignment) -> int:
+    """Number of polymorphic sites ``S`` (delegates to the alignment)."""
+    return alignment.segregating_sites()
+
+
+def watterson_theta(alignment: Alignment, *, per_site: bool = True) -> float:
+    """Watterson's estimator ``θ_W = S / a_n`` (per site by default)."""
+    n = alignment.n_sequences
+    theta_locus = alignment.segregating_sites() / _harmonic(n)
+    return theta_locus / alignment.n_sites if per_site else theta_locus
+
+
+def nucleotide_diversity(alignment: Alignment, *, per_site: bool = True) -> float:
+    """Average pairwise difference π (Tajima's estimator of θ).
+
+    ``π = Σ_{i<j} d_ij / C(n, 2)`` where ``d_ij`` is the count of differing,
+    unambiguous sites between sequences ``i`` and ``j``.
+    """
+    n = alignment.n_sequences
+    diffs = alignment.pairwise_differences()
+    total = float(diffs[np.triu_indices(n, k=1)].sum())
+    pairs = n * (n - 1) / 2.0
+    pi_locus = total / pairs
+    return pi_locus / alignment.n_sites if per_site else pi_locus
+
+
+def pairwise_mismatch_distribution(alignment: Alignment) -> np.ndarray:
+    """Histogram of pairwise difference counts.
+
+    ``out[d]`` is the number of sequence pairs differing at exactly ``d``
+    sites.  The shape of this distribution (unimodal vs ragged) is the
+    classic signature of population expansion vs constant size.
+    """
+    n = alignment.n_sequences
+    diffs = alignment.pairwise_differences()[np.triu_indices(n, k=1)].astype(int)
+    out = np.zeros(int(diffs.max()) + 1 if diffs.size else 1, dtype=int)
+    for d in diffs:
+        out[d] += 1
+    return out
+
+
+def tajimas_d(alignment: Alignment) -> float:
+    """Tajima's D statistic.
+
+    ``D = (π − θ_W) / sqrt(Var)`` with the variance constants of Tajima
+    (1989), both θ estimates per locus.  Near zero under the standard
+    neutral model; negative under population growth or purifying selection
+    (excess rare variants); positive under structure or balancing selection.
+    Returns ``0.0`` when the alignment has no segregating sites (the
+    statistic is undefined there, and zero is the conventional report).
+    """
+    n = alignment.n_sequences
+    s = alignment.segregating_sites()
+    if s == 0:
+        return 0.0
+    a1 = _harmonic(n)
+    a2 = _harmonic_sq(n)
+    b1 = (n + 1) / (3.0 * (n - 1))
+    b2 = 2.0 * (n * n + n + 3) / (9.0 * n * (n - 1))
+    c1 = b1 - 1.0 / a1
+    c2 = b2 - (n + 2) / (a1 * n) + a2 / (a1 * a1)
+    e1 = c1 / a1
+    e2 = c2 / (a1 * a1 + a2)
+    pi = nucleotide_diversity(alignment, per_site=False)
+    theta_w = s / a1
+    variance = e1 * s + e2 * s * (s - 1)
+    if variance <= 0:
+        return 0.0
+    return float((pi - theta_w) / np.sqrt(variance))
+
+
+@dataclass(frozen=True)
+class PopGenSummary:
+    """One-stop summary of the classical estimators for an alignment."""
+
+    n_sequences: int
+    n_sites: int
+    segregating_sites: int
+    watterson_theta_per_site: float
+    pi_per_site: float
+    tajimas_d: float
+    sfs: np.ndarray
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (useful for printing tables in examples/benches)."""
+        return {
+            "n_sequences": self.n_sequences,
+            "n_sites": self.n_sites,
+            "segregating_sites": self.segregating_sites,
+            "watterson_theta_per_site": self.watterson_theta_per_site,
+            "pi_per_site": self.pi_per_site,
+            "tajimas_d": self.tajimas_d,
+            "sfs": self.sfs.tolist(),
+        }
+
+
+def summarize_alignment(alignment: Alignment) -> PopGenSummary:
+    """Compute every summary statistic in one pass over the alignment."""
+    return PopGenSummary(
+        n_sequences=alignment.n_sequences,
+        n_sites=alignment.n_sites,
+        segregating_sites=alignment.segregating_sites(),
+        watterson_theta_per_site=watterson_theta(alignment),
+        pi_per_site=nucleotide_diversity(alignment),
+        tajimas_d=tajimas_d(alignment),
+        sfs=site_frequency_spectrum(alignment),
+    )

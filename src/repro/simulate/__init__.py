@@ -1,0 +1,38 @@
+"""Data simulators: neutral coalescent genealogies (ms), sequence datasets, Wright-Fisher drift."""
+
+from .coalescent_sim import (
+    expected_tmrca,
+    expected_total_branch_length,
+    simulate_genealogies,
+    simulate_genealogy,
+)
+from .datasets import SyntheticDataset, synthesize_dataset
+from .growth_sim import (
+    expected_growth_tmrca,
+    growth_waiting_time,
+    simulate_growth_genealogy,
+    simulate_growth_intervals,
+)
+from .wright_fisher import (
+    WrightFisherPopulation,
+    fixation_probability_estimate,
+    pairwise_coalescence_time,
+    simulate_allele_trajectory,
+)
+
+__all__ = [
+    "simulate_genealogy",
+    "simulate_genealogies",
+    "expected_tmrca",
+    "expected_total_branch_length",
+    "SyntheticDataset",
+    "synthesize_dataset",
+    "WrightFisherPopulation",
+    "simulate_allele_trajectory",
+    "fixation_probability_estimate",
+    "pairwise_coalescence_time",
+    "growth_waiting_time",
+    "simulate_growth_intervals",
+    "simulate_growth_genealogy",
+    "expected_growth_tmrca",
+]

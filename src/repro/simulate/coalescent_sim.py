@@ -1,0 +1,121 @@
+"""Neutral coalescent genealogy simulator (the ``ms`` substitute).
+
+Hudson's ``ms`` simulates genealogies under the neutral Wright-Fisher
+coalescent: starting from ``n`` present-day lineages, waiting times between
+coalescent events are exponential with rate ``k(k-1)/θ`` while ``k``
+lineages remain, and the pair that coalesces is chosen uniformly at random
+(Kingman 1982; paper Sections 2.4 and 6.1).  The command the paper runs —
+``ms 12 1 -T`` — produces exactly one such tree in Newick form; here the
+equivalent is :func:`simulate_genealogy` (optionally serialized with
+:func:`~repro.genealogy.newick.to_newick`).
+
+Times are expressed in units of θ (i.e. the same mutational units the
+sampler and the coalescent prior use), so a genealogy simulated at
+``theta=2.0`` has, in expectation, twice the branch lengths of one simulated
+at ``theta=1.0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..genealogy.tree import Genealogy
+
+__all__ = ["simulate_genealogy", "simulate_genealogies", "expected_tmrca", "expected_total_branch_length"]
+
+
+def simulate_genealogy(
+    n_tips: int,
+    theta: float,
+    rng: np.random.Generator,
+    *,
+    tip_names: tuple[str, ...] | None = None,
+) -> Genealogy:
+    """Simulate one neutral coalescent genealogy for ``n_tips`` samples.
+
+    Parameters
+    ----------
+    n_tips:
+        Number of present-day samples (≥ 2).
+    theta:
+        The population-mutation parameter θ = μ·Nₑ (scaled); waiting times
+        while ``k`` lineages remain are Exp(k(k−1)/θ).
+    rng:
+        NumPy random generator.
+    tip_names:
+        Optional tip labels; defaults to ``tip0..tip{n-1}``.
+    """
+    if n_tips < 2:
+        raise ValueError("need at least two samples")
+    if theta <= 0:
+        raise ValueError("theta must be positive")
+
+    names = tuple(tip_names) if tip_names else tuple(f"tip{i}" for i in range(n_tips))
+    if len(names) != n_tips:
+        raise ValueError(f"{len(names)} tip names for {n_tips} tips")
+
+    n_nodes = 2 * n_tips - 1
+    times = np.zeros(n_nodes)
+    parent = np.full(n_nodes, -1, dtype=np.int64)
+    children = np.full((n_nodes, 2), -1, dtype=np.int64)
+
+    active = list(range(n_tips))
+    t = 0.0
+    next_node = n_tips
+    while len(active) > 1:
+        k = len(active)
+        rate = k * (k - 1) / theta
+        t += float(rng.exponential(1.0 / rate))
+        # Choose a uniformly random pair of active lineages to coalesce.
+        i, j = rng.choice(k, size=2, replace=False)
+        a, b = active[int(i)], active[int(j)]
+        node = next_node
+        next_node += 1
+        times[node] = t
+        children[node] = (a, b)
+        parent[a] = node
+        parent[b] = node
+        active = [x for x in active if x not in (a, b)] + [node]
+
+    tree = Genealogy(times=times, parent=parent, children=children, tip_names=names)
+    tree.validate()
+    return tree
+
+
+def simulate_genealogies(
+    n_tips: int,
+    theta: float,
+    n_replicates: int,
+    rng: np.random.Generator,
+    *,
+    tip_names: tuple[str, ...] | None = None,
+) -> list[Genealogy]:
+    """Simulate ``n_replicates`` independent genealogies (``ms n R -T``)."""
+    if n_replicates < 1:
+        raise ValueError("n_replicates must be positive")
+    return [
+        simulate_genealogy(n_tips, theta, rng, tip_names=tip_names)
+        for _ in range(n_replicates)
+    ]
+
+
+def expected_tmrca(n_tips: int, theta: float) -> float:
+    """Expected time to the most recent common ancestor.
+
+    E[TMRCA] = θ · Σ_{k=2}^{n} 1 / (k(k-1)) = θ (1 − 1/n); used by tests to
+    check the simulator against coalescent theory.
+    """
+    if n_tips < 2:
+        raise ValueError("need at least two samples")
+    if theta <= 0:
+        raise ValueError("theta must be positive")
+    return theta * (1.0 - 1.0 / n_tips)
+
+
+def expected_total_branch_length(n_tips: int, theta: float) -> float:
+    """Expected sum of all branch lengths: θ · Σ_{k=1}^{n−1} 1/k."""
+    if n_tips < 2:
+        raise ValueError("need at least two samples")
+    if theta <= 0:
+        raise ValueError("theta must be positive")
+    return theta * float(np.sum(1.0 / np.arange(1, n_tips)))

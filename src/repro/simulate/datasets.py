@@ -1,0 +1,72 @@
+"""End-to-end synthetic dataset generation.
+
+The accuracy experiment of the paper (Section 6.1) chains two external
+tools: ``ms`` simulates a genealogy at a known true θ, and ``seq-gen``
+evolves sequences along it.  :func:`synthesize_dataset` performs the whole
+pipeline with this package's own simulators, returning both the alignment
+(what the samplers see) and the true genealogy (ground truth for tests), so
+every benchmark and example can generate reproducible workloads from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..genealogy.tree import Genealogy
+from ..likelihood.mutation_models import F84, MutationModel
+from ..sequences.alignment import Alignment
+from ..sequences.evolve import evolve_sequences
+from .coalescent_sim import simulate_genealogy
+
+__all__ = ["SyntheticDataset", "synthesize_dataset"]
+
+
+@dataclass(frozen=True)
+class SyntheticDataset:
+    """A simulated population-genetics dataset with known ground truth."""
+
+    alignment: Alignment
+    true_tree: Genealogy
+    true_theta: float
+    n_sites: int
+
+    @property
+    def n_sequences(self) -> int:
+        """Number of sampled sequences."""
+        return self.alignment.n_sequences
+
+
+def synthesize_dataset(
+    n_sequences: int,
+    n_sites: int,
+    true_theta: float,
+    rng: np.random.Generator,
+    *,
+    model: MutationModel | None = None,
+) -> SyntheticDataset:
+    """Simulate a dataset at a known true θ (the paper's ms + seq-gen pipeline).
+
+    Parameters
+    ----------
+    n_sequences:
+        Number of samples (``ms``'s first argument; 12 in the paper).
+    n_sites:
+        Sequence length in base pairs (``seq-gen -l``; 200 in the paper).
+    true_theta:
+        The true population parameter used to scale the simulated genealogy
+        (``seq-gen -s``; 0.5–4.0 in Table 1).
+    rng:
+        NumPy random generator.
+    model:
+        Substitution model; defaults to F84 with uniform base frequencies,
+        matching the paper's ``-mF84``.
+    """
+    if model is None:
+        model = F84()
+    tree = simulate_genealogy(n_sequences, true_theta, rng)
+    alignment = evolve_sequences(tree, n_sites, model, rng, scale=1.0)
+    return SyntheticDataset(
+        alignment=alignment, true_tree=tree, true_theta=true_theta, n_sites=n_sites
+    )

@@ -1,0 +1,150 @@
+"""Discrete Wright-Fisher forward simulator.
+
+Section 2.4 of the paper develops the Wright-Fisher model of genetic drift —
+binomial resampling of 2N allele copies each generation (Eq. 16) — as the
+theoretical foundation the coalescent approximates.  This module implements
+that forward model directly.  It is not on the sampler's critical path, but
+it backs two things:
+
+* property tests that the coalescent simulator's pairwise coalescence times
+  agree with the drift model it approximates, and
+* the allele-frequency-trajectory example (`examples/wright_fisher_drift.py`)
+  that reproduces the textbook behaviour the paper's background describes
+  (fixation/loss of neutral alleles, drift variance ∝ p(1−p)/2N).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WrightFisherPopulation", "simulate_allele_trajectory", "fixation_probability_estimate", "pairwise_coalescence_time"]
+
+
+@dataclass
+class WrightFisherPopulation:
+    """A diploid Wright-Fisher population tracked by allele count.
+
+    Parameters
+    ----------
+    n_individuals:
+        Diploid population size N (so there are 2N allele copies).
+    allele_count:
+        Current number of copies of the focal allele A.
+    """
+
+    n_individuals: int
+    allele_count: int
+
+    def __post_init__(self) -> None:
+        if self.n_individuals < 1:
+            raise ValueError("population size must be positive")
+        if not 0 <= self.allele_count <= 2 * self.n_individuals:
+            raise ValueError("allele count must be between 0 and 2N")
+
+    @property
+    def n_copies(self) -> int:
+        """Total allele copies, 2N."""
+        return 2 * self.n_individuals
+
+    @property
+    def frequency(self) -> float:
+        """Current frequency p of the focal allele."""
+        return self.allele_count / self.n_copies
+
+    @property
+    def fixed(self) -> bool:
+        """True if the focal allele has reached fixation (p = 1)."""
+        return self.allele_count == self.n_copies
+
+    @property
+    def lost(self) -> bool:
+        """True if the focal allele has been lost (p = 0)."""
+        return self.allele_count == 0
+
+    def step(self, rng: np.random.Generator) -> None:
+        """Advance one non-overlapping generation by binomial resampling (Eq. 16)."""
+        self.allele_count = int(rng.binomial(self.n_copies, self.frequency))
+
+    def offspring_distribution(self) -> np.ndarray:
+        """Probability of k copies of A in the next generation, k = 0..2N (Eq. 16)."""
+        from scipy.stats import binom
+
+        k = np.arange(self.n_copies + 1)
+        return binom.pmf(k, self.n_copies, self.frequency)
+
+
+def simulate_allele_trajectory(
+    n_individuals: int,
+    initial_frequency: float,
+    n_generations: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Simulate a neutral allele-frequency trajectory.
+
+    Returns the frequency at each of ``n_generations + 1`` time points
+    (including the start).  The trajectory is absorbed at 0 or 1.
+    """
+    if not 0.0 <= initial_frequency <= 1.0:
+        raise ValueError("initial frequency must lie in [0, 1]")
+    pop = WrightFisherPopulation(
+        n_individuals=n_individuals,
+        allele_count=int(round(initial_frequency * 2 * n_individuals)),
+    )
+    out = np.empty(n_generations + 1)
+    out[0] = pop.frequency
+    for g in range(1, n_generations + 1):
+        if not (pop.fixed or pop.lost):
+            pop.step(rng)
+        out[g] = pop.frequency
+    return out
+
+
+def fixation_probability_estimate(
+    n_individuals: int,
+    initial_frequency: float,
+    n_replicates: int,
+    rng: np.random.Generator,
+    *,
+    max_generations: int | None = None,
+) -> float:
+    """Monte Carlo estimate of the fixation probability of a neutral allele.
+
+    Theory says a neutral allele fixes with probability equal to its initial
+    frequency; the property tests check the estimate against that.
+    """
+    if n_replicates < 1:
+        raise ValueError("n_replicates must be positive")
+    horizon = max_generations if max_generations is not None else 40 * n_individuals
+    fixed = 0
+    for _ in range(n_replicates):
+        pop = WrightFisherPopulation(
+            n_individuals=n_individuals,
+            allele_count=int(round(initial_frequency * 2 * n_individuals)),
+        )
+        for _ in range(horizon):
+            if pop.fixed or pop.lost:
+                break
+            pop.step(rng)
+        if pop.fixed:
+            fixed += 1
+    return fixed / n_replicates
+
+
+def pairwise_coalescence_time(
+    n_individuals: int, rng: np.random.Generator, *, max_generations: int | None = None
+) -> int:
+    """Generations back until two random allele copies share a parent copy.
+
+    Two lineages traced backwards pick parents uniformly among the 2N copies
+    of the previous generation, so they coalesce each generation with
+    probability 1/2N; the waiting time is geometric with mean 2N, which is
+    the discrete quantity the continuous coalescent approximates.
+    """
+    two_n = 2 * n_individuals
+    horizon = max_generations if max_generations is not None else 200 * n_individuals
+    for g in range(1, horizon + 1):
+        if rng.integers(two_n) == rng.integers(two_n):
+            return g
+    return horizon

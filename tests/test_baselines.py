@@ -1,0 +1,157 @@
+"""Tests for the baseline samplers (single-proposal MH and multiple chains)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.lamarc import LamarcSampler
+from repro.baselines.multichain import (
+    MultiChainSampler,
+    gmh_parallel_time,
+    multichain_parallel_time,
+)
+from repro.core.config import SamplerConfig
+from repro.genealogy.upgma import upgma_tree
+from repro.likelihood.engines import VectorizedEngine
+from repro.simulate.coalescent_sim import expected_tmrca, simulate_genealogy
+
+
+@pytest.fixture
+def seed_tree(small_dataset):
+    return upgma_tree(small_dataset.alignment, driving_theta=1.0)
+
+
+def make_engine(small_dataset, uniform_model):
+    return VectorizedEngine(alignment=small_dataset.alignment, model=uniform_model)
+
+
+class TestLamarcSampler:
+    def test_records_requested_samples(self, small_dataset, uniform_model, seed_tree, rng):
+        cfg = SamplerConfig(n_samples=25, burn_in=10)
+        sampler = LamarcSampler(make_engine(small_dataset, uniform_model), 1.0, cfg)
+        result = sampler.run(seed_tree, rng)
+        assert result.n_samples == 25
+        assert result.n_proposal_sets >= 35
+        assert result.n_likelihood_evaluations == result.n_proposal_sets + 1
+
+    def test_acceptance_rate_strictly_between_zero_and_one(
+        self, small_dataset, uniform_model, seed_tree, rng
+    ):
+        cfg = SamplerConfig(n_samples=60, burn_in=10)
+        result = LamarcSampler(make_engine(small_dataset, uniform_model), 1.0, cfg).run(
+            seed_tree, rng
+        )
+        assert 0.0 < result.acceptance_rate <= 1.0
+
+    def test_reproducible_with_seed(self, small_dataset, uniform_model, seed_tree):
+        cfg = SamplerConfig(n_samples=15, burn_in=5)
+        a = LamarcSampler(make_engine(small_dataset, uniform_model), 1.0, cfg).run(
+            seed_tree, np.random.default_rng(9)
+        )
+        b = LamarcSampler(make_engine(small_dataset, uniform_model), 1.0, cfg).run(
+            seed_tree, np.random.default_rng(9)
+        )
+        assert np.allclose(a.interval_matrix, b.interval_matrix)
+
+    def test_requires_three_tips(self, small_dataset, uniform_model, rng):
+        from repro.genealogy.tree import Genealogy
+
+        sampler = LamarcSampler(make_engine(small_dataset, uniform_model), 1.0)
+        with pytest.raises(ValueError):
+            sampler.run(Genealogy.from_times_and_topology([(0, 1)], [0.4]), rng)
+
+    def test_invalid_theta(self, small_dataset, uniform_model):
+        with pytest.raises(ValueError):
+            LamarcSampler(make_engine(small_dataset, uniform_model), 0.0)
+
+    @pytest.mark.slow
+    def test_constant_likelihood_samples_the_prior(self, rng):
+        """With a constant data term the posterior *is* the coalescent prior.
+
+        Driving the single-proposal sampler with :class:`ConstantEngine`
+        makes every acceptance ratio exactly one, so the chain's stationary
+        distribution is the conditional-coalescent proposal's target — the
+        prior P(G | θ).  The sampled mean TMRCA must then match coalescent
+        theory, which is a direct correctness check of the neighbourhood
+        resimulation machinery.
+        """
+        from repro.likelihood.engines import ConstantEngine
+        from repro.likelihood.mutation_models import JukesCantor69
+        from repro.sequences.alignment import Alignment
+
+        n_tips, theta = 6, 1.0
+        aln = Alignment.from_sequences({f"s{i}": "ACGTACGTAC" for i in range(n_tips)})
+        engine = ConstantEngine(alignment=aln, model=JukesCantor69())
+        tree = simulate_genealogy(n_tips, theta, rng, tip_names=aln.names)
+        cfg = SamplerConfig(n_samples=3000, burn_in=500, thin=2)
+        result = LamarcSampler(engine, theta, cfg).run(tree, rng)
+        mean_height = result.trace.heights.mean()
+        assert result.acceptance_rate == pytest.approx(1.0)
+        assert mean_height == pytest.approx(expected_tmrca(n_tips, theta), rel=0.2)
+
+
+class TestMultiChain:
+    def test_pools_samples_across_chains(self, small_dataset, uniform_model, seed_tree, rng):
+        cfg = SamplerConfig(n_samples=20, burn_in=5)
+        sampler = MultiChainSampler(
+            engine_factory=lambda: make_engine(small_dataset, uniform_model),
+            theta=1.0,
+            n_chains=4,
+            config=cfg,
+        )
+        result = sampler.run(seed_tree, rng)
+        assert result.n_samples >= 20
+        assert result.extras["n_chains"] == 4
+        assert len(result.extras["per_chain_steps"]) == 4
+        # Every chain pays its own burn-in: total steps exceed the serial equivalent.
+        assert result.n_proposal_sets > cfg.burn_in + cfg.n_samples
+
+    def test_ideal_parallel_accounting(self, small_dataset, uniform_model, seed_tree, rng):
+        cfg = SamplerConfig(n_samples=20, burn_in=10)
+        sampler = MultiChainSampler(
+            engine_factory=lambda: make_engine(small_dataset, uniform_model),
+            theta=1.0,
+            n_chains=2,
+            config=cfg,
+        )
+        result = sampler.run(seed_tree, rng)
+        assert result.extras["ideal_parallel_steps"] == pytest.approx(10 + 20 / 2)
+        assert result.extras["serial_steps_equivalent"] == 30
+
+    def test_validation(self, small_dataset, uniform_model):
+        with pytest.raises(ValueError):
+            MultiChainSampler(
+                engine_factory=lambda: make_engine(small_dataset, uniform_model),
+                theta=1.0,
+                n_chains=0,
+                config=SamplerConfig(),
+            )
+        with pytest.raises(ValueError):
+            MultiChainSampler(
+                engine_factory=lambda: make_engine(small_dataset, uniform_model),
+                theta=-1.0,
+                n_chains=2,
+                config=SamplerConfig(),
+            )
+
+
+class TestStepCountHelpers:
+    def test_multichain_steps(self):
+        assert multichain_parallel_time(100, 1000, 1) == 1100
+        assert multichain_parallel_time(100, 1000, 10) == 200
+        assert multichain_parallel_time(100, 1000, 10**6) == pytest.approx(100, rel=1e-2)
+
+    def test_gmh_steps(self):
+        assert gmh_parallel_time(100, 1000, 1) == 1100
+        assert gmh_parallel_time(100, 1000, 10) == 110
+
+    def test_gmh_scales_better_than_multichain(self):
+        for p in (2, 8, 64, 512):
+            assert gmh_parallel_time(100, 1000, p) < multichain_parallel_time(100, 1000, p)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multichain_parallel_time(10, 10, 0)
+        with pytest.raises(ValueError):
+            gmh_parallel_time(10, 10, 0)

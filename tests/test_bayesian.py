@@ -1,0 +1,132 @@
+"""Tests for the Bayesian (joint G, θ) sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bayesian import BayesianResult, BayesianSampler, ThetaPrior
+from repro.core.config import SamplerConfig
+from repro.genealogy.upgma import upgma_tree
+from repro.likelihood.engines import BatchedEngine, ConstantEngine
+from repro.likelihood.coalescent_prior import sufficient_stats
+from repro.simulate.coalescent_sim import simulate_genealogy
+
+
+class TestThetaPrior:
+    def test_log_density_shape(self):
+        prior = ThetaPrior(shape=2.0, scale=3.0)
+        # Density ∝ θ^{-3} e^{-3/θ}: mode at scale/(shape+1) = 1.0.
+        assert prior.log_density(1.0) > prior.log_density(0.2)
+        assert prior.log_density(1.0) > prior.log_density(5.0)
+        assert prior.log_density(-1.0) == -np.inf
+
+    def test_mean(self):
+        assert ThetaPrior(shape=3.0, scale=4.0).mean() == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            ThetaPrior(shape=1.0, scale=4.0).mean()
+        with pytest.raises(ValueError):
+            ThetaPrior(shape=-1.0, scale=1.0)
+
+    def test_posterior_parameters_from_tree(self, rng):
+        tree = simulate_genealogy(6, 1.0, rng)
+        stats = sufficient_stats(tree)
+        prior = ThetaPrior(shape=1.5, scale=0.5)
+        shape, scale = prior.posterior_parameters(tree)
+        assert shape == pytest.approx(1.5 + stats.n_events)
+        assert scale == pytest.approx(0.5 + stats.weighted_time)
+
+    def test_gibbs_conditional_matches_inverse_gamma_moments(self, rng):
+        """Draws from θ | G must match the analytic inverse-gamma mean."""
+        tree = simulate_genealogy(8, 1.0, rng)
+        prior = ThetaPrior(shape=2.0, scale=1.0)
+        shape, scale = prior.posterior_parameters(tree)
+        draws = np.array([prior.sample_conditional(tree, rng) for _ in range(4000)])
+        expected_mean = scale / (shape - 1.0)
+        assert draws.mean() == pytest.approx(expected_mean, rel=0.1)
+        assert np.all(draws > 0)
+
+    def test_improper_prior_becomes_proper_given_a_tree(self, rng):
+        """The scale-invariant default prior has zero shape/scale, but one
+        observed genealogy already makes the conditional posterior proper."""
+        tree = simulate_genealogy(3, 1.0, rng)
+        prior = ThetaPrior()
+        shape, scale = prior.posterior_parameters(tree)
+        assert shape > 0 and scale > 0
+        draw = prior.sample_conditional(tree, rng)
+        assert draw > 0
+
+
+def make_sampler(engine, **kwargs):
+    cfg = kwargs.pop("config", SamplerConfig(n_proposals=8, n_samples=60, burn_in=20))
+    return BayesianSampler(engine, config=cfg, **kwargs)
+
+
+class TestBayesianSampler:
+    def test_result_shapes_and_summaries(self, small_dataset, uniform_model, rng):
+        engine = BatchedEngine(alignment=small_dataset.alignment, model=uniform_model)
+        tree = upgma_tree(small_dataset.alignment, 1.0)
+        result = make_sampler(engine, prior=ThetaPrior(shape=2.0, scale=1.0)).run(tree, rng)
+        assert isinstance(result, BayesianResult)
+        assert result.n_samples == 60
+        assert result.chain.n_samples == 60
+        assert result.posterior_mean() > 0
+        lo, hi = result.credible_interval(0.9)
+        assert lo < result.posterior_median() < hi
+        with pytest.raises(ValueError):
+            result.credible_interval(1.5)
+
+    def test_reproducible_with_seed(self, small_dataset, uniform_model):
+        engine = BatchedEngine(alignment=small_dataset.alignment, model=uniform_model)
+        tree = upgma_tree(small_dataset.alignment, 1.0)
+        a = make_sampler(engine).run(tree, np.random.default_rng(11))
+        engine2 = BatchedEngine(alignment=small_dataset.alignment, model=uniform_model)
+        b = make_sampler(engine2).run(tree, np.random.default_rng(11))
+        assert np.allclose(a.theta_samples, b.theta_samples)
+
+    def test_validation(self, small_dataset, uniform_model, rng):
+        engine = BatchedEngine(alignment=small_dataset.alignment, model=uniform_model)
+        with pytest.raises(ValueError):
+            BayesianSampler(engine, initial_theta=0.0)
+        from repro.genealogy.tree import Genealogy
+
+        sampler = make_sampler(engine)
+        with pytest.raises(ValueError):
+            sampler.run(Genealogy.from_times_and_topology([(0, 1)], [0.3]), rng)
+
+    @pytest.mark.slow
+    def test_constant_likelihood_recovers_the_prior(self, rng):
+        """With a constant data term the θ-marginal of the joint posterior is
+        exactly the prior, so the sampled θ mean must match the prior mean —
+        a joint correctness check of the Gibbs update and the genealogy moves.
+        """
+        from repro.likelihood.mutation_models import JukesCantor69
+        from repro.sequences.alignment import Alignment
+
+        n_tips = 6
+        prior = ThetaPrior(shape=4.0, scale=3.0)  # mean 1.0, moderate spread
+        aln = Alignment.from_sequences({f"s{i}": "ACGTACGTAC" for i in range(n_tips)})
+        engine = ConstantEngine(alignment=aln, model=JukesCantor69())
+        tree = simulate_genealogy(n_tips, 1.0, rng, tip_names=aln.names)
+        cfg = SamplerConfig(n_proposals=4, n_samples=1500, burn_in=300, thin=2)
+        result = BayesianSampler(engine, prior=prior, config=cfg, initial_theta=1.0).run(tree, rng)
+        assert result.posterior_mean() == pytest.approx(prior.mean(), rel=0.2)
+
+    @pytest.mark.slow
+    def test_posterior_concentrates_near_truth_on_synthetic_data(self, rng):
+        """On data simulated at θ = 1 the posterior should place the truth
+        inside a wide credible interval and well away from the (far) prior."""
+        from repro.likelihood.mutation_models import Felsenstein81
+        from repro.simulate.datasets import synthesize_dataset
+
+        ds = synthesize_dataset(n_sequences=8, n_sites=200, true_theta=1.0, rng=rng)
+        model = Felsenstein81(ds.alignment.base_frequencies(pseudocount=1.0))
+        engine = BatchedEngine(alignment=ds.alignment, model=model)
+        tree = upgma_tree(ds.alignment, 1.0)
+        cfg = SamplerConfig(n_proposals=16, samples_per_set=1, n_samples=300, burn_in=150)
+        result = BayesianSampler(
+            engine, prior=ThetaPrior(), config=cfg, initial_theta=1.0
+        ).run(tree, rng)
+        lo, hi = result.credible_interval(0.98)
+        assert lo < 1.0 < hi * 3.0
+        assert 0.1 < result.posterior_median() < 5.0

@@ -1,0 +1,100 @@
+"""Tests for the mpcgs command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.sequences.phylip import write_phylip
+from repro.simulate.datasets import synthesize_dataset
+
+
+@pytest.fixture
+def phylip_file(tmp_path, rng):
+    data = synthesize_dataset(n_sequences=6, n_sites=80, true_theta=1.0, rng=rng)
+    path = tmp_path / "seqs.phy"
+    write_phylip(data.alignment, path)
+    return str(path)
+
+
+class TestParser:
+    def test_required_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(["data.phy", "0.5"])
+        assert args.sequence_file == "data.phy"
+        assert args.initial_theta == 0.5
+        assert args.engine == "batched"
+
+    def test_options(self):
+        args = build_parser().parse_args(
+            ["d.phy", "1.0", "--proposals", "8", "--samples", "50", "--engine", "serial",
+             "--model", "F84", "--seed", "3", "--quiet"]
+        )
+        assert args.proposals == 8
+        assert args.samples == 50
+        assert args.engine == "serial"
+        assert args.model == "F84"
+        assert args.quiet
+
+    def test_missing_arguments_exit(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["d.phy", "1.0", "--engine", "gpu"])
+
+
+class TestMain:
+    def test_end_to_end_estimate(self, phylip_file, capsys):
+        rc = main(
+            [
+                phylip_file,
+                "0.5",
+                "--samples", "40",
+                "--burn-in", "10",
+                "--proposals", "4",
+                "--em-iterations", "2",
+                "--seed", "7",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert rc == 0
+        assert "theta estimate:" in captured
+        final = float(captured.strip().splitlines()[-1].split(":")[1])
+        assert final > 0
+
+    def test_quiet_mode_prints_only_estimate(self, phylip_file, capsys):
+        rc = main(
+            [phylip_file, "0.5", "--samples", "20", "--burn-in", "5", "--proposals", "2",
+             "--em-iterations", "1", "--seed", "1", "--quiet"]
+        )
+        out_lines = [ln for ln in capsys.readouterr().out.splitlines() if ln.strip()]
+        assert rc == 0
+        assert len(out_lines) == 1
+        assert out_lines[0].startswith("theta estimate:")
+
+    def test_missing_file_returns_error_code(self, capsys):
+        rc = main(["/nonexistent/file.phy", "1.0"])
+        assert rc == 2
+        assert "error reading" in capsys.readouterr().err
+
+    def test_malformed_file_returns_error_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.phy"
+        bad.write_text("this is not phylip\n")
+        assert main([str(bad), "1.0"]) == 2
+
+    def test_negative_theta_rejected(self, phylip_file):
+        with pytest.raises(SystemExit):
+            main([phylip_file, "-1.0"])
+
+    def test_seed_makes_runs_reproducible(self, phylip_file, capsys):
+        outputs = []
+        for _ in range(2):
+            main(
+                [phylip_file, "0.5", "--samples", "30", "--burn-in", "5", "--proposals", "4",
+                 "--em-iterations", "1", "--seed", "99", "--quiet"]
+            )
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]

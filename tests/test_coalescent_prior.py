@@ -1,0 +1,116 @@
+"""Tests for the Kingman coalescent prior P(G | theta) (Eq. 18)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.likelihood.coalescent_prior import (
+    batched_log_prior,
+    log_coalescent_prior,
+    log_prior_from_intervals,
+    stats_from_intervals,
+    sufficient_stats,
+    waiting_time_density,
+)
+from repro.simulate.coalescent_sim import simulate_genealogy
+
+positive_floats = st.floats(min_value=0.01, max_value=10.0, allow_nan=False)
+
+
+def manual_log_prior(intervals: np.ndarray, theta: float) -> float:
+    """Direct transcription of Eq. 18 for cross-checking."""
+    n = len(intervals) + 1
+    total = (n - 1) * np.log(2.0 / theta)
+    for i, t in enumerate(intervals):
+        k = n - i
+        total -= k * (k - 1) * t / theta
+    return float(total)
+
+
+class TestClosedForm:
+    def test_matches_manual_equation(self, tiny_tree):
+        for theta in (0.3, 1.0, 4.2):
+            expected = manual_log_prior(tiny_tree.interval_representation(), theta)
+            assert log_coalescent_prior(tiny_tree, theta) == pytest.approx(expected)
+
+    def test_intervals_and_tree_agree(self, tiny_tree):
+        intervals = tiny_tree.interval_representation()
+        assert log_prior_from_intervals(intervals, 1.3) == pytest.approx(
+            log_coalescent_prior(tiny_tree, 1.3)
+        )
+
+    def test_sufficient_stats_values(self, tiny_tree):
+        stats = sufficient_stats(tiny_tree)
+        # weighted_time = 4*3*0.1 + 3*2*0.15 + 2*1*0.35 = 1.2 + 0.9 + 0.7
+        assert stats.n_events == 3
+        assert stats.weighted_time == pytest.approx(2.8)
+
+    def test_two_tip_tree(self):
+        # One interval of length t with 2 lineages: log p = log(2/theta) - 2t/theta.
+        intervals = np.array([0.7])
+        theta = 1.5
+        expected = np.log(2.0 / theta) - 2.0 * 0.7 / theta
+        assert log_prior_from_intervals(intervals, theta) == pytest.approx(expected)
+
+    def test_invalid_inputs(self, tiny_tree):
+        with pytest.raises(ValueError):
+            log_coalescent_prior(tiny_tree, 0.0)
+        with pytest.raises(ValueError):
+            log_prior_from_intervals(np.array([-0.1]), 1.0)
+        with pytest.raises(ValueError):
+            stats_from_intervals(np.zeros((2, 2)))
+
+    def test_waiting_time_density_integrates_to_one(self):
+        ts = np.linspace(0, 20, 20001)
+        dens = np.array([waiting_time_density(float(t), k=3, theta=1.0) for t in ts])
+        assert np.trapezoid(dens, ts) == pytest.approx(1.0, abs=1e-4)
+
+    def test_waiting_time_density_validation(self):
+        with pytest.raises(ValueError):
+            waiting_time_density(1.0, k=1, theta=1.0)
+        with pytest.raises(ValueError):
+            waiting_time_density(-1.0, k=2, theta=1.0)
+        with pytest.raises(ValueError):
+            waiting_time_density(1.0, k=2, theta=0.0)
+
+
+class TestThetaDependence:
+    def test_mle_is_weighted_time_over_events(self, rng):
+        # d log P / d theta = 0  =>  theta* = weighted_time / n_events.
+        tree = simulate_genealogy(10, 1.0, rng)
+        stats = sufficient_stats(tree)
+        theta_star = stats.weighted_time / stats.n_events
+        thetas = np.linspace(0.2 * theta_star, 5.0 * theta_star, 801)
+        values = stats.log_prior_many(thetas)
+        assert thetas[np.argmax(values)] == pytest.approx(theta_star, rel=1e-2)
+
+    @given(theta=positive_floats, scale=positive_floats)
+    @settings(max_examples=50)
+    def test_scaling_property(self, theta, scale):
+        # Scaling all intervals by c and theta by c leaves the exponent term
+        # unchanged and shifts the log prior by -(n-1) log c.
+        intervals = np.array([0.2, 0.3, 0.15])
+        base = log_prior_from_intervals(intervals, theta)
+        scaled = log_prior_from_intervals(intervals * scale, theta * scale)
+        assert scaled == pytest.approx(base - 3 * np.log(scale), rel=1e-9, abs=1e-9)
+
+
+class TestBatched:
+    def test_matches_single_evaluations(self, rng):
+        trees = [simulate_genealogy(8, 1.0, rng) for _ in range(5)]
+        mat = np.vstack([t.interval_representation() for t in trees])
+        thetas = np.array([0.5, 1.0, 2.0])
+        batch = batched_log_prior(mat, thetas)
+        assert batch.shape == (5, 3)
+        for i, tree in enumerate(trees):
+            for j, theta in enumerate(thetas):
+                assert batch[i, j] == pytest.approx(log_coalescent_prior(tree, float(theta)))
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            batched_log_prior(np.zeros(3), np.array([1.0]))
+        with pytest.raises(ValueError):
+            batched_log_prior(np.zeros((2, 3)), np.array([0.0]))

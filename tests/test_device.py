@@ -1,0 +1,294 @@
+"""Tests for the simulated device substrate: RNG streams, memory, reductions, cost model, kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.kernels import (
+    DataLikelihoodKernel,
+    PosteriorLikelihoodKernel,
+    ProposalKernel,
+    SimulatedDevice,
+)
+from repro.device.memory import BufferState, PackedSequenceStore, UnifiedBuffer
+from repro.device.perfmodel import AmdahlModel, DeviceModel, DeviceSpec
+from repro.device.reduction import block_reduce, plan_reduction, warp_reduce
+from repro.device.rng import ThreadStreams, host_generator
+from repro.genealogy.upgma import upgma_tree
+from repro.likelihood.coalescent_prior import batched_log_prior
+from repro.likelihood.felsenstein import batched_log_likelihood
+from repro.proposals.neighborhood import eligible_targets
+from repro.sequences.alignment import Alignment
+from repro.simulate.coalescent_sim import simulate_genealogy
+
+
+class TestThreadStreams:
+    def test_streams_are_independent_and_reproducible(self):
+        a = ThreadStreams(4, seed=1)
+        b = ThreadStreams(4, seed=1)
+        for tid in range(4):
+            assert a.generator(tid).random() == b.generator(tid).random()
+        fresh = ThreadStreams(4, seed=1)
+        draws = [fresh.generator(t).random() for t in range(4)]
+        assert len(set(np.round(draws, 12))) == 4  # different threads, different values
+
+    def test_uniforms_shape_and_range(self):
+        streams = ThreadStreams(8, seed=3)
+        u = streams.uniforms(16)
+        assert u.shape == (8, 16)
+        assert np.all((u >= 0) & (u < 1))
+
+    def test_spawn_changes_streams(self):
+        base = ThreadStreams(2, seed=5)
+        spawned = base.spawn(1)
+        assert spawned.generator(0).random() != ThreadStreams(2, seed=5).generator(0).random()
+
+    def test_bounds_checks(self):
+        streams = ThreadStreams(2)
+        with pytest.raises(IndexError):
+            streams.generator(2)
+        with pytest.raises(ValueError):
+            ThreadStreams(0)
+        with pytest.raises(ValueError):
+            streams.uniforms(0)
+
+    def test_host_generator(self):
+        assert host_generator(1).random() == host_generator(1).random()
+
+
+class TestPackedMemory:
+    def test_roundtrip_exact(self, small_dataset):
+        store = PackedSequenceStore(small_dataset.alignment)
+        assert np.array_equal(store.unpack(), small_dataset.alignment.codes)
+
+    def test_single_base_access(self, tiny_alignment):
+        store = PackedSequenceStore(tiny_alignment)
+        for seq in range(tiny_alignment.n_sequences):
+            for site in range(tiny_alignment.n_sites):
+                assert store.base(seq, site) == tiny_alignment.codes[seq, site]
+
+    def test_missing_data_roundtrip(self):
+        aln = Alignment.from_sequences({"a": "ACNT", "b": "NCGT"})
+        store = PackedSequenceStore(aln)
+        assert np.array_equal(store.unpack(), aln.codes)
+        assert store.base(0, 2) == 4
+
+    def test_packing_density(self):
+        # 64 sites fit exactly into two 64-bit words per sequence.
+        aln = Alignment.from_sequences({"a": "ACGT" * 16, "b": "TGCA" * 16})
+        store = PackedSequenceStore(aln)
+        assert store.words_per_sequence == 2
+        assert store.size_bytes == 2 * 2 * 8
+
+    def test_out_of_range_site(self, tiny_alignment):
+        store = PackedSequenceStore(tiny_alignment)
+        with pytest.raises(IndexError):
+            store.base(0, 99)
+
+    @given(st.lists(st.text(alphabet="ACGTN", min_size=70, max_size=70), min_size=2, max_size=4))
+    @settings(max_examples=25)
+    def test_roundtrip_property(self, seqs):
+        aln = Alignment.from_sequences([(f"s{i}", s) for i, s in enumerate(seqs)])
+        assert np.array_equal(PackedSequenceStore(aln).unpack(), aln.codes)
+
+
+class TestUnifiedBuffer:
+    def test_transfer_accounting(self):
+        buf = UnifiedBuffer((4,))
+        assert buf.state is BufferState.CLEAN
+        buf.host_write(np.arange(4.0))
+        assert buf.state is BufferState.HOST_DIRTY
+        np.testing.assert_allclose(buf.device_read(), np.arange(4.0))
+        assert buf.host_to_device_transfers == 1
+        buf.device_write(np.zeros(4))
+        buf.host_read()
+        assert buf.device_to_host_transfers == 1
+        assert buf.total_transfers == 2
+
+    def test_repeated_same_side_reads_do_not_transfer(self):
+        buf = UnifiedBuffer((2,))
+        buf.host_write(np.ones(2))
+        buf.device_read()
+        buf.device_read()
+        assert buf.host_to_device_transfers == 1
+
+
+class TestReductions:
+    def test_warp_reduce_sum_matches_numpy(self, rng):
+        values = rng.random(100)
+        assert np.isclose(warp_reduce(values, "sum").sum(), values.sum())
+
+    def test_warp_reduce_max(self, rng):
+        values = rng.normal(size=77)
+        assert np.isclose(max(warp_reduce(values, "max")), values.max())
+
+    def test_block_reduce_ops(self, rng):
+        values = rng.random(200) + 0.5
+        assert block_reduce(values, "sum") == pytest.approx(values.sum())
+        assert block_reduce(values, "max") == pytest.approx(values.max())
+        assert block_reduce(values, "min") == pytest.approx(values.min())
+        assert block_reduce(values[:20], "prod") == pytest.approx(np.prod(values[:20]))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            warp_reduce(np.arange(4.0), "median")
+        with pytest.raises(ValueError):
+            warp_reduce(np.arange(4.0), "sum", warp_size=3)
+        with pytest.raises(ValueError):
+            plan_reduction(0)
+
+    def test_plan_reduction_counts(self):
+        plan = plan_reduction(100, warp_size=32)
+        assert plan.n_warps == 4
+        assert plan.shuffle_steps_per_warp == 5
+        assert plan.shared_memory_slots == 4
+        assert plan.parallel_steps == 9
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=300))
+    @settings(max_examples=40)
+    def test_warp_reduce_sum_property(self, values):
+        arr = np.array(values)
+        assert np.isclose(sum(warp_reduce(arr, "sum")), arr.sum(), rtol=1e-9, atol=1e-6)
+
+
+class TestAmdahlModel:
+    def test_matches_paper_equation(self):
+        model = AmdahlModel(burn_in=4, n_samples=4)
+        # Fig. 6: with B = N = 4, four chains each do 4 + 1 = 5 steps.
+        assert model.multichain_steps(4) == pytest.approx(5.0)
+        assert model.gmh_steps(4) == pytest.approx(2.0)
+
+    def test_limit_is_burn_in(self):
+        model = AmdahlModel(burn_in=100, n_samples=10_000)
+        assert model.multichain_steps(10**9) == pytest.approx(100, rel=1e-3)
+        assert model.multichain_speedup_limit() == pytest.approx(101.0)
+
+    def test_gmh_speedup_is_ideal_without_serial_fraction(self):
+        model = AmdahlModel(burn_in=50, n_samples=500)
+        ps = np.array([1, 2, 8, 64])
+        assert np.allclose(model.gmh_speedup(ps), ps)
+        assert np.allclose(model.gmh_efficiency(ps), 1.0)
+
+    def test_multichain_efficiency_decays(self):
+        model = AmdahlModel(burn_in=50, n_samples=500)
+        eff = model.multichain_efficiency(np.array([1, 4, 16, 64, 256]))
+        assert np.all(np.diff(eff) < 0)
+
+    def test_serial_fraction_caps_gmh_speedup(self):
+        model = AmdahlModel(burn_in=50, n_samples=500)
+        capped = model.gmh_speedup(10**6, serial_fraction=0.02)
+        assert capped == pytest.approx(50.0, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AmdahlModel(burn_in=-1, n_samples=10)
+        model = AmdahlModel(burn_in=1, n_samples=10)
+        with pytest.raises(ValueError):
+            model.multichain_steps(0)
+        with pytest.raises(ValueError):
+            model.gmh_steps(4, serial_fraction=1.5)
+
+
+class TestDeviceModel:
+    def test_kernel_costs_positive_and_scale_with_work(self):
+        model = DeviceModel()
+        small = model.data_likelihood_kernel(n_sites=100, n_sequences=10)
+        large = model.data_likelihood_kernel(n_sites=10_000, n_sequences=10)
+        assert small.total_time > 0
+        assert large.total_work > small.total_work
+        assert large.parallel_time > small.parallel_time
+
+    def test_projected_speedup_grows_with_sequence_length(self):
+        model = DeviceModel()
+        speedups = [
+            model.projected_speedup(n_proposals=32, n_sites=L, n_sequences=12)
+            for L in (200, 400, 800, 2000)
+        ]
+        assert all(b > a for a, b in zip(speedups, speedups[1:]))
+
+    def test_projected_speedup_saturates_with_device_size(self):
+        small_device = DeviceModel(DeviceSpec(n_processing_elements=64))
+        big_device = DeviceModel(DeviceSpec(n_processing_elements=4096))
+        assert big_device.projected_speedup(32, 1000, 12) > small_device.projected_speedup(
+            32, 1000, 12
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(n_processing_elements=0)
+        with pytest.raises(ValueError):
+            DeviceSpec(warp_size=33)
+        with pytest.raises(ValueError):
+            DeviceSpec(kernel_launch_overhead=-1)
+        model = DeviceModel()
+        with pytest.raises(ValueError):
+            model.data_likelihood_kernel(0, 5)
+        with pytest.raises(ValueError):
+            model.proposal_kernel(0, 100, 5)
+        with pytest.raises(ValueError):
+            model.posterior_likelihood_kernel(0, 3)
+
+
+class TestKernels:
+    def test_data_likelihood_kernel_matches_library(self, small_dataset, uniform_model, rng):
+        device = SimulatedDevice()
+        kernel = DataLikelihoodKernel(device, small_dataset.alignment, uniform_model)
+        trees = [
+            simulate_genealogy(8, 1.0, rng, tip_names=small_dataset.alignment.names)
+            for _ in range(3)
+        ]
+        out = kernel.launch(trees)
+        expected = batched_log_likelihood(trees, small_dataset.alignment, uniform_model)
+        assert np.allclose(out, expected)
+        assert device.n_launches == 3
+        assert device.projected_time > 0
+
+    def test_proposal_kernel_produces_full_set(self, small_dataset, uniform_model):
+        device = SimulatedDevice()
+        kernel = ProposalKernel(
+            device, small_dataset.alignment, uniform_model, theta=1.0, n_proposals=5, seed=2
+        )
+        tree = upgma_tree(small_dataset.alignment, 1.0)
+        target = int(eligible_targets(tree)[0])
+        trees, log_liks = kernel.launch(tree, target)
+        assert len(trees) == 6
+        assert trees[-1] is tree
+        assert log_liks.shape == (6,)
+        assert np.all(np.isfinite(log_liks))
+        assert kernel.result_buffer.state is BufferState.DEVICE_DIRTY
+
+    def test_proposal_kernel_reproducible_by_seed(self, small_dataset, uniform_model):
+        tree = upgma_tree(small_dataset.alignment, 1.0)
+        target = int(eligible_targets(tree)[1])
+        results = []
+        for _ in range(2):
+            device = SimulatedDevice()
+            kernel = ProposalKernel(
+                device, small_dataset.alignment, uniform_model, theta=1.0, n_proposals=4, seed=11
+            )
+            _, log_liks = kernel.launch(tree, target)
+            results.append(log_liks)
+        assert np.allclose(results[0], results[1])
+
+    def test_posterior_kernel_matches_direct_computation(self, rng):
+        device = SimulatedDevice()
+        kernel = PosteriorLikelihoodKernel(device)
+        trees = [simulate_genealogy(6, 1.0, rng) for _ in range(40)]
+        mat = np.vstack([t.interval_representation() for t in trees])
+        thetas = np.array([0.5, 1.0, 2.0])
+        out = kernel.launch(mat, driving_theta=1.0, thetas=thetas)
+        ratios = batched_log_prior(mat, thetas) - batched_log_prior(mat, np.array([1.0]))
+        expected = np.log(np.mean(np.exp(ratios), axis=0))
+        assert np.allclose(out, expected, atol=1e-9)
+        assert device.n_launches == 3
+
+    def test_device_reset(self, small_dataset, uniform_model, rng):
+        device = SimulatedDevice()
+        kernel = DataLikelihoodKernel(device, small_dataset.alignment, uniform_model)
+        kernel.launch([simulate_genealogy(8, 1.0, rng, tip_names=small_dataset.alignment.names)])
+        device.reset()
+        assert device.n_launches == 0
+        assert device.projected_time == 0.0

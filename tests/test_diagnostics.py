@@ -1,0 +1,204 @@
+"""Tests for diagnostics: convergence statistics, accuracy metrics, Markov-chain utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.diagnostics.accuracy import pearson_correlation, summarize_replicates
+from repro.diagnostics.convergence import (
+    autocorrelation,
+    detect_burn_in,
+    effective_sample_size,
+    gelman_rubin,
+    integrated_autocorrelation_time,
+    running_mean,
+)
+from repro.diagnostics.markov import DiscreteMarkovChain, weather_chain
+from repro.diagnostics.traces import ChainTrace
+
+
+class TestConvergence:
+    def test_autocorrelation_lag_zero_is_one(self, rng):
+        x = rng.normal(size=500)
+        rho = autocorrelation(x, max_lag=20)
+        assert rho[0] == pytest.approx(1.0)
+        assert rho.shape == (21,)
+
+    def test_iid_series_has_negligible_autocorrelation(self, rng):
+        x = rng.normal(size=5000)
+        rho = autocorrelation(x, max_lag=5)
+        assert np.all(np.abs(rho[1:]) < 0.05)
+
+    def test_ar1_series_has_known_autocorrelation(self, rng):
+        phi = 0.8
+        x = np.empty(20000)
+        x[0] = 0.0
+        noise = rng.normal(size=20000)
+        for i in range(1, x.size):
+            x[i] = phi * x[i - 1] + noise[i]
+        rho = autocorrelation(x, max_lag=3)
+        assert rho[1] == pytest.approx(phi, abs=0.05)
+        assert rho[2] == pytest.approx(phi**2, abs=0.05)
+
+    def test_constant_series(self):
+        rho = autocorrelation(np.ones(50), max_lag=5)
+        assert rho[0] == 1.0
+        assert np.all(rho[1:] == 0.0)
+
+    def test_integrated_autocorrelation_time_iid_is_about_one(self, rng):
+        x = rng.normal(size=5000)
+        assert integrated_autocorrelation_time(x) == pytest.approx(1.0, abs=0.3)
+
+    def test_effective_sample_size_correlated_less_than_n(self, rng):
+        phi = 0.9
+        x = np.empty(5000)
+        x[0] = 0.0
+        noise = rng.normal(size=5000)
+        for i in range(1, x.size):
+            x[i] = phi * x[i - 1] + noise[i]
+        ess = effective_sample_size(x)
+        assert ess < 0.5 * x.size
+        assert ess > 1
+
+    def test_gelman_rubin_same_distribution_near_one(self, rng):
+        chains = [rng.normal(size=2000) for _ in range(4)]
+        assert gelman_rubin(chains) == pytest.approx(1.0, abs=0.05)
+
+    def test_gelman_rubin_detects_disagreement(self, rng):
+        chains = [rng.normal(size=500), rng.normal(loc=10.0, size=500)]
+        assert gelman_rubin(chains) > 2.0
+
+    def test_gelman_rubin_needs_two_chains(self, rng):
+        with pytest.raises(ValueError):
+            gelman_rubin([rng.normal(size=100)])
+
+    def test_detect_burn_in_finds_transient(self, rng):
+        transient = np.linspace(10.0, 0.0, 200)
+        stationary = rng.normal(size=1800)
+        series = np.concatenate([transient, stationary])
+        cut = detect_burn_in(series)
+        assert 100 <= cut <= 500
+
+    def test_detect_burn_in_zero_for_stationary_series(self, rng):
+        assert detect_burn_in(rng.normal(size=1000)) == 0
+
+    def test_running_mean(self):
+        out = running_mean(np.array([1.0, 3.0, 5.0]))
+        assert np.allclose(out, [1.0, 2.0, 3.0])
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.array([1.0]))
+        with pytest.raises(ValueError):
+            detect_burn_in(np.arange(5.0))
+
+
+class TestAccuracyMetrics:
+    def test_pearson_perfect_correlation(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_pearson_matches_numpy(self, rng):
+        x, y = rng.normal(size=50), rng.normal(size=50)
+        assert pearson_correlation(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+    def test_pearson_validation(self):
+        with pytest.raises(ValueError):
+            pearson_correlation(np.ones(3), np.arange(3.0))
+        with pytest.raises(ValueError):
+            pearson_correlation(np.arange(3.0), np.arange(4.0))
+
+    def test_summarize_replicates(self):
+        summary = summarize_replicates(np.array([1.0, 1.2, 0.8]))
+        assert summary.mean == pytest.approx(1.0)
+        assert summary.std == pytest.approx(np.std([1.0, 1.2, 0.8], ddof=1))
+        assert summary.n_replicates == 3
+
+    def test_summarize_single_replicate(self):
+        summary = summarize_replicates(np.array([2.0]))
+        assert summary.std == 0.0
+
+
+class TestChainTrace:
+    def test_record_and_matrices(self):
+        trace = ChainTrace(n_intervals=3)
+        trace.record(np.array([0.1, 0.2, 0.3]), -10.0, 0.6)
+        trace.record(np.array([0.2, 0.2, 0.2]), -11.0, 0.6)
+        assert len(trace) == 2
+        assert trace.interval_matrix.shape == (2, 3)
+        assert np.allclose(trace.log_likelihoods, [-10.0, -11.0])
+
+    def test_empty_trace_matrix_shape(self):
+        assert ChainTrace(n_intervals=4).interval_matrix.shape == (0, 4)
+
+    def test_shape_mismatch_rejected(self):
+        trace = ChainTrace(n_intervals=3)
+        with pytest.raises(ValueError):
+            trace.record(np.array([0.1, 0.2]), -1.0, 0.3)
+
+
+class TestMarkovChain:
+    def test_weather_chain_stationary_matches_paper(self):
+        """Section 2.3 quotes (25.1 %, 23.6 %, 51.1 %) for sunny/rainy/cloudy."""
+        chain = weather_chain()
+        pi = chain.stationary_distribution()
+        assert pi[0] == pytest.approx(0.251, abs=0.002)
+        assert pi[1] == pytest.approx(0.236, abs=0.002)
+        assert pi[2] == pytest.approx(0.511, abs=0.002)
+
+    def test_weather_chain_converges_within_six_days(self):
+        chain = weather_chain()
+        pi = chain.stationary_distribution()
+        for start in range(3):
+            initial = np.zeros(3)
+            initial[start] = 1.0
+            after_six = chain.evolve(initial, 6)
+            assert np.allclose(after_six, pi, atol=2e-3)
+
+    def test_ergodicity_checks(self):
+        chain = weather_chain()
+        assert chain.is_irreducible()
+        assert chain.is_aperiodic()
+        assert chain.is_ergodic()
+
+    def test_periodic_chain_detected(self):
+        flip = DiscreteMarkovChain(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        assert flip.is_irreducible()
+        assert not chain_is_aperiodic(flip)
+
+    def test_reducible_chain_detected(self):
+        stuck = DiscreteMarkovChain(np.array([[1.0, 0.0], [0.5, 0.5]]))
+        assert not stuck.is_irreducible()
+        with pytest.raises(ValueError):
+            stuck.stationary_distribution()
+
+    def test_stationary_is_fixed_point(self):
+        chain = weather_chain()
+        pi = chain.stationary_distribution()
+        assert np.allclose(pi @ chain.transition_matrix, pi)
+
+    def test_simulated_trajectory_frequencies(self, rng):
+        chain = weather_chain()
+        states = chain.simulate(0, 30000, rng)
+        freqs = np.bincount(states, minlength=3) / states.size
+        assert np.allclose(freqs, chain.stationary_distribution(), atol=0.02)
+
+    def test_detailed_balance_for_reversible_chain(self):
+        p = np.array([[0.5, 0.5], [0.25, 0.75]])
+        chain = DiscreteMarkovChain(p)
+        pi = chain.stationary_distribution()
+        assert chain.satisfies_detailed_balance(pi)
+
+    def test_matrix_validation(self):
+        with pytest.raises(ValueError):
+            DiscreteMarkovChain(np.array([[0.5, 0.6], [0.5, 0.5]]))
+        with pytest.raises(ValueError):
+            DiscreteMarkovChain(np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]]))
+        with pytest.raises(ValueError):
+            DiscreteMarkovChain(np.eye(2), state_names=("only-one",))
+
+
+def chain_is_aperiodic(chain: DiscreteMarkovChain) -> bool:
+    return chain.is_aperiodic()

@@ -1,0 +1,118 @@
+"""Tests for the relative likelihood curve and theta maximization (Eq. 26, Algorithm 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import EstimatorConfig
+from repro.core.estimator import RelativeLikelihood, maximize_theta
+from repro.likelihood.coalescent_prior import PooledThetaLikelihood
+from repro.simulate.coalescent_sim import simulate_genealogy
+
+
+@pytest.fixture
+def prior_samples(rng):
+    """Interval matrix of genealogies simulated directly from the prior at theta=1.5."""
+    trees = [simulate_genealogy(8, 1.5, rng) for _ in range(800)]
+    return np.vstack([t.interval_representation() for t in trees])
+
+
+class TestRelativeLikelihood:
+    def test_log_curve_is_zero_at_driving_theta(self, prior_samples):
+        rl = RelativeLikelihood(prior_samples, driving_theta=1.5)
+        assert rl.log_likelihood(1.5) == pytest.approx(0.0, abs=1e-12)
+        assert rl.curve(np.array([1.5]))[0] == pytest.approx(1.0)
+
+    def test_curve_shape_matches_thetas(self, prior_samples):
+        rl = RelativeLikelihood(prior_samples, driving_theta=1.5)
+        thetas = np.linspace(0.3, 4.0, 25)
+        curve = rl.log_curve(thetas)
+        assert curve.shape == (25,)
+        assert np.all(np.isfinite(curve))
+
+    def test_relative_curve_is_one_in_expectation(self, prior_samples):
+        """For genealogies drawn from the *prior* at θ₀ the importance ratio
+        P(G|θ)/P(G|θ₀) integrates to one for every θ, so the empirical curve
+        should hover near log L = 0 for θ close to the driving value (further
+        away the estimator's variance explodes, which is exactly why the EM
+        loop of the paper re-drives the chain at each new estimate)."""
+        rl = RelativeLikelihood(prior_samples, driving_theta=1.5)
+        nearby = rl.log_curve(np.array([1.2, 1.35, 1.5, 1.65, 1.8]))
+        assert np.all(np.abs(nearby) < 0.25)
+
+    def test_pooled_curve_peaks_at_generating_theta(self, prior_samples):
+        """The pooled (direct) likelihood of prior-simulated genealogies is a
+        consistent estimator: its grid maximizer lands near the true θ = 1.5
+        and at the closed-form MLE."""
+        pooled = PooledThetaLikelihood(prior_samples)
+        thetas = np.linspace(0.3, 5.0, 300)
+        peak = thetas[np.argmax(pooled.log_curve(thetas))]
+        assert peak == pytest.approx(1.5, rel=0.2)
+        assert peak == pytest.approx(pooled.analytic_mle(), rel=0.05)
+
+    def test_n_samples_property(self, prior_samples):
+        rl = RelativeLikelihood(prior_samples, driving_theta=1.0)
+        assert rl.n_samples == prior_samples.shape[0]
+
+    def test_input_validation(self, prior_samples):
+        with pytest.raises(ValueError):
+            RelativeLikelihood(prior_samples, driving_theta=0.0)
+        with pytest.raises(ValueError):
+            RelativeLikelihood(np.zeros((0, 7)), driving_theta=1.0)
+        with pytest.raises(ValueError):
+            RelativeLikelihood(np.zeros(7), driving_theta=1.0)
+
+
+class TestMaximizeTheta:
+    def test_recovers_generating_theta_from_prior_samples(self, prior_samples):
+        """Gradient ascent on the pooled likelihood recovers the generating θ
+        (and agrees with the closed-form MLE), validating Algorithm 2."""
+        pooled = PooledThetaLikelihood(prior_samples)
+        estimate = maximize_theta(pooled, theta0=1.5)
+        assert estimate.theta == pytest.approx(1.5, rel=0.2)
+        assert estimate.theta == pytest.approx(pooled.analytic_mle(), rel=0.02)
+        assert estimate.converged
+
+    def test_climbs_from_distant_start(self, prior_samples):
+        rl = RelativeLikelihood(prior_samples, driving_theta=1.5)
+        from_below = maximize_theta(rl, theta0=0.2)
+        from_above = maximize_theta(rl, theta0=6.0)
+        assert from_below.theta == pytest.approx(from_above.theta, rel=0.05)
+        assert from_below.log_relative_likelihood >= rl.log_likelihood(0.2)
+
+    def test_analytic_single_sample_maximum(self):
+        """With one genealogy the likelihood peak is weighted_time / n_events."""
+        intervals = np.array([[0.3, 0.2, 0.1]])
+        n = 4
+        lineages = n - np.arange(3)
+        theta_star = float(np.sum(lineages * (lineages - 1) * intervals[0]) / 3)
+        rl = RelativeLikelihood(intervals, driving_theta=1.0)
+        estimate = maximize_theta(rl, theta0=0.5)
+        assert estimate.theta == pytest.approx(theta_star, rel=1e-2)
+
+    def test_estimate_stays_positive(self, prior_samples):
+        rl = RelativeLikelihood(prior_samples, driving_theta=1.5)
+        estimate = maximize_theta(rl, theta0=0.01)
+        assert estimate.theta > 0
+
+    def test_invalid_start(self, prior_samples):
+        rl = RelativeLikelihood(prior_samples, driving_theta=1.5)
+        with pytest.raises(ValueError):
+            maximize_theta(rl, theta0=0.0)
+
+    def test_iteration_budget_respected(self, prior_samples):
+        rl = RelativeLikelihood(prior_samples, driving_theta=1.5)
+        cfg = EstimatorConfig(max_iterations=3)
+        estimate = maximize_theta(rl, theta0=0.1, config=cfg)
+        assert estimate.n_iterations <= 3
+
+    def test_estimator_config_validation(self):
+        with pytest.raises(ValueError):
+            EstimatorConfig(gradient_delta=0.0)
+        with pytest.raises(ValueError):
+            EstimatorConfig(convergence_tol=-1.0)
+        with pytest.raises(ValueError):
+            EstimatorConfig(max_iterations=0)
+        with pytest.raises(ValueError):
+            EstimatorConfig(max_step_halvings=0)

@@ -1,0 +1,95 @@
+"""Tests for FASTA alignment I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequences.alignment import Alignment
+from repro.sequences.fasta import dumps_fasta, loads_fasta, read_fasta, write_fasta
+
+
+class TestParsing:
+    def test_basic_records(self):
+        aln = loads_fasta(">a\nACGT\n>b\nACGA\n")
+        assert aln.names == ("a", "b")
+        assert aln.sequence("a") == "ACGT"
+        assert aln.sequence("b") == "ACGA"
+
+    def test_wrapped_sequence_lines(self):
+        aln = loads_fasta(">a\nAC\nGT\n>b\nACGA\n")
+        assert aln.sequence("a") == "ACGT"
+
+    def test_header_description_dropped(self):
+        aln = loads_fasta(">sample1 Homo sapiens chr1\nACGT\n>sample2 other\nACGA\n")
+        assert aln.names == ("sample1", "sample2")
+
+    def test_blank_lines_tolerated(self):
+        aln = loads_fasta("\n>a\nACGT\n\n>b\nACGA\n\n")
+        assert aln.n_sequences == 2
+
+    def test_ambiguity_codes_become_missing(self):
+        aln = loads_fasta(">a\nACGN\n>b\nACG-\n")
+        assert aln.sequence("a") == "ACGN"
+        assert aln.sequence("b") == "ACGN"
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError, match="no FASTA records"):
+            loads_fasta("")
+
+    def test_data_before_header_rejected(self):
+        with pytest.raises(ValueError, match="before any"):
+            loads_fasta("ACGT\n>a\nACGT\n")
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(ValueError, match="empty FASTA header"):
+            loads_fasta(">\nACGT\n")
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(ValueError, match="no sequence data"):
+            loads_fasta(">a\n>b\nACGT\n")
+
+    def test_ragged_lengths_rejected(self):
+        with pytest.raises(ValueError, match="differing lengths"):
+            loads_fasta(">a\nACGT\n>b\nACG\n")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            loads_fasta(">a\nACGT\n>a\nACGA\n")
+
+
+class TestSerialization:
+    def test_roundtrip(self, tiny_alignment):
+        back = loads_fasta(dumps_fasta(tiny_alignment))
+        assert back.names == tiny_alignment.names
+        assert np.array_equal(back.codes, tiny_alignment.codes)
+
+    def test_line_wrapping(self):
+        aln = Alignment.from_sequences({"a": "A" * 100, "b": "C" * 100})
+        text = dumps_fasta(aln, width=30)
+        body_lines = [ln for ln in text.splitlines() if not ln.startswith(">")]
+        assert max(len(ln) for ln in body_lines) == 30
+        assert loads_fasta(text).sequence("a") == "A" * 100
+
+    def test_invalid_width(self, tiny_alignment):
+        with pytest.raises(ValueError):
+            dumps_fasta(tiny_alignment, width=0)
+
+    def test_file_roundtrip(self, tiny_alignment, tmp_path):
+        path = tmp_path / "aln.fasta"
+        write_fasta(tiny_alignment, path)
+        back = read_fasta(path)
+        assert back.names == tiny_alignment.names
+        assert np.array_equal(back.codes, tiny_alignment.codes)
+
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 8), sites=st.integers(1, 60))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, seed, n, sites):
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, 5, size=(n, sites)).astype(np.int8)
+        aln = Alignment.from_codes([f"s{i}" for i in range(n)], codes)
+        back = loads_fasta(dumps_fasta(aln, width=17))
+        assert back.names == aln.names
+        assert np.array_equal(back.codes, aln.codes)

@@ -1,0 +1,161 @@
+"""Tests for the Felsenstein pruning data likelihood P(D | G)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.genealogy.tree import Genealogy
+from repro.likelihood.felsenstein import (
+    batched_log_likelihood,
+    log_likelihood,
+    log_likelihood_reference,
+    site_log_likelihoods,
+    tip_partials,
+)
+from repro.likelihood.mutation_models import F84, Felsenstein81, JukesCantor69
+from repro.sequences.alignment import Alignment
+from repro.sequences.evolve import evolve_sequences
+from repro.simulate.coalescent_sim import simulate_genealogy
+
+
+def two_tip_tree(height: float) -> Genealogy:
+    return Genealogy.from_times_and_topology([(0, 1)], [height], tip_names=("a", "b"))
+
+
+class TestHandComputedCases:
+    def test_two_identical_tips_jc69(self):
+        """Two identical one-base sequences under JC69: exact closed form."""
+        tree = two_tip_tree(0.4)
+        aln = Alignment.from_sequences({"a": "A", "b": "A"})
+        model = JukesCantor69()
+        # L = sum_X pi_X P_XA(t) P_XA(t) with t = 0.4 per branch.
+        p = model.transition_matrix(0.4)
+        expected = float(np.sum(0.25 * p[:, 0] * p[:, 0]))
+        got = log_likelihood_reference(tree, aln, model)
+        assert got == pytest.approx(np.log(expected))
+
+    def test_two_different_tips_jc69(self):
+        tree = two_tip_tree(0.4)
+        aln = Alignment.from_sequences({"a": "A", "b": "G"})
+        model = JukesCantor69()
+        p = model.transition_matrix(0.4)
+        expected = float(np.sum(0.25 * p[:, 0] * p[:, 2]))
+        assert log_likelihood_reference(tree, aln, model) == pytest.approx(np.log(expected))
+
+    def test_likelihood_of_identical_exceeds_different(self):
+        tree = two_tip_tree(0.1)
+        model = JukesCantor69()
+        same = log_likelihood(tree, Alignment.from_sequences({"a": "A", "b": "A"}), model)
+        diff = log_likelihood(tree, Alignment.from_sequences({"a": "A", "b": "T"}), model)
+        assert same > diff
+
+    def test_sites_are_independent(self):
+        tree = two_tip_tree(0.3)
+        model = Felsenstein81()
+        aln_ab = Alignment.from_sequences({"a": "AG", "b": "AT"})
+        aln_a = Alignment.from_sequences({"a": "A", "b": "A"})
+        aln_b = Alignment.from_sequences({"a": "G", "b": "T"})
+        total = log_likelihood(tree, aln_ab, model)
+        assert total == pytest.approx(
+            log_likelihood(tree, aln_a, model) + log_likelihood(tree, aln_b, model)
+        )
+
+    def test_missing_data_is_marginalized(self):
+        # A column of all-missing data contributes likelihood 1 (log 0).
+        tree = two_tip_tree(0.3)
+        model = JukesCantor69()
+        with_n = Alignment.from_sequences({"a": "AN", "b": "AN"})
+        without = Alignment.from_sequences({"a": "A", "b": "A"})
+        assert log_likelihood(tree, with_n, model) == pytest.approx(
+            log_likelihood(tree, without, model)
+        )
+
+    def test_tip_partials_one_hot_and_missing(self):
+        codes = np.array([[0, 4], [3, 2]], dtype=np.int8)
+        partials = tip_partials(codes)
+        assert np.allclose(partials[0, 0], [1, 0, 0, 0])
+        assert np.allclose(partials[0, 1], [1, 1, 1, 1])
+        assert np.allclose(partials[1, 0], [0, 0, 0, 1])
+
+
+class TestImplementationAgreement:
+    @pytest.mark.parametrize("n_tips,n_sites", [(4, 30), (8, 50), (12, 20)])
+    def test_reference_vectorized_batched_agree(self, rng, n_tips, n_sites):
+        model = F84(np.array([0.3, 0.2, 0.25, 0.25]), kappa_f84=2.0)
+        tree = simulate_genealogy(n_tips, 1.0, rng)
+        aln = evolve_sequences(tree, n_sites, model, rng)
+        ref = log_likelihood_reference(tree, aln, model)
+        vec = log_likelihood(tree, aln, model)
+        vec_nopat = log_likelihood(tree, aln, model, use_patterns=False)
+        bat = batched_log_likelihood([tree], aln, model)[0]
+        assert vec == pytest.approx(ref, rel=1e-9)
+        assert vec_nopat == pytest.approx(ref, rel=1e-9)
+        assert bat == pytest.approx(ref, rel=1e-9)
+
+    def test_batched_many_distinct_trees(self, rng, small_dataset, uniform_model):
+        trees = [simulate_genealogy(8, 1.0, rng, tip_names=small_dataset.alignment.names) for _ in range(6)]
+        batch = batched_log_likelihood(trees, small_dataset.alignment, uniform_model)
+        singles = [log_likelihood(t, small_dataset.alignment, uniform_model) for t in trees]
+        assert np.allclose(batch, singles, rtol=1e-9)
+
+    def test_site_log_likelihoods_sum_to_total(self, rng, small_dataset, uniform_model):
+        tree = simulate_genealogy(8, 1.0, rng, tip_names=small_dataset.alignment.names)
+        per_site = site_log_likelihoods(tree, small_dataset.alignment, uniform_model)
+        assert per_site.shape == (small_dataset.alignment.n_sites,)
+        assert per_site.sum() == pytest.approx(
+            log_likelihood(tree, small_dataset.alignment, uniform_model)
+        )
+
+    def test_batched_requires_matching_tips(self, rng, small_dataset, uniform_model):
+        wrong = simulate_genealogy(5, 1.0, rng)
+        with pytest.raises(ValueError):
+            batched_log_likelihood([wrong], small_dataset.alignment, uniform_model)
+
+    def test_batched_empty_input(self, small_dataset, uniform_model):
+        assert batched_log_likelihood([], small_dataset.alignment, uniform_model).size == 0
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=20, deadline=None)
+    def test_agreement_property(self, seed):
+        rng = np.random.default_rng(seed)
+        model = Felsenstein81(np.array([0.2, 0.3, 0.3, 0.2]))
+        tree = simulate_genealogy(5, 0.8, rng)
+        aln = evolve_sequences(tree, 15, model, rng)
+        assert log_likelihood(tree, aln, model) == pytest.approx(
+            log_likelihood_reference(tree, aln, model), rel=1e-9
+        )
+
+
+class TestNumericalBehaviour:
+    def test_no_underflow_on_long_sequences(self, rng, uniform_model):
+        tree = simulate_genealogy(10, 1.0, rng)
+        aln = evolve_sequences(tree, 3000, uniform_model, rng)
+        value = log_likelihood(tree, aln, uniform_model)
+        assert np.isfinite(value)
+        assert value < 0
+
+    def test_likelihood_prefers_generating_scale(self, rng, uniform_model):
+        """Trees rescaled far from the generating scale score worse."""
+        tree = simulate_genealogy(8, 1.0, rng)
+        aln = evolve_sequences(tree, 300, uniform_model, rng)
+        base = log_likelihood(tree, aln, uniform_model)
+        stretched = tree.copy()
+        stretched.times *= 30.0
+        shrunk = tree.copy()
+        shrunk.times *= 1.0 / 30.0
+        assert base > log_likelihood(stretched, aln, uniform_model)
+        assert base > log_likelihood(shrunk, aln, uniform_model)
+
+    def test_true_tree_beats_random_tree_on_average(self, rng, uniform_model):
+        hits = 0
+        for seed in range(5):
+            local = np.random.default_rng(seed)
+            tree = simulate_genealogy(8, 1.0, local)
+            aln = evolve_sequences(tree, 400, uniform_model, local)
+            other = simulate_genealogy(8, 1.0, local, tip_names=tree.tip_names)
+            if log_likelihood(tree, aln, uniform_model) > log_likelihood(other, aln, uniform_model):
+                hits += 1
+        assert hits >= 4

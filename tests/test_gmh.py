@@ -1,0 +1,118 @@
+"""Tests for the Generalized Metropolis-Hastings machinery (Section 4.1, 4.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gmh import GeneralizedMetropolisHastings, ProposalSet
+from repro.genealogy.upgma import upgma_tree
+from repro.likelihood.engines import BatchedEngine
+from repro.proposals.neighborhood import NeighborhoodResimulator
+
+
+@pytest.fixture
+def gmh(small_dataset, uniform_model):
+    engine = BatchedEngine(alignment=small_dataset.alignment, model=uniform_model)
+    return GeneralizedMetropolisHastings(
+        engine=engine,
+        resimulator=NeighborhoodResimulator(1.0),
+        n_proposals=6,
+    )
+
+
+@pytest.fixture
+def seed_tree(small_dataset):
+    return upgma_tree(small_dataset.alignment, driving_theta=1.0)
+
+
+class TestProposalSet:
+    def test_set_size_and_generator_position(self, gmh, seed_tree, rng):
+        pset = gmh.build_proposal_set(seed_tree, None, rng)
+        assert pset.size == 7  # N proposals + the current state
+        assert pset.generator_index == 6
+        assert pset.trees[pset.generator_index] is seed_tree
+
+    def test_weights_normalized_and_proportional_to_likelihood(self, gmh, seed_tree, rng):
+        pset = gmh.build_proposal_set(seed_tree, None, rng)
+        probs = np.exp(pset.log_weights)
+        assert probs.sum() == pytest.approx(1.0)
+        # Weights must be a monotone transform of the data likelihoods (Eq. 31).
+        order_w = np.argsort(pset.log_weights)
+        order_l = np.argsort(pset.log_data_likelihoods)
+        assert np.array_equal(order_w, order_l)
+
+    def test_supplied_current_likelihood_is_reused(self, gmh, seed_tree, rng):
+        current_ll = gmh.engine.evaluate(seed_tree)
+        gmh.engine.reset_counters()
+        pset = gmh.build_proposal_set(seed_tree, current_ll, rng)
+        # Only the N proposals should have been evaluated, not the generator.
+        assert gmh.engine.n_evaluations == gmh.n_proposals
+        assert pset.log_data_likelihoods[pset.generator_index] == pytest.approx(current_ll)
+
+    def test_all_proposals_share_the_target_neighbourhood(self, gmh, seed_tree, rng):
+        pset = gmh.build_proposal_set(seed_tree, None, rng)
+        target, parent = pset.target, int(seed_tree.parent[pset.target])
+        for tree in pset.trees[:-1]:
+            for node in seed_tree.internal_nodes():
+                if node not in (target, parent):
+                    assert tree.times[node] == pytest.approx(seed_tree.times[node])
+
+    def test_explicit_target_respected(self, gmh, seed_tree, rng):
+        from repro.proposals.neighborhood import eligible_targets
+
+        target = int(eligible_targets(seed_tree)[0])
+        pset = gmh.build_proposal_set(seed_tree, None, rng, target=target)
+        assert pset.target == target
+
+
+class TestIndexSampling:
+    def test_sample_index_distribution_matches_weights(self, rng):
+        logw = np.log(np.array([0.7, 0.2, 0.1]))
+        pset = ProposalSet(
+            trees=(None, None, None),  # type: ignore[arg-type]
+            log_data_likelihoods=logw.copy(),
+            log_weights=logw,
+            target=0,
+            generator_index=2,
+        )
+        draws = np.array([pset.sample_index(rng) for _ in range(6000)])
+        freqs = np.bincount(draws, minlength=3) / draws.size
+        assert np.allclose(freqs, [0.7, 0.2, 0.1], atol=0.03)
+
+    def test_degenerate_weights_always_pick_the_peak(self, rng):
+        logw = np.array([0.0, -500.0, -500.0])
+        logw = logw - np.log(np.sum(np.exp(logw - logw.max()))) - logw.max()
+        pset = ProposalSet(
+            trees=(None, None, None),  # type: ignore[arg-type]
+            log_data_likelihoods=logw.copy(),
+            log_weights=np.log(np.array([1.0, 1e-300, 1e-300])),
+            target=0,
+            generator_index=0,
+        )
+        assert all(pset.sample_index(rng) == 0 for _ in range(50))
+
+
+class TestIterate:
+    def test_iterate_returns_requested_draws(self, gmh, seed_tree, rng):
+        pset, draws = gmh.iterate(seed_tree, None, 5, rng)
+        assert len(draws) == 5
+        assert all(0 <= d < pset.size for d in draws)
+
+    def test_iterate_rejects_zero_draws(self, gmh, seed_tree, rng):
+        with pytest.raises(ValueError):
+            gmh.iterate(seed_tree, None, 0, rng)
+
+    def test_n_proposals_validation(self, gmh):
+        with pytest.raises(ValueError):
+            GeneralizedMetropolisHastings(
+                engine=gmh.engine, resimulator=gmh.resimulator, n_proposals=0
+            )
+
+    def test_single_proposal_reduces_to_two_candidates(self, small_dataset, uniform_model, seed_tree, rng):
+        engine = BatchedEngine(alignment=small_dataset.alignment, model=uniform_model)
+        single = GeneralizedMetropolisHastings(
+            engine=engine, resimulator=NeighborhoodResimulator(1.0), n_proposals=1
+        )
+        pset, _ = single.iterate(seed_tree, None, 1, rng)
+        assert pset.size == 2

@@ -1,0 +1,182 @@
+"""Tests for log-space arithmetic (underflow avoidance, Section 5.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.likelihood.logspace import (
+    LOG_ZERO,
+    LogAccumulator,
+    log_add,
+    log_cumsum,
+    log_mean,
+    log_normalize,
+    log_sub,
+    log_sum,
+    log_weighted_mean,
+    safe_exp,
+    safe_log,
+)
+
+finite_logs = st.floats(min_value=-600.0, max_value=600.0, allow_nan=False)
+
+
+class TestScalarOps:
+    def test_log_add_matches_direct(self):
+        assert log_add(np.log(2.0), np.log(3.0)) == pytest.approx(np.log(5.0))
+
+    def test_log_add_with_log_zero_identity(self):
+        assert log_add(LOG_ZERO, np.log(4.0)) == pytest.approx(np.log(4.0))
+        assert log_add(np.log(4.0), LOG_ZERO) == pytest.approx(np.log(4.0))
+
+    def test_log_add_extreme_magnitudes_no_overflow(self):
+        # exp(800) overflows a double; the log-space sum must not.
+        result = log_add(800.0, 800.0)
+        assert result == pytest.approx(800.0 + np.log(2.0))
+
+    def test_log_add_vastly_different_magnitudes(self):
+        assert log_add(0.0, -800.0) == pytest.approx(0.0)
+
+    def test_log_sub_matches_direct(self):
+        assert log_sub(np.log(5.0), np.log(3.0)) == pytest.approx(np.log(2.0))
+
+    def test_log_sub_equal_returns_log_zero(self):
+        assert log_sub(1.5, 1.5) == LOG_ZERO
+
+    def test_log_sub_rejects_negative_result(self):
+        with pytest.raises(ValueError):
+            log_sub(np.log(2.0), np.log(3.0))
+
+    @given(a=finite_logs, b=finite_logs)
+    @settings(max_examples=100)
+    def test_log_add_commutative(self, a, b):
+        assert log_add(a, b) == pytest.approx(log_add(b, a))
+
+    @given(a=finite_logs, b=finite_logs)
+    @settings(max_examples=100)
+    def test_log_add_greater_than_either_operand(self, a, b):
+        # log(x + y) >= max(log x, log y) for positive x, y.
+        assert log_add(a, b) >= max(a, b) - 1e-12
+
+    @given(a=finite_logs, b=finite_logs)
+    @settings(max_examples=100)
+    def test_add_then_sub_roundtrip(self, a, b):
+        # The roundtrip loses precision when the operands differ by many
+        # orders of magnitude (x + y == x in double precision), so only
+        # comparable magnitudes are checked.
+        if abs(a - b) > 20:
+            return
+        total = log_add(a, b)
+        assert log_sub(total, b) == pytest.approx(a, abs=1e-6)
+
+
+class TestReductions:
+    def test_log_sum_matches_numpy(self):
+        values = np.array([0.1, 0.5, 2.0, 7.0])
+        assert log_sum(np.log(values)) == pytest.approx(np.log(values.sum()))
+
+    def test_log_sum_empty_is_log_zero(self):
+        assert log_sum(np.array([])) == LOG_ZERO
+
+    def test_log_sum_all_log_zero(self):
+        assert log_sum(np.full(5, LOG_ZERO)) == LOG_ZERO
+
+    def test_log_sum_axis(self):
+        arr = np.log(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        out = log_sum(arr, axis=1)
+        assert out == pytest.approx(np.log([3.0, 7.0]))
+
+    def test_log_mean(self):
+        values = np.array([1.0, 3.0])
+        assert log_mean(np.log(values)) == pytest.approx(np.log(2.0))
+
+    def test_log_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            log_mean(np.array([]))
+
+    def test_log_weighted_mean(self):
+        values = np.array([2.0, 4.0])
+        weights = np.array([1.0, 3.0])
+        expected = np.log((2.0 * 1.0 + 4.0 * 3.0) / 4.0)
+        assert log_weighted_mean(np.log(values), np.log(weights)) == pytest.approx(expected)
+
+    def test_log_weighted_mean_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            log_weighted_mean(np.zeros(3), np.zeros(2))
+
+    def test_log_normalize_sums_to_one(self):
+        logs = np.log(np.array([0.2, 0.5, 0.3])) + 123.0  # arbitrary offset
+        normalized = log_normalize(logs)
+        assert np.exp(normalized).sum() == pytest.approx(1.0)
+
+    def test_log_normalize_all_zero_raises(self):
+        with pytest.raises(ValueError):
+            log_normalize(np.full(3, LOG_ZERO))
+
+    def test_log_cumsum_monotone_and_final_total(self):
+        values = np.array([0.5, 1.0, 0.25, 2.0])
+        cum = log_cumsum(np.log(values))
+        assert np.all(np.diff(cum) >= 0)
+        assert cum[-1] == pytest.approx(np.log(values.sum()))
+
+    @given(st.lists(st.floats(min_value=1e-3, max_value=1e3), min_size=1, max_size=30))
+    @settings(max_examples=100)
+    def test_log_sum_property(self, values):
+        arr = np.array(values)
+        assert log_sum(np.log(arr)) == pytest.approx(np.log(arr.sum()), rel=1e-9)
+
+
+class TestSafeFunctions:
+    def test_safe_log_zero(self):
+        assert safe_log(0.0) == LOG_ZERO
+
+    def test_safe_log_negative_raises(self):
+        with pytest.raises(ValueError):
+            safe_log(-1.0)
+
+    def test_safe_log_array(self):
+        out = safe_log(np.array([0.0, 1.0, np.e]))
+        assert out[0] == LOG_ZERO
+        assert out[1] == pytest.approx(0.0)
+        assert out[2] == pytest.approx(1.0)
+
+    def test_safe_exp_underflow_clamps_to_zero(self):
+        assert safe_exp(-1e6) == 0.0
+
+    def test_safe_exp_overflow_is_inf(self):
+        assert safe_exp(1e6) == np.inf
+
+    def test_safe_exp_roundtrip(self):
+        assert safe_exp(safe_log(3.5)) == pytest.approx(3.5)
+
+
+class TestLogAccumulator:
+    def test_streaming_matches_batch(self):
+        rng = np.random.default_rng(0)
+        logs = rng.normal(size=50)
+        acc = LogAccumulator()
+        for v in logs:
+            acc.add(float(v))
+        assert acc.count == 50
+        assert acc.log_sum == pytest.approx(log_sum(logs))
+        assert acc.log_mean == pytest.approx(log_mean(logs))
+
+    def test_add_many_matches_add(self):
+        logs = np.linspace(-5, 5, 20)
+        a, b = LogAccumulator(), LogAccumulator()
+        for v in logs:
+            a.add(float(v))
+        b.add_many(logs)
+        assert a.log_sum == pytest.approx(b.log_sum)
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            _ = LogAccumulator().log_mean
+
+    def test_add_many_empty_is_noop(self):
+        acc = LogAccumulator()
+        acc.add_many(np.array([]))
+        assert acc.count == 0

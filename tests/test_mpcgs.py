@@ -1,0 +1,85 @@
+"""Tests for the top-level MPCGS driver (the Fig. 11 program flow)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import MPCGSConfig, SamplerConfig
+from repro.core.mpcgs import MPCGS
+
+
+@pytest.fixture
+def quick_config():
+    return MPCGSConfig(
+        sampler=SamplerConfig(n_proposals=6, n_samples=60, burn_in=20),
+        n_em_iterations=3,
+    )
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = MPCGSConfig()
+        assert cfg.likelihood_engine == "batched"
+        assert cfg.n_em_iterations >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MPCGSConfig(n_em_iterations=0)
+        with pytest.raises(ValueError):
+            MPCGSConfig(theta_convergence_tol=0.0)
+
+
+class TestDriver:
+    def test_initial_tree_is_valid_and_scaled(self, small_dataset):
+        driver = MPCGS(small_dataset.alignment)
+        small = driver.initial_tree(0.2)
+        large = driver.initial_tree(2.0)
+        small.validate()
+        large.validate()
+        assert large.tree_height() == pytest.approx(10.0 * small.tree_height())
+
+    def test_run_produces_positive_theta_and_history(self, small_dataset, quick_config, rng):
+        driver = MPCGS(small_dataset.alignment, quick_config)
+        result = driver.run(theta0=0.3, rng=rng)
+        assert result.theta > 0
+        assert 1 <= len(result.iterations) <= quick_config.n_em_iterations
+        assert result.theta_trajectory[0] == pytest.approx(0.3)
+        assert result.theta_trajectory[-1] == pytest.approx(result.theta)
+        assert result.total_samples == sum(it.chain.n_samples for it in result.iterations)
+        assert result.total_likelihood_evaluations > 0
+        assert result.wall_time_seconds > 0
+
+    def test_em_iterations_improve_towards_truth(self, small_dataset, quick_config, rng):
+        """Starting from a driving value far below the truth, successive EM
+        iterations must move the estimate upward (the likelihood-curve
+        mechanism of Fig. 5)."""
+        driver = MPCGS(small_dataset.alignment, quick_config)
+        result = driver.run(theta0=0.05, rng=rng)
+        trajectory = result.theta_trajectory
+        assert trajectory[-1] > trajectory[0]
+        assert trajectory[1] > trajectory[0]
+
+    def test_invalid_theta0(self, small_dataset, quick_config, rng):
+        driver = MPCGS(small_dataset.alignment, quick_config)
+        with pytest.raises(ValueError):
+            driver.run(theta0=0.0, rng=rng)
+
+    def test_explicit_initial_tree_used(self, small_dataset, quick_config, rng):
+        from repro.simulate.coalescent_sim import simulate_genealogy
+
+        driver = MPCGS(small_dataset.alignment, quick_config)
+        tree = simulate_genealogy(
+            small_dataset.alignment.n_sequences, 1.0, rng, tip_names=small_dataset.alignment.names
+        )
+        result = driver.run(theta0=0.5, rng=rng, initial_tree=tree)
+        assert result.theta > 0
+
+    def test_serial_engine_configuration(self, small_dataset, rng):
+        cfg = MPCGSConfig(
+            sampler=SamplerConfig(n_proposals=2, n_samples=10, burn_in=2),
+            n_em_iterations=1,
+            likelihood_engine="vectorized",
+        )
+        result = MPCGS(small_dataset.alignment, cfg).run(theta0=0.5, rng=rng)
+        assert result.theta > 0

@@ -1,0 +1,195 @@
+"""Tests for nucleotide substitution models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.likelihood.mutation_models import (
+    F84,
+    GTR,
+    HKY85,
+    MODEL_NAMES,
+    Felsenstein81,
+    JukesCantor69,
+    Kimura80,
+    make_model,
+    stationary_check,
+)
+
+ALL_MODELS = [
+    Felsenstein81(),
+    Felsenstein81(np.array([0.1, 0.2, 0.3, 0.4])),
+    JukesCantor69(),
+    Kimura80(kappa=3.0),
+    F84(np.array([0.3, 0.2, 0.2, 0.3]), kappa_f84=1.5),
+    HKY85(np.array([0.25, 0.3, 0.15, 0.3]), kappa=4.0),
+    GTR(
+        np.array([0.2, 0.3, 0.3, 0.2]),
+        exchangeabilities=np.array([1.0, 4.0, 0.7, 0.9, 3.5, 1.2]),
+    ),
+]
+
+branch_lengths = st.floats(min_value=1e-6, max_value=50.0, allow_nan=False)
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+class TestCommonProperties:
+    def test_rows_sum_to_one(self, model):
+        p = model.transition_matrix(0.37)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_probabilities_in_unit_interval(self, model):
+        p = model.transition_matrix(2.3)
+        assert np.all(p >= 0.0) and np.all(p <= 1.0)
+
+    def test_zero_time_is_identity(self, model):
+        assert np.allclose(model.transition_matrix(0.0), np.eye(4), atol=1e-10)
+
+    def test_long_time_reaches_stationary(self, model):
+        p = model.transition_matrix(500.0)
+        for row in p:
+            assert np.allclose(row, model.base_frequencies, atol=1e-6)
+
+    def test_stationary_distribution_preserved(self, model):
+        assert stationary_check(model)
+
+    def test_batched_matches_scalar(self, model):
+        times = np.array([0.0, 0.01, 0.3, 1.7, 9.0])
+        batch = model.transition_matrices(times)
+        for i, t in enumerate(times):
+            assert np.allclose(batch[i], model.transition_matrix(float(t)), atol=1e-12)
+
+    def test_negative_time_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.transition_matrix(-0.1)
+
+    def test_chapman_kolmogorov(self, model):
+        # P(s + t) == P(s) P(t) for a homogeneous Markov process.
+        p_s = model.transition_matrix(0.4)
+        p_t = model.transition_matrix(0.9)
+        p_st = model.transition_matrix(1.3)
+        assert np.allclose(p_s @ p_t, p_st, atol=1e-8)
+
+    def test_detailed_balance(self, model):
+        # Reversibility: pi_x P_xy(t) == pi_y P_yx(t).
+        p = model.transition_matrix(0.8)
+        pi = np.asarray(model.base_frequencies)
+        flux = pi[:, None] * p
+        assert np.allclose(flux, flux.T, atol=1e-8)
+
+
+class TestSpecificModels:
+    def test_jc69_closed_form(self):
+        t = 0.6
+        p = JukesCantor69().transition_matrix(t)
+        same = 0.25 + 0.75 * np.exp(-4.0 * t / 3.0)
+        diff = 0.25 - 0.25 * np.exp(-4.0 * t / 3.0)
+        assert p[0, 0] == pytest.approx(same)
+        assert p[0, 1] == pytest.approx(diff)
+
+    def test_f81_with_uniform_frequencies_equals_jc69(self):
+        f81 = Felsenstein81()
+        jc = JukesCantor69()
+        assert np.allclose(f81.transition_matrix(0.8), jc.transition_matrix(0.8), atol=1e-10)
+
+    def test_f81_matches_paper_equation_form(self):
+        # Eq. 20: P_XY(t) = e^{-ut} delta + (1 - e^{-ut}) pi_Y (with u the
+        # normalized event rate).
+        freqs = np.array([0.1, 0.4, 0.2, 0.3])
+        model = Felsenstein81(freqs)
+        t = 0.9
+        u = 1.0 / (1.0 - np.sum(freqs**2))
+        expected = np.exp(-u * t) * np.eye(4) + (1 - np.exp(-u * t)) * freqs[None, :]
+        assert np.allclose(model.transition_matrix(t), expected)
+
+    def test_k80_transitions_exceed_transversions(self):
+        p = Kimura80(kappa=5.0).transition_matrix(0.3)
+        # A->G is a transition, A->C a transversion.
+        assert p[0, 2] > p[0, 1]
+
+    def test_k80_kappa_one_close_to_jc(self):
+        p_k80 = Kimura80(kappa=1.0).transition_matrix(0.5)
+        p_jc = JukesCantor69().transition_matrix(0.5)
+        assert np.allclose(p_k80, p_jc, atol=1e-10)
+
+    def test_hky_reduces_to_k80_with_uniform_frequencies(self):
+        p_hky = HKY85(kappa=3.0).transition_matrix(0.7)
+        p_k80 = Kimura80(kappa=3.0).transition_matrix(0.7)
+        assert np.allclose(p_hky, p_k80, atol=1e-8)
+
+    def test_f84_transition_bias(self):
+        model = F84(kappa_f84=4.0)
+        p = model.transition_matrix(0.2)
+        assert p[0, 2] > p[0, 1]  # A->G (transition) more likely than A->C
+
+    def test_gtr_with_unit_exchangeabilities_reduces_to_f81(self):
+        freqs = np.array([0.2, 0.3, 0.1, 0.4])
+        p_gtr = GTR(freqs).transition_matrix(0.7)
+        p_f81 = Felsenstein81(freqs).transition_matrix(0.7)
+        assert np.allclose(p_gtr, p_f81, atol=1e-8)
+
+    def test_gtr_reduces_to_hky(self):
+        freqs = np.array([0.25, 0.3, 0.15, 0.3])
+        kappa = 4.0
+        # HKY is GTR with transitions (AG, CT) boosted by kappa.
+        exch = np.array([1.0, kappa, 1.0, 1.0, kappa, 1.0])
+        p_gtr = GTR(freqs, exch).transition_matrix(0.9)
+        p_hky = HKY85(freqs, kappa=kappa).transition_matrix(0.9)
+        assert np.allclose(p_gtr, p_hky, atol=1e-8)
+
+    def test_gtr_validation(self):
+        with pytest.raises(ValueError):
+            GTR(exchangeabilities=np.ones(5))
+        with pytest.raises(ValueError):
+            GTR(exchangeabilities=np.array([1.0, 1.0, 0.0, 1.0, 1.0, 1.0]))
+
+    def test_f84_zero_kappa_reduces_to_f81(self):
+        freqs = np.array([0.2, 0.3, 0.1, 0.4])
+        p_f84 = F84(freqs, kappa_f84=0.0).transition_matrix(0.6)
+        p_f81 = Felsenstein81(freqs).transition_matrix(0.6)
+        assert np.allclose(p_f84, p_f81, atol=1e-8)
+
+    def test_branch_length_is_expected_substitutions(self):
+        # At branch length t the expected number of substitutions should be t:
+        # sum_x pi_x (1 - P_xx(t)) ~= t for small t.
+        for model in ALL_MODELS:
+            t = 1e-4
+            p = model.transition_matrix(t)
+            pi = np.asarray(model.base_frequencies)
+            expected_subs = float(np.sum(pi * (1.0 - np.diag(p))))
+            assert expected_subs == pytest.approx(t, rel=1e-2)
+
+    @given(t=branch_lengths)
+    @settings(max_examples=50)
+    def test_rows_sum_to_one_property(self, t):
+        model = HKY85(np.array([0.15, 0.35, 0.25, 0.25]), kappa=2.5)
+        assert np.allclose(model.transition_matrix(t).sum(axis=1), 1.0)
+
+
+class TestFactory:
+    def test_make_model_names(self):
+        for name in MODEL_NAMES:
+            model = make_model(name, base_frequencies=np.array([0.25, 0.25, 0.25, 0.25]))
+            assert np.allclose(model.transition_matrix(0.0), np.eye(4), atol=1e-10)
+
+    def test_make_model_case_insensitive(self):
+        assert isinstance(make_model("jc69"), JukesCantor69)
+
+    def test_make_model_unknown(self):
+        with pytest.raises(ValueError, match="unknown mutation model"):
+            make_model("GTR-gamma")
+
+    def test_invalid_frequencies_rejected(self):
+        with pytest.raises(ValueError):
+            Felsenstein81(np.array([0.5, 0.5, 0.0, 0.0]))
+        with pytest.raises(ValueError):
+            HKY85(np.array([0.2, 0.2, 0.2]))
+
+    def test_invalid_kappa_rejected(self):
+        with pytest.raises(ValueError):
+            Kimura80(kappa=0.0)
+        with pytest.raises(ValueError):
+            F84(kappa_f84=-1.0)

@@ -1,0 +1,100 @@
+"""Tests for Newick serialization and parsing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.genealogy.newick import from_newick, to_newick
+from repro.simulate.coalescent_sim import simulate_genealogy
+
+
+class TestSerialization:
+    def test_contains_all_tip_names(self, tiny_tree):
+        text = to_newick(tiny_tree)
+        for name in tiny_tree.tip_names:
+            assert name in text
+        assert text.endswith(";")
+
+    def test_branch_lengths_present(self, tiny_tree):
+        text = to_newick(tiny_tree, precision=3)
+        assert ":0.100" in text
+        assert ":0.350" in text
+
+
+class TestRoundTrip:
+    def test_tiny_tree_roundtrip(self, tiny_tree):
+        back = from_newick(to_newick(tiny_tree, precision=10))
+        assert back.topology_key() == tiny_tree.topology_key()
+        assert back.tree_height() == pytest.approx(tiny_tree.tree_height(), rel=1e-6)
+
+    def test_roundtrip_preserves_intervals(self, rng):
+        tree = simulate_genealogy(10, 1.5, rng)
+        back = from_newick(to_newick(tree, precision=12), tip_names=tree.tip_names)
+        assert np.allclose(
+            back.interval_representation(), tree.interval_representation(), rtol=1e-6
+        )
+
+    def test_tip_name_reordering(self, tiny_tree):
+        shuffled = ("delta", "gamma", "beta", "alpha")
+        back = from_newick(to_newick(tiny_tree, precision=10), tip_names=shuffled)
+        assert back.tip_names == shuffled
+        assert back.topology_key() == tiny_tree.topology_key()
+
+    @given(n_tips=st.integers(min_value=3, max_value=15), seed=st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_simulated_roundtrip_property(self, n_tips, seed):
+        tree = simulate_genealogy(n_tips, 1.0, np.random.default_rng(seed))
+        back = from_newick(to_newick(tree, precision=12), tip_names=tree.tip_names)
+        back.validate()
+        assert back.topology_key() == tree.topology_key()
+
+
+class TestParsing:
+    def test_simple_two_tip_tree(self):
+        tree = from_newick("(a:1.0,b:1.0);")
+        assert tree.n_tips == 2
+        assert tree.tree_height() == pytest.approx(1.0)
+
+    def test_nested_tree(self):
+        tree = from_newick("((a:0.5,b:0.5):0.5,c:1.0);")
+        assert tree.n_tips == 3
+        assert sorted(tree.tip_names) == ["a", "b", "c"]
+
+    def test_whitespace_tolerated(self):
+        tree = from_newick(" ( a:0.5 , b:0.5 ) ; ")
+        assert tree.n_tips == 2
+
+    def test_missing_branch_length_rejected(self):
+        with pytest.raises(ValueError, match="branch length"):
+            from_newick("(a,b);")
+
+    def test_negative_branch_length_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            from_newick("(a:-1.0,b:1.0);")
+
+    def test_non_ultrametric_rejected(self):
+        with pytest.raises(ValueError, match="ultrametric"):
+            from_newick("(a:1.0,b:5.0);")
+
+    def test_multifurcation_rejected(self):
+        with pytest.raises(ValueError):
+            from_newick("(a:1.0,b:1.0,c:1.0);")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ValueError, match="trailing"):
+            from_newick("(a:1.0,b:1.0);extra")
+
+    def test_mismatched_tip_names_rejected(self, tiny_tree):
+        with pytest.raises(ValueError, match="labels"):
+            from_newick(to_newick(tiny_tree), tip_names=("w", "x", "y", "z"))
+
+    def test_single_tip_rejected(self):
+        with pytest.raises(ValueError):
+            from_newick("a:1.0;")
+
+    def test_unbalanced_parenthesis_rejected(self):
+        with pytest.raises(ValueError):
+            from_newick("((a:1.0,b:1.0):1.0;")

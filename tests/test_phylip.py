@@ -1,0 +1,110 @@
+"""Tests for PHYLIP reading and writing."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequences.alignment import Alignment
+from repro.sequences.phylip import dumps, loads, read_phylip, write_phylip
+
+
+class TestRoundTrip:
+    def test_dumps_then_loads(self, tiny_alignment):
+        text = dumps(tiny_alignment)
+        back = loads(text)
+        assert back.names == tiny_alignment.names
+        for name, seq in tiny_alignment:
+            assert back.sequence(name) == seq
+
+    def test_file_roundtrip(self, tiny_alignment, tmp_path):
+        path = tmp_path / "data.phy"
+        write_phylip(tiny_alignment, path)
+        back = read_phylip(path)
+        assert back.names == tiny_alignment.names
+        assert back.n_sites == tiny_alignment.n_sites
+
+    def test_filelike_roundtrip(self, tiny_alignment):
+        buf = io.StringIO()
+        write_phylip(tiny_alignment, buf)
+        buf.seek(0)
+        back = read_phylip(buf)
+        assert back.sequence("alpha") == tiny_alignment.sequence("alpha")
+
+    def test_header_format(self, tiny_alignment):
+        first_line = dumps(tiny_alignment).splitlines()[0].split()
+        assert first_line == ["4", "8"]
+
+    def test_long_names_truncated_to_ten(self):
+        aln = Alignment.from_sequences({"averylongname_x": "ACGT", "b": "ACGT"})
+        text = dumps(aln)
+        back = loads(text)
+        assert back.names[0] == "averylongn"
+
+    @given(
+        st.lists(st.text(alphabet="ACGT", min_size=6, max_size=6), min_size=2, max_size=6)
+    )
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, seqs):
+        names = [f"seq{i}" for i in range(len(seqs))]
+        aln = Alignment.from_sequences(list(zip(names, seqs)))
+        back = loads(dumps(aln))
+        for name, seq in zip(names, seqs):
+            assert back.sequence(name) == seq
+
+
+class TestParsingVariants:
+    def test_strict_fixed_width_names(self):
+        text = " 2 5\nsample_one" + "ACGTA\n" + "sample_twoTTTTT\n"
+        aln = loads(text)
+        assert aln.names == ("sample_one", "sample_two")
+        assert aln.sequence("sample_two") == "TTTTT"
+
+    def test_relaxed_whitespace_names(self):
+        text = "2 4\na ACGT\nlonger_name TTTT\n"
+        aln = loads(text)
+        assert aln.names == ("a", "longer_name")
+
+    def test_sequence_with_spaces(self):
+        text = "2 8\nfirst     ACGT ACGT\nsecond    TTTT TTTT\n"
+        aln = loads(text)
+        assert aln.sequence("first") == "ACGTACGT"
+
+    def test_interleaved_continuation_blocks(self):
+        text = "2 8\nalpha     ACGT\nbeta      TTTT\n\nACGT\nCCCC\n"
+        aln = loads(text)
+        assert aln.sequence("alpha") == "ACGTACGT"
+        assert aln.sequence("beta") == "TTTTCCCC"
+
+    def test_blank_leading_lines_ignored(self):
+        text = "\n\n 2 4\nx         ACGT\ny         TTTT\n"
+        assert loads(text).n_sequences == 2
+
+
+class TestErrors:
+    def test_empty_input(self):
+        with pytest.raises(ValueError, match="empty"):
+            loads("")
+
+    def test_bad_header(self):
+        with pytest.raises(ValueError, match="header"):
+            loads("not a header\nACGT\n")
+
+    def test_header_without_counts(self):
+        with pytest.raises(ValueError, match="header"):
+            loads("2\nx ACGT\ny ACGT\n")
+
+    def test_missing_sequences(self):
+        with pytest.raises(ValueError, match="only"):
+            loads("3 4\nx ACGT\ny ACGT\n")
+
+    def test_wrong_length(self):
+        with pytest.raises(ValueError, match="header promised"):
+            loads("2 5\nx ACGT\ny ACGT\n")
+
+    def test_header_but_no_data(self):
+        with pytest.raises(ValueError, match="no sequence data"):
+            loads("2 4\n\n\n")

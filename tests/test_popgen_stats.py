@@ -1,0 +1,171 @@
+"""Tests for the classical population-genetics summary statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequences.alignment import Alignment
+from repro.sequences.popgen_stats import (
+    PopGenSummary,
+    expected_neutral_sfs,
+    folded_site_frequency_spectrum,
+    nucleotide_diversity,
+    pairwise_mismatch_distribution,
+    segregating_sites,
+    site_frequency_spectrum,
+    summarize_alignment,
+    tajimas_d,
+    watterson_theta,
+)
+from repro.simulate.datasets import synthesize_dataset
+
+
+@pytest.fixture
+def hand_alignment() -> Alignment:
+    """Four sequences, six sites, two segregating sites with known counts.
+
+    Site 2: one G among three A (singleton).  Site 5: two T / two C (doubleton).
+    """
+    return Alignment.from_sequences(
+        {
+            "a": "ACAGTC",
+            "b": "ACAGTC",
+            "c": "ACGGTT",
+            "d": "ACAGTT",
+        }
+    )
+
+
+class TestCounts:
+    def test_segregating_sites(self, hand_alignment):
+        assert segregating_sites(hand_alignment) == 2
+
+    def test_unfolded_sfs(self, hand_alignment):
+        sfs = site_frequency_spectrum(hand_alignment)
+        # one singleton (the lone G), one doubleton (the T/C split)
+        assert sfs.tolist() == [1, 1, 0]
+
+    def test_folded_sfs(self, hand_alignment):
+        folded = folded_site_frequency_spectrum(hand_alignment)
+        assert folded.tolist() == [1, 1]
+
+    def test_sfs_total_matches_segregating_sites(self, hand_alignment):
+        assert site_frequency_spectrum(hand_alignment).sum() == segregating_sites(hand_alignment)
+
+    def test_monomorphic_alignment_is_all_zero(self):
+        aln = Alignment.from_sequences({"a": "ACGT", "b": "ACGT", "c": "ACGT"})
+        assert segregating_sites(aln) == 0
+        assert site_frequency_spectrum(aln).sum() == 0
+        assert tajimas_d(aln) == 0.0
+
+    def test_missing_data_ignored(self):
+        aln = Alignment.from_sequences({"a": "ANGT", "b": "ACGT", "c": "ACGT"})
+        # The N column has no variation among observed bases.
+        assert segregating_sites(aln) == 0
+
+
+class TestEstimators:
+    def test_watterson_matches_alignment_method(self, hand_alignment):
+        per_site = watterson_theta(hand_alignment)
+        assert per_site == pytest.approx(hand_alignment.watterson_theta())
+        per_locus = watterson_theta(hand_alignment, per_site=False)
+        assert per_locus == pytest.approx(per_site * hand_alignment.n_sites)
+
+    def test_pi_hand_computed(self, hand_alignment):
+        # Pairwise differences: ab=0, ac=2, ad=1, bc=2, bd=1, cd=1 -> mean 7/6.
+        pi_locus = nucleotide_diversity(hand_alignment, per_site=False)
+        assert pi_locus == pytest.approx(7.0 / 6.0)
+        assert nucleotide_diversity(hand_alignment) == pytest.approx(7.0 / 36.0)
+
+    def test_mismatch_distribution(self, hand_alignment):
+        hist = pairwise_mismatch_distribution(hand_alignment)
+        # differences: [0, 2, 1, 2, 1, 1] -> one pair at 0, three at 1, two at 2
+        assert hist.tolist() == [1, 3, 2]
+        assert hist.sum() == 6
+
+    def test_expected_neutral_sfs_shape_and_values(self):
+        sfs = expected_neutral_sfs(5, theta_per_locus=2.0)
+        assert sfs.shape == (4,)
+        assert np.allclose(sfs, [2.0, 1.0, 2.0 / 3.0, 0.5])
+
+    def test_expected_neutral_sfs_validation(self):
+        with pytest.raises(ValueError):
+            expected_neutral_sfs(1, 1.0)
+        with pytest.raises(ValueError):
+            expected_neutral_sfs(5, -1.0)
+
+    def test_tajimas_d_sign_convention(self, rng):
+        """An excess of singletons (every variant private to one sequence)
+        drives D negative; an excess of intermediate-frequency variants
+        drives it positive."""
+        n, L = 10, 60
+        base = list("ACGT" * (L // 4))
+        # Singleton-heavy alignment: each of 12 variable sites mutated in one sequence.
+        rows = [base.copy() for _ in range(n)]
+        for s in range(12):
+            rows[s % n][s] = "T" if base[s] != "T" else "A"
+        singleton_heavy = Alignment.from_sequences(
+            {f"s{i}": "".join(r) for i, r in enumerate(rows)}
+        )
+        # Balanced alignment: 12 sites split half/half between two bases.
+        rows = [base.copy() for _ in range(n)]
+        for s in range(12):
+            for i in range(n // 2):
+                rows[i][s] = "T" if base[s] != "T" else "A"
+        balanced = Alignment.from_sequences({f"s{i}": "".join(r) for i, r in enumerate(rows)})
+        assert tajimas_d(singleton_heavy) < 0
+        assert tajimas_d(balanced) > 0
+        assert tajimas_d(singleton_heavy) < tajimas_d(balanced)
+
+
+class TestAgainstSimulation:
+    def test_estimators_track_true_theta(self, rng):
+        """Watterson's θ and π from simulated data should straddle the truth
+        (both are unbiased for the per-site θ used by the simulator)."""
+        theta = 0.1
+        thetas_w, thetas_pi = [], []
+        for _ in range(15):
+            ds = synthesize_dataset(n_sequences=10, n_sites=200, true_theta=theta, rng=rng)
+            thetas_w.append(watterson_theta(ds.alignment))
+            thetas_pi.append(nucleotide_diversity(ds.alignment))
+        # Finite-sites mutation saturates somewhat below the infinite-sites
+        # expectation, so accept a generous band around the truth.
+        assert 0.45 * theta < np.mean(thetas_w) < 1.3 * theta
+        assert 0.45 * theta < np.mean(thetas_pi) < 1.3 * theta
+
+    def test_summary_consistency(self, small_dataset):
+        summary = summarize_alignment(small_dataset.alignment)
+        assert isinstance(summary, PopGenSummary)
+        assert summary.n_sequences == small_dataset.alignment.n_sequences
+        assert summary.n_sites == small_dataset.alignment.n_sites
+        assert summary.segregating_sites == small_dataset.alignment.segregating_sites()
+        assert summary.sfs.sum() == summary.segregating_sites
+        assert summary.watterson_theta_per_site == pytest.approx(
+            watterson_theta(small_dataset.alignment)
+        )
+        d = summary.as_dict()
+        assert d["segregating_sites"] == summary.segregating_sites
+        assert d["sfs"] == summary.sfs.tolist()
+
+
+class TestProperties:
+    @given(seed=st.integers(0, 10_000), n=st.integers(4, 12), sites=st.integers(20, 80))
+    @settings(max_examples=25, deadline=None)
+    def test_invariants_hold_for_random_alignments(self, seed, n, sites):
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, 4, size=(n, sites)).astype(np.int8)
+        aln = Alignment.from_codes([f"s{i}" for i in range(n)], codes)
+        s = segregating_sites(aln)
+        sfs = site_frequency_spectrum(aln)
+        folded = folded_site_frequency_spectrum(aln)
+        assert sfs.shape == (n - 1,)
+        assert folded.shape == (n // 2,)
+        assert sfs.sum() == s
+        assert folded.sum() == s
+        assert 0 <= s <= sites
+        assert nucleotide_diversity(aln, per_site=False) <= sites
+        assert watterson_theta(aln) >= 0.0
+        assert np.isfinite(tajimas_d(aln))

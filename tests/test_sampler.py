@@ -1,0 +1,109 @@
+"""Tests for the multi-proposal sampler chain (Section 5.1.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SamplerConfig
+from repro.core.sampler import MultiProposalSampler
+from repro.genealogy.upgma import upgma_tree
+from repro.likelihood.engines import BatchedEngine
+
+
+@pytest.fixture
+def engine(small_dataset, uniform_model):
+    return BatchedEngine(alignment=small_dataset.alignment, model=uniform_model)
+
+
+@pytest.fixture
+def seed_tree(small_dataset):
+    return upgma_tree(small_dataset.alignment, driving_theta=1.0)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = SamplerConfig()
+        assert cfg.effective_samples_per_set == cfg.n_proposals
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplerConfig(n_proposals=0)
+        with pytest.raises(ValueError):
+            SamplerConfig(n_samples=0)
+        with pytest.raises(ValueError):
+            SamplerConfig(burn_in=-1)
+        with pytest.raises(ValueError):
+            SamplerConfig(thin=0)
+        with pytest.raises(ValueError):
+            SamplerConfig(samples_per_set=0)
+
+    def test_scaled_copy(self):
+        cfg = SamplerConfig(n_proposals=8).scaled(n_samples=77)
+        assert cfg.n_samples == 77
+        assert cfg.n_proposals == 8
+
+
+class TestRun:
+    def test_records_requested_samples(self, engine, seed_tree, rng):
+        cfg = SamplerConfig(n_proposals=4, n_samples=30, burn_in=10)
+        result = MultiProposalSampler(engine, theta=1.0, config=cfg).run(seed_tree, rng)
+        assert result.n_samples == 30
+        assert result.interval_matrix.shape == (30, seed_tree.n_tips - 1)
+        assert result.driving_theta == 1.0
+        assert result.n_likelihood_evaluations > 0
+        assert result.wall_time_seconds > 0
+
+    def test_trace_values_are_finite_and_positive(self, engine, seed_tree, rng):
+        cfg = SamplerConfig(n_proposals=4, n_samples=25, burn_in=5)
+        result = MultiProposalSampler(engine, theta=1.0, config=cfg).run(seed_tree, rng)
+        assert np.all(result.interval_matrix > 0)
+        assert np.all(np.isfinite(result.trace.log_likelihoods))
+        assert np.all(result.trace.heights > 0)
+        # The recorded heights are the interval sums.
+        assert np.allclose(result.interval_matrix.sum(axis=1), result.trace.heights)
+
+    def test_burn_in_discards_early_draws(self, engine, seed_tree, rng):
+        cfg = SamplerConfig(n_proposals=4, n_samples=10, burn_in=40)
+        result = MultiProposalSampler(engine, theta=1.0, config=cfg).run(seed_tree, rng)
+        # Burn-in plus recorded samples were all decided on.
+        assert result.n_decisions >= cfg.burn_in + cfg.n_samples
+
+    def test_thinning_skips_draws(self, engine, seed_tree, rng):
+        thin = SamplerConfig(n_proposals=4, n_samples=10, burn_in=0, thin=3)
+        result = MultiProposalSampler(engine, theta=1.0, config=thin).run(seed_tree, rng)
+        assert result.n_samples == 10
+        assert result.n_decisions >= 30
+
+    def test_reproducible_with_same_seed(self, small_dataset, uniform_model, seed_tree):
+        cfg = SamplerConfig(n_proposals=4, n_samples=20, burn_in=5)
+        runs = []
+        for _ in range(2):
+            engine = BatchedEngine(alignment=small_dataset.alignment, model=uniform_model)
+            sampler = MultiProposalSampler(engine, theta=1.0, config=cfg)
+            runs.append(sampler.run(seed_tree, np.random.default_rng(42)))
+        assert np.allclose(runs[0].interval_matrix, runs[1].interval_matrix)
+        assert np.allclose(runs[0].trace.log_likelihoods, runs[1].trace.log_likelihoods)
+
+    def test_acceptance_rate_in_unit_interval(self, engine, seed_tree, rng):
+        cfg = SamplerConfig(n_proposals=8, n_samples=40, burn_in=10)
+        result = MultiProposalSampler(engine, theta=1.0, config=cfg).run(seed_tree, rng)
+        assert 0.0 <= result.acceptance_rate <= 1.0
+
+    def test_chain_moves_away_from_seed(self, engine, seed_tree, rng):
+        cfg = SamplerConfig(n_proposals=8, n_samples=40, burn_in=10)
+        result = MultiProposalSampler(engine, theta=1.0, config=cfg).run(seed_tree, rng)
+        assert result.n_accepted > 0
+        heights = result.trace.heights
+        assert heights.std() > 0  # the chain explores, it does not sit still
+
+    def test_requires_three_tips(self, engine, rng):
+        from repro.genealogy.tree import Genealogy
+
+        two_tip = Genealogy.from_times_and_topology([(0, 1)], [0.5])
+        with pytest.raises(ValueError):
+            MultiProposalSampler(engine, theta=1.0).run(two_tip, rng)
+
+    def test_invalid_theta(self, engine):
+        with pytest.raises(ValueError):
+            MultiProposalSampler(engine, theta=-1.0)

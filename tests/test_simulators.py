@@ -1,0 +1,163 @@
+"""Tests for the data simulators (ms / seq-gen substitutes and Wright-Fisher)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.genealogy.tree import Genealogy
+from repro.likelihood.mutation_models import Felsenstein81, JukesCantor69
+from repro.sequences.evolve import evolve_sequences
+from repro.simulate.coalescent_sim import (
+    expected_tmrca,
+    expected_total_branch_length,
+    simulate_genealogies,
+    simulate_genealogy,
+)
+from repro.simulate.datasets import synthesize_dataset
+from repro.simulate.wright_fisher import (
+    WrightFisherPopulation,
+    fixation_probability_estimate,
+    pairwise_coalescence_time,
+    simulate_allele_trajectory,
+)
+
+
+class TestCoalescentSimulator:
+    def test_basic_validity(self, rng):
+        tree = simulate_genealogy(12, 1.0, rng)
+        tree.validate()
+        assert tree.n_tips == 12
+
+    def test_tip_names(self, rng):
+        tree = simulate_genealogy(3, 1.0, rng, tip_names=("x", "y", "z"))
+        assert tree.tip_names == ("x", "y", "z")
+
+    def test_input_validation(self, rng):
+        with pytest.raises(ValueError):
+            simulate_genealogy(1, 1.0, rng)
+        with pytest.raises(ValueError):
+            simulate_genealogy(5, -1.0, rng)
+        with pytest.raises(ValueError):
+            simulate_genealogy(3, 1.0, rng, tip_names=("only", "two"))
+        with pytest.raises(ValueError):
+            simulate_genealogies(3, 1.0, 0, rng)
+
+    def test_expected_height_statistics(self, rng):
+        n, theta, reps = 6, 2.0, 400
+        heights = [simulate_genealogy(n, theta, rng).tree_height() for _ in range(reps)]
+        expected = expected_tmrca(n, theta)
+        assert np.mean(heights) == pytest.approx(expected, rel=0.12)
+
+    def test_expected_total_branch_length_statistics(self, rng):
+        n, theta, reps = 6, 1.0, 400
+        tbl = [
+            simulate_genealogy(n, theta, rng).total_branch_length() for _ in range(reps)
+        ]
+        assert np.mean(tbl) == pytest.approx(expected_total_branch_length(n, theta), rel=0.1)
+
+    def test_theta_scales_heights(self, rng):
+        small = np.mean([simulate_genealogy(5, 0.5, rng).tree_height() for _ in range(300)])
+        large = np.mean([simulate_genealogy(5, 2.0, rng).tree_height() for _ in range(300)])
+        assert large / small == pytest.approx(4.0, rel=0.25)
+
+    def test_replicates_are_distinct(self, rng):
+        trees = simulate_genealogies(6, 1.0, 5, rng)
+        heights = {round(t.tree_height(), 12) for t in trees}
+        assert len(heights) == 5
+
+    def test_closed_form_helpers_validate(self):
+        with pytest.raises(ValueError):
+            expected_tmrca(1, 1.0)
+        with pytest.raises(ValueError):
+            expected_total_branch_length(3, 0.0)
+
+
+class TestSequenceEvolution:
+    def test_output_shape_and_names(self, rng):
+        tree = simulate_genealogy(6, 1.0, rng)
+        aln = evolve_sequences(tree, 50, JukesCantor69(), rng)
+        assert aln.n_sequences == 6
+        assert aln.n_sites == 50
+        assert aln.names == tree.tip_names
+
+    def test_short_branches_give_similar_sequences(self, rng):
+        tree = simulate_genealogy(4, 0.01, rng)
+        aln = evolve_sequences(tree, 200, JukesCantor69(), rng)
+        assert aln.pairwise_differences().max() <= 10
+
+    def test_long_branches_randomize_sequences(self, rng):
+        tree = simulate_genealogy(4, 50.0, rng)
+        aln = evolve_sequences(tree, 400, JukesCantor69(), rng)
+        # At saturation ~3/4 of sites differ between any pair.
+        frac = aln.pairwise_differences()[0, 1] / 400
+        assert frac == pytest.approx(0.75, abs=0.1)
+
+    def test_base_composition_tracks_model(self, rng):
+        freqs = np.array([0.55, 0.15, 0.15, 0.15])
+        tree = simulate_genealogy(6, 5.0, rng)
+        aln = evolve_sequences(tree, 1000, Felsenstein81(freqs), rng)
+        observed = aln.base_frequencies()
+        assert observed[0] == pytest.approx(0.55, abs=0.06)
+
+    def test_scale_argument_controls_divergence(self, rng):
+        tree = simulate_genealogy(4, 1.0, rng)
+        small = evolve_sequences(tree, 500, JukesCantor69(), rng, scale=0.01)
+        large = evolve_sequences(tree, 500, JukesCantor69(), rng, scale=5.0)
+        assert small.pairwise_differences().sum() < large.pairwise_differences().sum()
+
+    def test_input_validation(self, rng):
+        tree = simulate_genealogy(4, 1.0, rng)
+        with pytest.raises(ValueError):
+            evolve_sequences(tree, 0, JukesCantor69(), rng)
+        with pytest.raises(ValueError):
+            evolve_sequences(tree, 10, JukesCantor69(), rng, scale=0.0)
+
+    def test_synthesize_dataset_wires_everything(self, rng):
+        data = synthesize_dataset(n_sequences=7, n_sites=60, true_theta=1.5, rng=rng)
+        assert data.alignment.n_sequences == 7
+        assert data.n_sequences == 7
+        assert data.true_tree.n_tips == 7
+        assert data.true_theta == 1.5
+        data.true_tree.validate()
+
+
+class TestWrightFisher:
+    def test_population_validation(self):
+        with pytest.raises(ValueError):
+            WrightFisherPopulation(n_individuals=0, allele_count=0)
+        with pytest.raises(ValueError):
+            WrightFisherPopulation(n_individuals=5, allele_count=11)
+
+    def test_absorbing_states(self, rng):
+        pop = WrightFisherPopulation(n_individuals=10, allele_count=20)
+        assert pop.fixed and not pop.lost
+        pop.step(rng)
+        assert pop.fixed  # fixation is absorbing
+
+    def test_offspring_distribution_is_binomial(self):
+        pop = WrightFisherPopulation(n_individuals=5, allele_count=4)
+        dist = pop.offspring_distribution()
+        assert dist.shape == (11,)
+        assert dist.sum() == pytest.approx(1.0)
+        # Mean of the binomial is 2N p = 4.
+        assert np.dot(np.arange(11), dist) == pytest.approx(4.0)
+
+    def test_trajectory_bounds_and_absorption(self, rng):
+        traj = simulate_allele_trajectory(20, 0.5, 400, rng)
+        assert traj.shape == (401,)
+        assert np.all((traj >= 0) & (traj <= 1))
+        assert traj[-1] in (0.0, 1.0)  # 400 generations >> 2N = 40
+
+    def test_neutral_drift_is_a_martingale(self, rng):
+        finals = [simulate_allele_trajectory(15, 0.3, 30, rng)[-1] for _ in range(500)]
+        assert np.mean(finals) == pytest.approx(0.3, abs=0.06)
+
+    def test_fixation_probability_equals_initial_frequency(self, rng):
+        est = fixation_probability_estimate(8, 0.25, 300, rng)
+        assert est == pytest.approx(0.25, abs=0.09)
+
+    def test_pairwise_coalescence_time_mean_is_2n(self, rng):
+        n = 12
+        times = [pairwise_coalescence_time(n, rng) for _ in range(600)]
+        assert np.mean(times) == pytest.approx(2 * n, rel=0.15)

@@ -1,0 +1,99 @@
+"""Tests for the Geweke and Heidelberger-Welch stationarity diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.diagnostics.stationarity import (
+    GewekeResult,
+    HeidelbergerWelchResult,
+    geweke_z_score,
+    heidelberger_welch,
+)
+
+
+def stationary_trace(rng, n=2000):
+    return rng.normal(0.0, 1.0, size=n)
+
+
+def transient_trace(rng, n=2000, transient=600, offset=8.0):
+    x = rng.normal(0.0, 1.0, size=n)
+    x[:transient] += np.linspace(offset, 0.0, transient)
+    return x
+
+
+class TestGeweke:
+    def test_stationary_trace_converged(self, rng):
+        result = geweke_z_score(stationary_trace(rng))
+        assert isinstance(result, GewekeResult)
+        assert result.converged
+        assert abs(result.z_score) < 2.0
+
+    def test_transient_trace_flagged(self, rng):
+        result = geweke_z_score(transient_trace(rng))
+        assert not result.converged
+        assert result.z_score > 2.0
+        assert result.early_mean > result.late_mean
+
+    def test_constant_trace_is_trivially_converged(self):
+        result = geweke_z_score(np.full(100, 3.0))
+        assert result.converged
+        assert result.z_score == 0.0
+
+    def test_window_bookkeeping(self, rng):
+        result = geweke_z_score(stationary_trace(rng), early_fraction=0.2, late_fraction=0.4)
+        assert result.early_fraction == 0.2
+        assert result.late_fraction == 0.4
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            geweke_z_score(np.ones(5))
+        with pytest.raises(ValueError):
+            geweke_z_score(stationary_trace(rng), early_fraction=0.0)
+        with pytest.raises(ValueError):
+            geweke_z_score(stationary_trace(rng), early_fraction=0.6, late_fraction=0.6)
+
+
+class TestHeidelbergerWelch:
+    def test_stationary_trace_needs_no_discard(self, rng):
+        result = heidelberger_welch(stationary_trace(rng))
+        assert isinstance(result, HeidelbergerWelchResult)
+        assert result.passed
+        assert result.discard == 0
+        assert result.discard_fraction == 0.0
+
+    def test_transient_trace_discards_prefix(self, rng):
+        result = heidelberger_welch(transient_trace(rng, transient=500), steps=10)
+        assert result.passed
+        assert result.discard > 0
+        assert result.discard >= 400  # at least most of the transient
+        assert result.n_kept + result.discard == 2000
+
+    def test_never_converging_trace_fails(self, rng):
+        # A strong linear trend across the whole trace never stabilizes.
+        x = np.linspace(0.0, 50.0, 1000) + rng.normal(0.0, 0.1, size=1000)
+        result = heidelberger_welch(x)
+        assert not result.passed
+        assert result.discard <= 500
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            heidelberger_welch(np.ones(10))
+        with pytest.raises(ValueError):
+            heidelberger_welch(stationary_trace(rng), max_discard_fraction=1.5)
+        with pytest.raises(ValueError):
+            heidelberger_welch(stationary_trace(rng), steps=0)
+
+
+class TestOnSamplerOutput:
+    def test_cold_started_chain_transient_is_detected(self, rng):
+        """A chain trace whose first third is a decaying transient (the
+        Fig. 2 situation) should fail Geweke on the full trace but pass after
+        the Heidelberger-Welch prefix discard."""
+        x = transient_trace(rng, n=1500, transient=500, offset=12.0)
+        assert not geweke_z_score(x).converged
+        hw = heidelberger_welch(x, steps=15)
+        assert hw.passed
+        assert hw.discard > 0
+        assert hw.discard >= 300

@@ -1,0 +1,170 @@
+"""Tests for the Genealogy tree structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.genealogy.tree import Genealogy, TreeValidationError
+from repro.simulate.coalescent_sim import simulate_genealogy
+
+
+class TestConstruction:
+    def test_builder_produces_valid_tree(self, tiny_tree):
+        tiny_tree.validate()
+        assert tiny_tree.n_tips == 4
+        assert tiny_tree.n_internal == 3
+        assert tiny_tree.n_nodes == 7
+
+    def test_root_identification(self, tiny_tree):
+        assert tiny_tree.root == 6
+        assert tiny_tree.parent[tiny_tree.root] == -1
+
+    def test_tip_names_default(self):
+        tree = Genealogy.from_times_and_topology([(0, 1), (2, 3)], [0.5, 1.0])
+        assert tree.tip_names == ("tip0", "tip1", "tip2")
+
+    def test_non_increasing_merge_times_rejected(self):
+        with pytest.raises(TreeValidationError):
+            Genealogy.from_times_and_topology([(0, 1), (2, 3)], [0.5, 0.5])
+
+    def test_is_tip(self, tiny_tree):
+        assert tiny_tree.is_tip(0)
+        assert not tiny_tree.is_tip(5)
+
+
+class TestValidation:
+    def test_detects_tip_with_nonzero_time(self, tiny_tree):
+        broken = tiny_tree.copy()
+        broken.times[0] = 0.5
+        with pytest.raises(TreeValidationError, match="time 0.0"):
+            broken.validate()
+
+    def test_detects_parent_younger_than_child(self, tiny_tree):
+        broken = tiny_tree.copy()
+        broken.times[4] = 0.7  # older than its parent (node 6 at 0.6)
+        with pytest.raises(TreeValidationError):
+            broken.validate()
+
+    def test_detects_broken_child_pointer(self, tiny_tree):
+        broken = tiny_tree.copy()
+        broken.children[6] = (0, 1)  # children already owned by node 4
+        with pytest.raises(TreeValidationError):
+            broken.validate()
+
+    def test_detects_multiple_roots(self, tiny_tree):
+        broken = tiny_tree.copy()
+        broken.parent[4] = -1
+        with pytest.raises(TreeValidationError):
+            broken.validate()
+
+    def test_detects_wrong_name_count(self, tiny_tree):
+        broken = tiny_tree.copy()
+        broken.tip_names = ("a", "b")
+        with pytest.raises(TreeValidationError, match="tip names"):
+            broken.validate()
+
+    def test_detects_duplicate_children(self, tiny_tree):
+        broken = tiny_tree.copy()
+        broken.children[4] = (0, 0)
+        with pytest.raises(TreeValidationError):
+            broken.validate()
+
+
+class TestNavigation:
+    def test_postorder_children_before_parents(self, tiny_tree):
+        order = list(tiny_tree.postorder())
+        position = {node: i for i, node in enumerate(order)}
+        for node in tiny_tree.internal_nodes():
+            c0, c1 = tiny_tree.children[node]
+            assert position[int(c0)] < position[node]
+            assert position[int(c1)] < position[node]
+
+    def test_sibling(self, tiny_tree):
+        assert tiny_tree.sibling(0) == 1
+        assert tiny_tree.sibling(4) == 5
+
+    def test_root_has_no_sibling(self, tiny_tree):
+        with pytest.raises(ValueError):
+            tiny_tree.sibling(tiny_tree.root)
+
+    def test_branch_lengths(self, tiny_tree):
+        lengths = tiny_tree.branch_lengths()
+        assert lengths[0] == pytest.approx(0.1)   # tip under node 4 (t=0.1)
+        assert lengths[4] == pytest.approx(0.5)   # node 4 (0.1) to root (0.6)
+        assert lengths[tiny_tree.root] == 0.0
+
+    def test_total_branch_length(self, tiny_tree):
+        # Tips: 0.1 + 0.1 + 0.25 + 0.25; internals: (0.6-0.1) + (0.6-0.25).
+        assert tiny_tree.total_branch_length() == pytest.approx(0.1 * 2 + 0.25 * 2 + 0.5 + 0.35)
+
+    def test_tree_height(self, tiny_tree):
+        assert tiny_tree.tree_height() == pytest.approx(0.6)
+
+    def test_subtree_tips(self, tiny_tree):
+        assert tiny_tree.subtree_tips(4) == [0, 1]
+        assert tiny_tree.subtree_tips(tiny_tree.root) == [0, 1, 2, 3]
+        assert tiny_tree.subtree_tips(2) == [2]
+
+    def test_iter_edges_count(self, tiny_tree):
+        edges = list(tiny_tree.iter_edges())
+        assert len(edges) == tiny_tree.n_nodes - 1
+        assert all(length > 0 for _, _, length in edges)
+
+    def test_branch_length_of_root_raises(self, tiny_tree):
+        with pytest.raises(ValueError):
+            tiny_tree.branch_length(tiny_tree.root)
+
+
+class TestCoalescentBookkeeping:
+    def test_coalescent_times_sorted(self, tiny_tree):
+        assert np.allclose(tiny_tree.coalescent_times(), [0.1, 0.25, 0.6])
+
+    def test_coalescent_intervals(self, tiny_tree):
+        lengths, lineages = tiny_tree.coalescent_intervals()
+        assert np.allclose(lengths, [0.1, 0.15, 0.35])
+        assert np.array_equal(lineages, [4, 3, 2])
+
+    def test_interval_representation_sums_to_height(self, tiny_tree):
+        assert tiny_tree.interval_representation().sum() == pytest.approx(
+            tiny_tree.tree_height()
+        )
+
+    def test_topology_key_ignores_times(self, tiny_tree):
+        other = tiny_tree.copy()
+        other.times[tiny_tree.n_tips :] = [0.2, 0.3, 0.9]
+        assert other.topology_key() == tiny_tree.topology_key()
+
+    def test_topology_key_distinguishes_topologies(self, tiny_tree):
+        other = Genealogy.from_times_and_topology(
+            merge_order=[(0, 2), (1, 3), (4, 5)],
+            merge_times=[0.1, 0.25, 0.6],
+            tip_names=tiny_tree.tip_names,
+        )
+        assert other.topology_key() != tiny_tree.topology_key()
+
+    def test_equality_and_copy_independence(self, tiny_tree):
+        clone = tiny_tree.copy()
+        assert clone == tiny_tree
+        clone.times[4] = 0.12
+        assert clone != tiny_tree
+        assert tiny_tree.times[4] == pytest.approx(0.1)
+
+
+class TestSimulatedTrees:
+    @given(n_tips=st.integers(min_value=2, max_value=20), seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_simulated_trees_always_valid(self, n_tips, seed):
+        tree = simulate_genealogy(n_tips, 1.0, np.random.default_rng(seed))
+        tree.validate()
+        assert tree.n_tips == n_tips
+        lengths, lineages = tree.coalescent_intervals()
+        assert np.all(lengths >= 0)
+        assert lineages[0] == n_tips
+
+    def test_postorder_is_permutation(self, rng):
+        tree = simulate_genealogy(15, 2.0, rng)
+        order = tree.postorder()
+        assert sorted(order) == list(range(tree.n_nodes))

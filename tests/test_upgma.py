@@ -1,0 +1,80 @@
+"""Tests for UPGMA starting-tree construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.genealogy.upgma import upgma_from_distances, upgma_tree
+from repro.sequences.alignment import Alignment
+
+
+class TestFromDistances:
+    def test_three_taxa_known_result(self):
+        # a and b are closest (distance 2); c joins them at mean distance 6.
+        dist = np.array([[0.0, 2.0, 6.0], [2.0, 0.0, 6.0], [6.0, 6.0, 0.0]])
+        tree = upgma_from_distances(dist, tip_names=("a", "b", "c"))
+        tree.validate()
+        # First merge at height 1 (= 2 / 2), second at height 3 (= 6 / 2).
+        assert np.allclose(sorted(tree.times[tree.n_tips :]), [1.0, 3.0])
+        assert tree.subtree_tips(3) == [0, 1]
+
+    def test_cluster_distance_is_mean(self):
+        # d(a,b)=2; d(a,c)=8, d(b,c)=4 -> after merging (a,b), distance to c
+        # is the mean (8+4)/2 = 6, so the root sits at height 3.
+        dist = np.array([[0.0, 2.0, 8.0], [2.0, 0.0, 4.0], [8.0, 4.0, 0.0]])
+        tree = upgma_from_distances(dist)
+        assert tree.tree_height() == pytest.approx(3.0)
+
+    def test_identical_taxa_get_nudged_heights(self):
+        dist = np.zeros((4, 4))
+        tree = upgma_from_distances(dist)
+        tree.validate()
+        assert tree.tree_height() > 0
+
+    def test_validation_of_inputs(self):
+        with pytest.raises(ValueError, match="square"):
+            upgma_from_distances(np.zeros((2, 3)))
+        with pytest.raises(ValueError, match="symmetric"):
+            upgma_from_distances(np.array([[0.0, 1.0], [2.0, 0.0]]))
+        with pytest.raises(ValueError, match="non-negative"):
+            upgma_from_distances(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+        with pytest.raises(ValueError, match="at least two"):
+            upgma_from_distances(np.zeros((1, 1)))
+
+    def test_larger_random_matrix_valid(self, rng):
+        n = 12
+        pts = rng.random((n, 3))
+        dist = np.linalg.norm(pts[:, None, :] - pts[None, :, :], axis=2)
+        tree = upgma_from_distances(dist)
+        tree.validate()
+        assert tree.n_tips == n
+
+
+class TestFromAlignment:
+    def test_tree_matches_alignment(self, tiny_alignment):
+        tree = upgma_tree(tiny_alignment, driving_theta=1.0)
+        tree.validate()
+        assert tree.tip_names == tiny_alignment.names
+        assert tree.n_tips == tiny_alignment.n_sequences
+
+    def test_closest_sequences_join_first(self, tiny_alignment):
+        # alpha and beta differ at 1 site - the smallest pairwise distance.
+        tree = upgma_tree(tiny_alignment, driving_theta=1.0)
+        first_merge = int(np.argmin(tree.times[tree.n_tips :]) + tree.n_tips)
+        tips = {tiny_alignment.names[i] for i in tree.subtree_tips(first_merge)}
+        assert tips == {"alpha", "beta"}
+
+    def test_theta_scaling_scales_height(self, tiny_alignment):
+        small = upgma_tree(tiny_alignment, driving_theta=0.5)
+        large = upgma_tree(tiny_alignment, driving_theta=2.0)
+        assert large.tree_height() == pytest.approx(4.0 * small.tree_height())
+
+    def test_identical_sequences_still_valid(self):
+        aln = Alignment.from_sequences({"a": "ACGT", "b": "ACGT", "c": "ACGT"})
+        tree = upgma_tree(aln, driving_theta=1.0)
+        tree.validate()
+
+    def test_invalid_theta_rejected(self, tiny_alignment):
+        with pytest.raises(ValueError):
+            upgma_tree(tiny_alignment, driving_theta=0.0)
