@@ -2,23 +2,23 @@
 
 The paper's Section 7 lists richer parameter estimation as future work;
 LAMARC 2.0 (reference [17]) ships both a maximum-likelihood and a Bayesian
-mode.  This bench runs both modes of this package on one simulated dataset
-(true θ = 1) and checks that they agree with each other and with the data:
-the EM point estimate should fall inside the Bayesian credible interval, and
-both should land within a small factor of the closed-form Watterson anchor.
-The benchmarked unit is one joint (genealogy, θ) Gibbs/GMH iteration.
+mode.  This bench runs both modes of this package — through the same
+:func:`repro.run_experiment` facade that the ``mpcgs run`` and ``mpcgs
+bayes`` subcommands call — on one simulated dataset (true θ = 1) and checks
+that they agree with each other and with the data: the EM point estimate
+should fall inside the Bayesian credible interval, and both should land
+within a small factor of the closed-form Watterson anchor.  The benchmarked
+unit is one joint (genealogy, θ) Gibbs/GMH iteration.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.bayesian import BayesianSampler, ThetaPrior
+from repro.api import run_experiment
 from repro.core.config import MPCGSConfig, SamplerConfig
-from repro.core.mpcgs import MPCGS
+from repro.core.registry import make_engine, make_model, make_sampler
 from repro.genealogy.upgma import upgma_tree
-from repro.likelihood.engines import BatchedEngine
-from repro.likelihood.mutation_models import Felsenstein81
 
 from conftest import make_dataset
 
@@ -28,29 +28,42 @@ TRUE_THETA = 1.0
 def test_bayesian_vs_ml(benchmark, record):
     dataset = make_dataset(n_sequences=10, n_sites=250, true_theta=TRUE_THETA, seed=41)
     watterson = dataset.alignment.watterson_theta()
-    model = Felsenstein81(dataset.alignment.base_frequencies(pseudocount=1.0))
 
-    # --- Bayesian posterior ------------------------------------------------
-    engine = BatchedEngine(alignment=dataset.alignment, model=model)
-    sampler = BayesianSampler(
-        engine,
-        prior=ThetaPrior(),
-        config=SamplerConfig(n_proposals=16, n_samples=400, burn_in=150),
-        initial_theta=watterson,
+    # --- Bayesian posterior (facade, sampler="bayesian") -------------------
+    bayes_report = run_experiment(
+        dataset,
+        MPCGSConfig(
+            sampler=SamplerConfig(n_proposals=16, n_samples=400, burn_in=150),
+            sampler_name="bayesian",
+        ),
+        theta0=watterson,
+        seed=2,
     )
-    posterior = sampler.run(upgma_tree(dataset.alignment, 1.0), np.random.default_rng(2))
+    posterior = bayes_report.result
     lo, hi = posterior.credible_interval(0.95)
 
-    # --- EM maximum likelihood ---------------------------------------------
-    ml = MPCGS(
-        dataset.alignment,
+    # --- EM maximum likelihood (facade, default gmh sampler) ---------------
+    ml = run_experiment(
+        dataset,
         MPCGSConfig(
             sampler=SamplerConfig(n_proposals=16, n_samples=300, burn_in=100),
             n_em_iterations=4,
         ),
-    ).run(theta0=watterson, rng=np.random.default_rng(3))
+        theta0=watterson,
+        seed=3,
+    )
 
-    # Benchmark one joint update step (proposal set + Gibbs theta draw).
+    # Benchmark one joint update step (proposal set + Gibbs theta draw) on a
+    # registry-built sampler (the adapter exposes the raw BayesianSampler).
+    model = make_model("F81", base_frequencies=dataset.alignment.base_frequencies(pseudocount=1.0))
+    engine = make_engine("batched", dataset.alignment, model)
+    adapter = make_sampler(
+        "bayesian",
+        engine=engine,
+        theta=watterson,
+        config=SamplerConfig(n_proposals=16, n_samples=400, burn_in=150),
+    )
+    sampler = adapter.sampler
     tree = upgma_tree(dataset.alignment, 1.0)
     loglik = engine.evaluate(tree)
     rng = np.random.default_rng(9)

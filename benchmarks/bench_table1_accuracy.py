@@ -10,20 +10,20 @@ with each other.
 
 The pytest-benchmark measurement is one full mpcgs estimation run (the
 quantity whose runtime the rest of the tables dissect).
+
+Both estimators run through the :func:`repro.run_experiment` facade — the
+baseline is just the same EM driver with ``sampler="lamarc"`` and the
+vectorized (single-proposal-per-call) engine, which is exactly how the
+``mpcgs baseline`` subcommand drives it.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.lamarc import LamarcSampler
+from repro.api import run_experiment
 from repro.core.config import MPCGSConfig, SamplerConfig
-from repro.core.estimator import RelativeLikelihood, maximize_theta
-from repro.core.mpcgs import MPCGS
 from repro.diagnostics.accuracy import pearson_correlation
-from repro.genealogy.upgma import upgma_tree
-from repro.likelihood.engines import VectorizedEngine
-from repro.likelihood.mutation_models import Felsenstein81
 
 from conftest import make_dataset
 
@@ -40,21 +40,17 @@ def _mpcgs_estimate(alignment, theta0, seed):
         sampler=SamplerConfig(n_proposals=12, n_samples=SAMPLES, burn_in=BURN_IN),
         n_em_iterations=EM_ITERATIONS,
     )
-    return MPCGS(alignment, config).run(theta0=theta0, rng=np.random.default_rng(seed)).theta
+    return run_experiment(alignment, config, theta0=theta0, seed=seed).theta
 
 
 def _baseline_estimate(alignment, theta0, seed):
-    model = Felsenstein81(alignment.base_frequencies(pseudocount=1.0))
-    theta = theta0
-    tree = upgma_tree(alignment, theta0)
-    rng = np.random.default_rng(seed)
-    for _ in range(EM_ITERATIONS):
-        engine = VectorizedEngine(alignment=alignment, model=model)
-        chain = LamarcSampler(engine, theta, SamplerConfig(n_samples=SAMPLES, burn_in=BURN_IN)).run(
-            tree, rng
-        )
-        theta = maximize_theta(RelativeLikelihood(chain.interval_matrix, theta), theta).theta
-    return theta
+    config = MPCGSConfig(
+        sampler=SamplerConfig(n_samples=SAMPLES, burn_in=BURN_IN),
+        n_em_iterations=EM_ITERATIONS,
+        likelihood_engine="vectorized",
+        sampler_name="lamarc",
+    )
+    return run_experiment(alignment, config, theta0=theta0, seed=seed).theta
 
 
 def test_table1_accuracy(benchmark, record):

@@ -2,15 +2,16 @@
 
 The paper estimates θ by maximum likelihood through an EM loop (Fig. 11);
 LAMARC 2.0 — reference [17] — additionally offers Bayesian estimation, which
-this package provides on top of the same multi-proposal machinery
-(``repro.core.bayesian``).  The example:
+this package provides behind the same :class:`repro.Experiment` facade:
+selecting ``sampler="bayesian"`` swaps the EM maximization for a joint
+(G, θ) posterior chain with conjugate Gibbs θ draws.  The example:
 
 1. simulates a dataset at a known true θ,
-2. runs the Bayesian sampler (GMH genealogy moves + conjugate Gibbs θ moves)
-   under a vague scale-invariant prior,
+2. runs the Bayesian sampler through the facade under a vague
+   scale-invariant prior,
 3. prints the posterior mean/median and a 90% credible interval, and
-4. compares against the EM maximum-likelihood estimate and the closed-form
-   Watterson moment estimate on the same data.
+4. compares against the EM maximum-likelihood estimate (same facade, default
+   sampler) and the closed-form Watterson moment estimate on the same data.
 
 Run with::
 
@@ -23,17 +24,7 @@ import sys
 
 import numpy as np
 
-from repro import (
-    MPCGS,
-    BayesianSampler,
-    MPCGSConfig,
-    SamplerConfig,
-    ThetaPrior,
-    synthesize_dataset,
-)
-from repro.genealogy.upgma import upgma_tree
-from repro.likelihood.engines import BatchedEngine
-from repro.likelihood.mutation_models import Felsenstein81
+from repro import Experiment, MPCGSConfig, SamplerConfig, run_experiment, synthesize_dataset
 
 
 def main(seed: int = 17) -> None:
@@ -44,31 +35,35 @@ def main(seed: int = 17) -> None:
         f"simulated {data.alignment.n_sequences} sequences x {data.alignment.n_sites} sites "
         f"at true theta = {true_theta}"
     )
-    print(f"Watterson's moment estimate: {data.alignment.watterson_theta():.3f}")
+    watterson = data.alignment.watterson_theta()
+    print(f"Watterson's moment estimate: {watterson:.3f}")
 
-    # --- Bayesian run -----------------------------------------------------
-    model = Felsenstein81(data.alignment.base_frequencies(pseudocount=1.0))
-    engine = BatchedEngine(alignment=data.alignment, model=model)
-    sampler = BayesianSampler(
-        engine,
-        prior=ThetaPrior(),  # scale-invariant p(theta) ∝ 1/theta
-        config=SamplerConfig(n_proposals=16, n_samples=600, burn_in=200),
-        initial_theta=data.alignment.watterson_theta(),
+    # --- Bayesian run through the facade ---------------------------------
+    bayes_config = MPCGSConfig(
+        sampler=SamplerConfig(n_proposals=16, n_samples=600, burn_in=200),
+        sampler_name="bayesian",
+        sampler_options={"prior_shape": 0.0, "prior_scale": 0.0},  # p(theta) ∝ 1/theta
     )
-    posterior = sampler.run(upgma_tree(data.alignment, 1.0), rng)
+    experiment = Experiment(data, bayes_config, theta0=watterson, seed=seed)
+    report = experiment.run()
+    posterior = report.result
     lo, hi = posterior.credible_interval(0.90)
     print("\nBayesian posterior for theta:")
-    print(f"  mean   = {posterior.posterior_mean():.3f}")
-    print(f"  median = {posterior.posterior_median():.3f}")
+    print(f"  mean   = {report.diagnostics['posterior_mean']:.3f}")
+    print(f"  median = {report.diagnostics['posterior_median']:.3f}")
     print(f"  90% credible interval = [{lo:.3f}, {hi:.3f}]")
-    print(f"  genealogy-move acceptance rate = {posterior.chain.acceptance_rate:.2f}")
+    print(f"  genealogy-move acceptance rate = {report.diagnostics['acceptance_rate']:.2f}")
 
     # --- Maximum-likelihood run on the same data --------------------------
-    ml = MPCGS(
-        data.alignment,
-        MPCGSConfig(sampler=SamplerConfig(n_proposals=16, n_samples=300, burn_in=100),
-                    n_em_iterations=4),
-    ).run(theta0=data.alignment.watterson_theta(), rng=rng)
+    ml = run_experiment(
+        data,
+        MPCGSConfig(
+            sampler=SamplerConfig(n_proposals=16, n_samples=300, burn_in=100),
+            n_em_iterations=4,
+        ),
+        theta0=watterson,
+        seed=seed + 1,
+    )
     print(f"\nEM maximum-likelihood estimate: theta = {ml.theta:.3f}")
     print("(the posterior interval should bracket both the ML estimate and, "
           "usually, the truth)")

@@ -1,13 +1,16 @@
 """Quickstart: estimate θ from simulated sequence data with mpcgs.
 
 This is the end-to-end workflow of the paper's proof-of-concept program
-(Fig. 11) in a dozen lines of library calls:
+(Fig. 11) through the :func:`repro.run_experiment` facade:
 
 1. simulate a dataset at a known true θ (the ms + seq-gen pipeline of
    Section 6.1),
 2. run the multi-proposal (Generalized Metropolis-Hastings) sampler through
-   a few Expectation-Maximization iterations, and
-3. print the relative-likelihood-curve maximizer after each iteration.
+   a few Expectation-Maximization iterations with one call, and
+3. print the structured run report (trajectory, work counters, estimate).
+
+The same run is reproducible from the command line with the spec document
+this script prints at the end: ``mpcgs run --config spec.json``.
 
 Run with::
 
@@ -20,7 +23,7 @@ import sys
 
 import numpy as np
 
-from repro import MPCGS, MPCGSConfig, SamplerConfig, synthesize_dataset
+from repro import MPCGSConfig, SamplerConfig, run_experiment, synthesize_dataset
 
 
 def main(seed: int = 7) -> None:
@@ -36,25 +39,28 @@ def main(seed: int = 7) -> None:
     print(f"segregating sites: {data.alignment.segregating_sites()}")
     print(f"Watterson's moment estimate: {data.alignment.watterson_theta():.3f}")
 
-    # --- 2. Configure and run the sampler --------------------------------
+    # --- 2. One facade call: reader -> model -> engine -> sampler -> estimator
     config = MPCGSConfig(
         sampler=SamplerConfig(n_proposals=16, n_samples=400, burn_in=100),
         n_em_iterations=5,
     )
-    driver = MPCGS(data.alignment, config)
-    result = driver.run(theta0=0.1, rng=rng)
+    report = run_experiment(data, config, theta0=0.1, seed=seed)
 
     # --- 3. Report -------------------------------------------------------
     print("\nEM trajectory (driving theta -> maximizer):")
-    for it in result.iterations:
+    for it in report.diagnostics["iterations"]:
         print(
-            f"  iteration {it.iteration + 1}: {it.driving_theta:.4f} -> {it.estimate.theta:.4f}"
-            f"   (acceptance {it.chain.acceptance_rate:.2f},"
-            f" {it.chain.n_likelihood_evaluations} likelihood evaluations)"
+            f"  iteration {it['iteration'] + 1}: {it['driving_theta']:.4f} -> {it['estimate']:.4f}"
+            f"   (acceptance {it['acceptance_rate']:.2f},"
+            f" {it['n_likelihood_evaluations']} likelihood evaluations)"
         )
-    print(f"\nfinal estimate: theta = {result.theta:.4f}   (true value {true_theta})")
-    print(f"total genealogies sampled: {result.total_samples}")
-    print(f"total sampler wall time: {result.wall_time_seconds:.2f} s")
+    print(f"\nfinal estimate: theta = {report.theta:.4f}   (true value {true_theta})")
+    print(f"total genealogies sampled: {report.n_samples}")
+    print(f"total sampler wall time: {report.wall_time_seconds:.2f} s")
+
+    # --- 4. The whole experiment as one portable document -----------------
+    spec = report.config.to_json(indent=None)
+    print(f"\nreplayable config document: {spec}")
 
 
 if __name__ == "__main__":

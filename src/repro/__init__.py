@@ -10,19 +10,34 @@ a simulated SIMD device substrate that stands in for the paper's CUDA GPU.
 Quickstart::
 
     import numpy as np
-    from repro import MPCGS, MPCGSConfig, synthesize_dataset
+    from repro import run_experiment, synthesize_dataset
 
     rng = np.random.default_rng(7)
     data = synthesize_dataset(n_sequences=8, n_sites=200, true_theta=1.0, rng=rng)
-    result = MPCGS(data.alignment, MPCGSConfig()).run(theta0=0.1, rng=rng)
-    print(result.theta)
+    report = run_experiment(data, theta0=0.1, seed=7)
+    print(report.theta)
+
+Samplers, likelihood engines, and mutation models are discoverable by name
+(``available_samplers()`` / ``available_engines()`` / ``available_models()``)
+and constructed through the registries in :mod:`repro.core.registry`; whole
+experiments serialize to JSON via :class:`repro.api.RunSpec`.
 """
 
+from .api import Experiment, RunReport, RunSpec, run_experiment
 from .core.bayesian import BayesianResult, BayesianSampler, ThetaPrior
 from .core.config import EstimatorConfig, MPCGSConfig, SamplerConfig
 from .core.estimator import RelativeLikelihood, ThetaEstimate, maximize_theta
 from .core.gmh import GeneralizedMetropolisHastings, ProposalSet
 from .core.mpcgs import MPCGS, EMIteration, MPCGSResult
+from .core.registry import (
+    Sampler,
+    available_engines,
+    available_models,
+    available_samplers,
+    make_sampler,
+    register_sampler,
+    sampler_factory,
+)
 from .core.sampler import MultiProposalSampler
 from .baselines.heated import HeatedChainSampler, default_temperatures
 from .baselines.lamarc import LamarcSampler
@@ -63,6 +78,17 @@ from .simulate.growth_sim import simulate_growth_genealogy
 __version__ = "1.0.0"
 
 __all__ = [
+    "Experiment",
+    "RunReport",
+    "RunSpec",
+    "run_experiment",
+    "Sampler",
+    "make_sampler",
+    "register_sampler",
+    "sampler_factory",
+    "available_samplers",
+    "available_engines",
+    "available_models",
     "MPCGS",
     "MPCGSConfig",
     "MPCGSResult",

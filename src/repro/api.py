@@ -1,0 +1,366 @@
+"""High-level experiment facade: one call from sequence data to a θ estimate.
+
+This is the package's front door.  It composes the layers the way the
+proof-of-concept program of Fig. 11 does — read sequences, build the
+mutation model and likelihood engine, seed a UPGMA genealogy, run a sampler,
+maximize the likelihood curve — but behind a single, serializable surface:
+
+* :class:`RunSpec` — a portable JSON document naming the data file, the
+  initial θ, the seed, and a full :class:`~repro.core.config.MPCGSConfig`
+  (which itself names the sampler, engine, and mutation model), so a whole
+  experiment can be shipped, archived, and replayed;
+* :class:`Experiment` / :func:`run_experiment` — build everything from a
+  spec (or from in-memory objects) and run it, returning a structured
+  :class:`RunReport`;
+* :class:`RunReport` — the θ estimate, the EM trajectory, work counters, and
+  per-iteration diagnostics, with a JSON-safe ``to_dict``.
+
+Maximum-likelihood estimation (every sampler that emits a plain
+:class:`~repro.diagnostics.traces.ChainResult`) runs through the
+:class:`~repro.core.mpcgs.MPCGS` EM driver; the ``"bayesian"`` sampler has
+no maximization stage, so the facade runs the joint (G, θ) chain once and
+reports posterior summaries instead.  With the default config and seed the
+facade reproduces ``MPCGS(...).run(...)`` bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from .core.bayesian import BayesianResult
+from .core.config import MPCGSConfig
+from .core.mpcgs import MPCGS, MPCGSResult
+from .core.registry import SAMPLERS, make_engine, make_model, make_sampler
+from .genealogy.upgma import upgma_tree
+from .sequences.alignment import Alignment
+from .sequences.phylip import read_phylip
+
+__all__ = ["RunSpec", "RunReport", "Experiment", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A complete, portable description of one experiment.
+
+    ``sequence_file`` may be ``None`` when the alignment is supplied
+    in-memory (the spec then documents everything but the data).  ``theta0``
+    defaults to the Watterson moment estimate of the alignment at run time;
+    ``seed`` of ``None`` means OS entropy (a non-reproducible run).
+    """
+
+    config: MPCGSConfig = field(default_factory=MPCGSConfig)
+    sequence_file: str | None = None
+    theta0: float | None = None
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.theta0 is not None and self.theta0 <= 0:
+            raise ValueError("theta0 must be positive")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dict with the config nested under ``"config"``."""
+        return {
+            "sequence_file": self.sequence_file,
+            "theta0": self.theta0,
+            "seed": self.seed,
+            "config": self.config.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        """Inverse of :meth:`to_dict`.
+
+        Also accepts a *flat* document: any keys beyond
+        ``sequence_file``/``theta0``/``seed`` are interpreted as the config
+        block, so a bare :meth:`MPCGSConfig.to_dict` document is a valid
+        spec too.
+        """
+        data = dict(data)
+        sequence_file = data.pop("sequence_file", None)
+        theta0 = data.pop("theta0", None)
+        seed = data.pop("seed", None)
+        if "config" in data:
+            config_data = data.pop("config")
+            if data:
+                raise ValueError(f"unknown RunSpec keys {sorted(data)}")
+            config = MPCGSConfig.from_dict(config_data)
+        elif data:
+            config = MPCGSConfig.from_dict(data)
+        else:
+            config = MPCGSConfig()
+        return cls(config=config, sequence_file=sequence_file, theta0=theta0, seed=seed)
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """Serialize to a JSON document (the CLI's ``--config`` format)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        """Inverse of :meth:`to_json`."""
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError("a run spec must be a JSON object")
+        return cls.from_dict(data)
+
+    def save(self, path: str | Path) -> None:
+        """Write the spec to ``path`` as JSON."""
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunSpec":
+        """Read a spec (or a bare config document) from a JSON file."""
+        return cls.from_json(Path(path).read_text())
+
+
+@dataclass
+class RunReport:
+    """Structured outcome of one experiment.
+
+    ``result`` keeps the underlying driver object
+    (:class:`~repro.core.mpcgs.MPCGSResult` for maximum-likelihood runs,
+    :class:`~repro.core.bayesian.BayesianResult` for Bayesian runs) for
+    callers that need raw traces; everything else is JSON-safe via
+    :meth:`to_dict`.
+    """
+
+    sampler: str
+    theta: float
+    theta_trajectory: np.ndarray
+    theta0: float
+    seed: int | None
+    config: MPCGSConfig
+    n_samples: int
+    n_likelihood_evaluations: int
+    wall_time_seconds: float
+    diagnostics: dict[str, Any] = field(default_factory=dict)
+    result: MPCGSResult | BayesianResult | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe summary (drops the raw ``result`` object)."""
+        return {
+            "sampler": self.sampler,
+            "theta": self.theta,
+            "theta_trajectory": [float(x) for x in np.asarray(self.theta_trajectory)],
+            "theta0": self.theta0,
+            "seed": self.seed,
+            "config": self.config.to_dict(),
+            "n_samples": self.n_samples,
+            "n_likelihood_evaluations": self.n_likelihood_evaluations,
+            "wall_time_seconds": self.wall_time_seconds,
+            "diagnostics": _json_safe(self.diagnostics),
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """Serialize the summary to JSON (the CLI's ``--json`` output)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def _json_safe(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays to plain Python values."""
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_json_safe(v) for v in value.tolist()]
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    return value
+
+
+def _coerce_alignment(data: Alignment | str | Path | Any) -> Alignment:
+    """Accept an Alignment, a PHYLIP path, or anything with an ``alignment`` attribute."""
+    if isinstance(data, Alignment):
+        return data
+    if isinstance(data, (str, Path)):
+        return read_phylip(str(data))
+    alignment = getattr(data, "alignment", None)
+    if isinstance(alignment, Alignment):
+        return alignment
+    raise TypeError(
+        "data must be an Alignment, a PHYLIP file path, or an object with an "
+        f".alignment attribute; got {type(data).__name__}"
+    )
+
+
+class Experiment:
+    """A fully-composed run: data + config + starting point + seed.
+
+    Parameters
+    ----------
+    data:
+        An :class:`~repro.sequences.alignment.Alignment`, a PHYLIP file
+        path, or an object exposing an ``alignment`` attribute (e.g. a
+        :class:`~repro.simulate.datasets.SyntheticDataset`).
+    config:
+        The run configuration; defaults to :class:`MPCGSConfig` (the
+        paper's multi-proposal sampler with the batched engine).
+    theta0:
+        Initial driving θ; defaults to the alignment's Watterson estimate.
+    seed:
+        Seed for the run's random generator (``None`` = OS entropy).
+    """
+
+    def __init__(
+        self,
+        data: Alignment | str | Path | Any,
+        config: MPCGSConfig | None = None,
+        *,
+        theta0: float | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.alignment = _coerce_alignment(data)
+        self.config = config if config is not None else MPCGSConfig()
+        SAMPLERS.get(self.config.sampler_name)  # fail fast on unknown samplers
+        if theta0 is None:
+            theta0 = float(self.alignment.watterson_theta())
+        if theta0 <= 0:
+            raise ValueError("theta0 must be positive")
+        self.theta0 = float(theta0)
+        self.seed = seed
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: RunSpec | Mapping[str, Any] | str | Path,
+        *,
+        data: Alignment | str | Path | Any | None = None,
+    ) -> "Experiment":
+        """Build an experiment from a spec document, dict, or file path.
+
+        ``data`` overrides the spec's ``sequence_file`` (useful for running
+        one spec against many datasets).
+        """
+        if isinstance(spec, (str, Path)):
+            spec = RunSpec.load(spec)
+        elif isinstance(spec, Mapping):
+            spec = RunSpec.from_dict(spec)
+        if data is None:
+            if spec.sequence_file is None:
+                raise ValueError("the spec names no sequence_file; pass data= explicitly")
+            data = spec.sequence_file
+        return cls(data, spec.config, theta0=spec.theta0, seed=spec.seed)
+
+    def spec(self, sequence_file: str | None = None) -> RunSpec:
+        """The portable :class:`RunSpec` describing this experiment."""
+        return RunSpec(
+            config=self.config,
+            sequence_file=sequence_file,
+            theta0=self.theta0,
+            seed=self.seed,
+        )
+
+    def run(self, rng: np.random.Generator | None = None) -> RunReport:
+        """Execute the experiment and return a :class:`RunReport`.
+
+        A caller-supplied ``rng`` overrides the spec's seed (the CLI and the
+        reproducibility tests always go through the seed).
+        """
+        if rng is None:
+            rng = np.random.default_rng(self.seed)
+        if self.config.sampler_name.lower() == "bayesian":
+            return self._run_bayesian(rng)
+        return self._run_ml(rng)
+
+    def _run_ml(self, rng: np.random.Generator) -> RunReport:
+        """Maximum-likelihood path: the EM driver over any ChainResult sampler."""
+        cfg = self.config
+        driver = MPCGS(self.alignment, cfg)
+        result = driver.run(theta0=self.theta0, rng=rng)
+        iterations = [
+            {
+                "iteration": it.iteration,
+                "driving_theta": it.driving_theta,
+                "estimate": it.estimate.theta,
+                "converged": it.estimate.converged,
+                "acceptance_rate": it.chain.acceptance_rate,
+                "n_samples": it.chain.n_samples,
+                "n_likelihood_evaluations": it.chain.n_likelihood_evaluations,
+                "wall_time_seconds": it.chain.wall_time_seconds,
+            }
+            for it in result.iterations
+        ]
+        return RunReport(
+            sampler=cfg.sampler_name,
+            theta=result.theta,
+            theta_trajectory=result.theta_trajectory,
+            theta0=self.theta0,
+            seed=self.seed,
+            config=cfg,
+            n_samples=result.total_samples,
+            n_likelihood_evaluations=result.total_likelihood_evaluations,
+            wall_time_seconds=result.wall_time_seconds,
+            diagnostics={
+                "mode": "maximum_likelihood",
+                "n_em_iterations": len(result.iterations),
+                "iterations": iterations,
+            },
+            result=result,
+        )
+
+    def _run_bayesian(self, rng: np.random.Generator) -> RunReport:
+        """Bayesian path: one joint (G, θ) chain, posterior summaries, no EM."""
+        cfg = self.config
+        base_freqs = self.alignment.base_frequencies(pseudocount=1.0)
+        model = make_model(cfg.mutation_model, base_frequencies=base_freqs)
+        engine = make_engine(cfg.likelihood_engine, self.alignment, model)
+        adapter = make_sampler(
+            "bayesian",
+            engine=engine,
+            theta=self.theta0,
+            config=cfg.sampler,
+            **cfg.sampler_options,
+        )
+        tree = upgma_tree(self.alignment, driving_theta=self.theta0)
+        chain = adapter.run(tree, rng)
+        posterior: BayesianResult = adapter.last_posterior
+        lo, hi = posterior.credible_interval(0.95)
+        return RunReport(
+            sampler=cfg.sampler_name,
+            theta=posterior.posterior_mean(),
+            theta_trajectory=np.asarray(posterior.theta_samples),
+            theta0=self.theta0,
+            seed=self.seed,
+            config=cfg,
+            n_samples=chain.n_samples,
+            n_likelihood_evaluations=chain.n_likelihood_evaluations,
+            wall_time_seconds=chain.wall_time_seconds,
+            diagnostics={
+                "mode": "bayesian",
+                "posterior_mean": posterior.posterior_mean(),
+                "posterior_median": posterior.posterior_median(),
+                "credible_95": (lo, hi),
+                "acceptance_rate": chain.acceptance_rate,
+            },
+            result=posterior,
+        )
+
+
+def run_experiment(
+    data: Alignment | str | Path | Any,
+    config: MPCGSConfig | None = None,
+    *,
+    theta0: float | None = None,
+    seed: int | None = None,
+    sampler: str | None = None,
+    **sampler_options,
+) -> RunReport:
+    """One-call façade: compose reader → model → engine → sampler → estimator.
+
+    ``sampler`` (plus any ``**sampler_options``) overrides the config's
+    sampler selection, so ``run_experiment(aln, sampler="multichain",
+    n_chains=8)`` needs no config surgery.  Everything else follows
+    :class:`Experiment`.
+    """
+    if config is None:
+        config = MPCGSConfig()
+    if sampler is not None:
+        config = config.with_sampler(sampler, **sampler_options)
+    elif sampler_options:
+        config = config.with_sampler(config.sampler_name, **sampler_options)
+    return Experiment(data, config, theta0=theta0, seed=seed).run()

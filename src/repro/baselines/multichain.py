@@ -14,6 +14,7 @@ work and the idealized parallel-time model the paper uses.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -58,7 +59,7 @@ class MultiChainSampler:
         across chains; ``burn_in`` is per chain (that is the point).
     """
 
-    engine_factory: object
+    engine_factory: Callable[[], LikelihoodEngine]
     theta: float
     n_chains: int
     config: SamplerConfig
@@ -81,11 +82,13 @@ class MultiChainSampler:
         total_time = 0.0
         per_chain_results: list[ChainResult] = []
 
+        # Independent per-chain streams via the SeedSequence spawn tree: child
+        # streams are provably non-overlapping, unlike ad-hoc integer reseeding.
+        child_rngs = rng.spawn(self.n_chains)
         for chain_index in range(self.n_chains):
-            engine: LikelihoodEngine = self.engine_factory()  # type: ignore[operator]
+            engine = self.engine_factory()
             sampler = LamarcSampler(engine=engine, theta=self.theta, config=chain_cfg)
-            child_rng = np.random.default_rng(rng.integers(2**63))
-            result = sampler.run(initial_tree, child_rng)
+            result = sampler.run(initial_tree, child_rngs[chain_index])
             per_chain_results.append(result)
 
             mat = result.interval_matrix

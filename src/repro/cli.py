@@ -1,30 +1,57 @@
-"""Command-line entry point: ``mpcgs <seqdata.phy> <init theta>``.
+"""Command-line interface: ``mpcgs <subcommand>``.
 
-Mirrors the proof-of-concept program's interface (Section 5.1.1): the first
-argument is a PHYLIP sequence file, the second an initial (driving) estimate
-of θ.  Additional options expose the knobs a study would actually tune —
-proposal-set size, chain lengths, EM iterations, the likelihood engine, and
-the random seed — and the output reports the per-iteration θ trajectory and
-the final maximum-likelihood estimate.
+The CLI is a thin shell over the :mod:`repro.api` facade and the sampler /
+engine / model registries of :mod:`repro.core.registry`:
+
+``mpcgs run``
+    Maximum-likelihood θ estimation — the EM driver of Fig. 11 — with any
+    registered chain sampler (``--sampler gmh|lamarc|multichain|heated``).
+``mpcgs bayes``
+    Bayesian θ estimation with the joint (genealogy, θ) sampler: posterior
+    mean/median and credible interval instead of a likelihood maximizer.
+``mpcgs baseline``
+    The classic single-proposal baselines end-to-end (defaults to the
+    LAMARC-style sampler), for accuracy comparisons against ``run``.
+``mpcgs info``
+    List the registered samplers, likelihood engines, and mutation models.
+
+Every run subcommand accepts ``--config spec.json`` — a serialized
+:class:`~repro.api.RunSpec` (or bare :class:`~repro.core.config.MPCGSConfig`
+document) — with explicit flags overriding the spec, and ``--save-config``
+to write the fully-resolved spec back out for replay.
+
+The original flat invocation ``mpcgs <seqdata.phy> <init theta> [options]``
+(Section 5.1.1 of the paper) still works: when the first argument is not a
+subcommand it is routed through the legacy parser unchanged.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from dataclasses import replace
 from typing import Sequence
 
 import numpy as np
 
+from .api import Experiment, RunSpec
 from .core.config import EstimatorConfig, MPCGSConfig, SamplerConfig
-from .core.mpcgs import MPCGS
+from .core.registry import available_engines, available_models, available_samplers
 from .sequences.phylip import read_phylip
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "build_cli", "main"]
+
+SUBCOMMANDS = ("run", "bayes", "baseline", "info")
+
+
+# ---------------------------------------------------------------------------
+# Legacy flat parser (``mpcgs data.phy 0.5 --proposals 8``)
+# ---------------------------------------------------------------------------
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """The mpcgs argument parser (exposed separately for testing)."""
+    """The legacy flat mpcgs argument parser (exposed separately for testing)."""
     parser = argparse.ArgumentParser(
         prog="mpcgs",
         description="Multi-proposal coalescent genealogy sampler: estimate θ from sequence data.",
@@ -62,8 +89,8 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """Run the sampler from the command line; returns a process exit code."""
+def _main_legacy(argv: Sequence[str]) -> int:
+    """The original flat invocation, kept byte-compatible for scripts."""
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -89,8 +116,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         likelihood_engine=args.engine,
         mutation_model=args.model,
     )
-    rng = np.random.default_rng(args.seed)
-    driver = MPCGS(alignment, config)
+    experiment = Experiment(alignment, config, theta0=args.initial_theta, seed=args.seed)
 
     if not args.quiet:
         print(
@@ -99,19 +125,333 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         print(f"Watterson theta (sanity anchor): {alignment.watterson_theta():.4f}")
 
-    result = driver.run(theta0=args.initial_theta, rng=rng)
+    report = experiment.run()
 
     if not args.quiet:
-        for it in result.iterations:
-            print(
-                f"  EM iteration {it.iteration + 1}: driving theta={it.driving_theta:.5f} "
-                f"-> estimate {it.estimate.theta:.5f} "
-                f"(acceptance {it.chain.acceptance_rate:.2f}, "
-                f"{it.chain.n_likelihood_evaluations} likelihood evaluations, "
-                f"{it.chain.wall_time_seconds:.2f}s)"
-            )
-    print(f"theta estimate: {result.theta:.6f}")
+        _print_em_iterations(report)
+    print(f"theta estimate: {report.theta:.6f}")
     return 0
+
+
+# ---------------------------------------------------------------------------
+# Subcommand CLI
+# ---------------------------------------------------------------------------
+
+
+def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "sequence_file",
+        nargs="?",
+        default=None,
+        help="PHYLIP file of aligned sequences (optional when --config names one)",
+    )
+    parser.add_argument(
+        "initial_theta",
+        nargs="?",
+        type=float,
+        default=None,
+        help="initial driving θ (default: the spec's theta0, else the Watterson estimate)",
+    )
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--config",
+        metavar="SPEC.JSON",
+        default=None,
+        help="run-spec JSON document (flags given explicitly override it)",
+    )
+    parser.add_argument(
+        "--save-config",
+        metavar="OUT.JSON",
+        default=None,
+        help="write the fully-resolved run spec to this file before running",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="random seed (default: spec/entropy)")
+    parser.add_argument("--quiet", action="store_true", help="print only the final estimate")
+    parser.add_argument("--json", action="store_true", help="print the full report as JSON")
+
+
+def _add_chain_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--proposals", type=int, default=None, help="GMH proposal-set size N")
+    parser.add_argument("--samples", type=int, default=None, help="genealogy samples per chain run")
+    parser.add_argument("--burn-in", type=int, default=None, help="burn-in samples per chain run")
+    parser.add_argument("--thin", type=int, default=None, help="keep one sample every THIN draws")
+    parser.add_argument(
+        "--engine", choices=sorted(available_engines()), default=None, help="likelihood engine"
+    )
+    parser.add_argument(
+        "--model",
+        choices=sorted(name.upper() for name in available_models()),
+        default=None,
+        help="nucleotide substitution model",
+    )
+
+
+def build_cli() -> argparse.ArgumentParser:
+    """The subcommand-based mpcgs parser (``run``/``bayes``/``baseline``/``info``)."""
+    parser = argparse.ArgumentParser(
+        prog="mpcgs",
+        description=(
+            "Multi-proposal coalescent genealogy sampler: estimate θ from sequence data. "
+            "Legacy flat invocation (mpcgs data.phy 0.5 [options]) is still accepted."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser(
+        "run", help="maximum-likelihood θ estimation (EM driver, any registered sampler)"
+    )
+    _add_data_arguments(p_run)
+    _add_spec_arguments(p_run)
+    _add_chain_arguments(p_run)
+    p_run.add_argument(
+        "--sampler",
+        choices=[n for n in available_samplers() if n != "bayesian"],
+        default=None,
+        help="chain sampler driving the EM loop (default: the spec's, else gmh)",
+    )
+    p_run.add_argument("--em-iterations", type=int, default=None, help="number of EM iterations")
+    p_run.add_argument(
+        "--n-chains", type=int, default=None, help="chain count for multichain/heated samplers"
+    )
+    p_run.set_defaults(handler=_cmd_run, default_sampler=None)
+
+    p_bayes = sub.add_parser(
+        "bayes", help="Bayesian θ estimation (joint genealogy-θ sampler, posterior summaries)"
+    )
+    _add_data_arguments(p_bayes)
+    _add_spec_arguments(p_bayes)
+    _add_chain_arguments(p_bayes)
+    p_bayes.add_argument(
+        "--prior-shape", type=float, default=None, help="inverse-gamma prior shape (default 0)"
+    )
+    p_bayes.add_argument(
+        "--prior-scale", type=float, default=None, help="inverse-gamma prior scale (default 0)"
+    )
+    p_bayes.add_argument(
+        "--credible-mass", type=float, default=0.95, help="credible-interval mass (default 0.95)"
+    )
+    p_bayes.set_defaults(handler=_cmd_bayes)
+
+    p_baseline = sub.add_parser(
+        "baseline", help="classic single-proposal baselines end-to-end (default: lamarc)"
+    )
+    _add_data_arguments(p_baseline)
+    _add_spec_arguments(p_baseline)
+    _add_chain_arguments(p_baseline)
+    p_baseline.add_argument(
+        "--sampler",
+        choices=("lamarc", "multichain", "heated"),
+        default=None,
+        help="baseline sampler (default: lamarc)",
+    )
+    p_baseline.add_argument("--em-iterations", type=int, default=None, help="number of EM iterations")
+    p_baseline.add_argument(
+        "--n-chains", type=int, default=None, help="chain count for multichain/heated samplers"
+    )
+    p_baseline.set_defaults(handler=_cmd_run, default_sampler="lamarc")
+
+    p_info = sub.add_parser(
+        "info", help="list registered samplers, likelihood engines, and mutation models"
+    )
+    p_info.add_argument("--json", action="store_true", help="print the registries as JSON")
+    p_info.set_defaults(handler=_cmd_info)
+
+    return parser
+
+
+def _resolve_spec(args: argparse.Namespace, parser: argparse.ArgumentParser) -> RunSpec:
+    """Merge ``--config`` (if any) with explicitly-given flags into one spec."""
+    if args.config is not None:
+        try:
+            spec = RunSpec.load(args.config)
+        except (OSError, ValueError) as exc:
+            parser.error(f"cannot load --config {args.config!r}: {exc}")
+    else:
+        spec = RunSpec()
+    cfg = spec.config
+
+    chain_changes = {}
+    if args.proposals is not None:
+        chain_changes["n_proposals"] = args.proposals
+    if args.samples is not None:
+        chain_changes["n_samples"] = args.samples
+    if args.burn_in is not None:
+        chain_changes["burn_in"] = args.burn_in
+    if args.thin is not None:
+        chain_changes["thin"] = args.thin
+    if chain_changes:
+        cfg = replace(cfg, sampler=cfg.sampler.scaled(**chain_changes))
+
+    config_changes = {}
+    if args.engine is not None:
+        config_changes["likelihood_engine"] = args.engine
+    if args.model is not None:
+        config_changes["mutation_model"] = args.model
+    if getattr(args, "em_iterations", None) is not None:
+        config_changes["n_em_iterations"] = args.em_iterations
+    if config_changes:
+        cfg = replace(cfg, **config_changes)
+
+    sequence_file = args.sequence_file if args.sequence_file is not None else spec.sequence_file
+    theta0 = args.initial_theta if args.initial_theta is not None else spec.theta0
+    seed = args.seed if args.seed is not None else spec.seed
+    if sequence_file is None:
+        parser.error("no sequence file given (positionally or via --config)")
+    if theta0 is not None and theta0 <= 0:
+        parser.error("initial_theta must be positive")
+    return RunSpec(config=cfg, sequence_file=sequence_file, theta0=theta0, seed=seed)
+
+
+def _build_experiment(spec: RunSpec, args: argparse.Namespace) -> Experiment | None:
+    """Build the experiment, or print an error and return ``None`` (exit code 2)."""
+    if args.save_config is not None:
+        spec.save(args.save_config)
+    try:
+        return Experiment.from_spec(spec)
+    except (OSError, ValueError) as exc:
+        print(f"error reading {spec.sequence_file!r}: {exc}", file=sys.stderr)
+        return None
+
+
+def _print_em_iterations(report) -> None:
+    for it in report.result.iterations:
+        print(
+            f"  EM iteration {it.iteration + 1}: driving theta={it.driving_theta:.5f} "
+            f"-> estimate {it.estimate.theta:.5f} "
+            f"(acceptance {it.chain.acceptance_rate:.2f}, "
+            f"{it.chain.n_likelihood_evaluations} likelihood evaluations, "
+            f"{it.chain.wall_time_seconds:.2f}s)"
+        )
+
+
+def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """``mpcgs run`` and ``mpcgs baseline``: EM maximum-likelihood estimation."""
+    spec = _resolve_spec(args, parser)
+    cfg = spec.config
+    sampler = args.sampler or args.default_sampler
+    if sampler is not None:
+        # with_sampler drops the spec's old per-sampler options on a switch
+        # (a leftover n_chains would not be accepted by the gmh builder).
+        cfg = cfg.with_sampler(sampler)
+    if args.n_chains is not None:
+        if cfg.sampler_name not in ("multichain", "heated"):
+            parser.error(
+                f"--n-chains applies to the multichain and heated samplers, "
+                f"not {cfg.sampler_name!r}"
+            )
+        cfg = replace(cfg, sampler_options={**cfg.sampler_options, "n_chains": args.n_chains})
+    if cfg.sampler_name == "bayesian":
+        parser.error("the bayesian sampler has no maximization stage; use `mpcgs bayes`")
+    spec = replace(spec, config=cfg)
+
+    experiment = _build_experiment(spec, args)
+    if experiment is None:
+        return 2
+    alignment = experiment.alignment
+    if not args.quiet and not args.json:
+        print(
+            f"mpcgs: {alignment.n_sequences} sequences x {alignment.n_sites} sites, "
+            f"sampler={cfg.sampler_name}, engine={cfg.likelihood_engine}, "
+            f"model={cfg.mutation_model}"
+        )
+        print(f"Watterson theta (sanity anchor): {alignment.watterson_theta():.4f}")
+
+    report = experiment.run()
+
+    if args.json:
+        print(report.to_json())
+        return 0
+    if not args.quiet:
+        _print_em_iterations(report)
+    print(f"theta estimate: {report.theta:.6f}")
+    return 0
+
+
+def _cmd_bayes(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """``mpcgs bayes``: posterior summaries from the joint (G, θ) sampler."""
+    spec = _resolve_spec(args, parser)
+    cfg = spec.config
+    options = dict(cfg.sampler_options)
+    if args.prior_shape is not None:
+        options["prior_shape"] = args.prior_shape
+    if args.prior_scale is not None:
+        options["prior_scale"] = args.prior_scale
+    if cfg.sampler_name != "bayesian":
+        options = {k: v for k, v in options.items() if k in ("prior_shape", "prior_scale")}
+    cfg = replace(cfg, sampler_name="bayesian", sampler_options=options)
+    spec = replace(spec, config=cfg)
+
+    experiment = _build_experiment(spec, args)
+    if experiment is None:
+        return 2
+    alignment = experiment.alignment
+    if not args.quiet and not args.json:
+        print(
+            f"mpcgs bayes: {alignment.n_sequences} sequences x {alignment.n_sites} sites, "
+            f"engine={cfg.likelihood_engine}, model={cfg.mutation_model}"
+        )
+
+    report = experiment.run()
+
+    if args.json:
+        print(report.to_json())
+        return 0
+    posterior = report.result
+    if not args.quiet:
+        lo, hi = posterior.credible_interval(args.credible_mass)
+        print(f"posterior median: {posterior.posterior_median():.6f}")
+        print(
+            f"{100 * args.credible_mass:.0f}% credible interval: [{lo:.6f}, {hi:.6f}] "
+            f"({report.n_samples} retained draws)"
+        )
+    print(f"posterior mean theta: {report.theta:.6f}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """``mpcgs info``: discoverability for the three registries."""
+    from . import __version__
+
+    registries = {
+        "samplers": available_samplers(),
+        "engines": available_engines(),
+        "models": {name.upper(): desc for name, desc in available_models().items()},
+    }
+    if args.json:
+        import json
+
+        print(json.dumps({"version": __version__, **registries}, indent=2))
+        return 0
+    print(f"mpcgs {__version__}")
+    for section, entries in registries.items():
+        print(f"\n{section}:")
+        width = max(len(name) for name in entries)
+        for name, description in entries.items():
+            print(f"  {name:<{width}}  {description}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code.
+
+    Dispatches to the subcommand parser when the first argument names a
+    subcommand, and to the legacy flat parser otherwise.
+    """
+    args_list = list(sys.argv[1:] if argv is None else argv)
+    try:
+        if args_list and args_list[0] in SUBCOMMANDS:
+            parser = build_cli()
+            args = parser.parse_args(args_list)
+            return args.handler(args, parser)
+        return _main_legacy(args_list)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly instead of
+        # tracebacking (the dup2 avoids a second error at shutdown).
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via the console script

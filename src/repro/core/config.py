@@ -4,13 +4,34 @@ Collects every tunable of the program flow in Fig. 11 — proposal-set size,
 burn-in length, samples per EM iteration, number of EM iterations, and the
 likelihood/maximization knobs — in one validated dataclass so drivers,
 benchmarks, and the CLI share a single source of truth.
+
+Every config is fully serializable: ``to_dict``/``from_dict`` round-trip
+losslessly and ``MPCGSConfig.to_json``/``from_json`` make a whole experiment
+one portable document, which is what the ``--config spec.json`` path of the
+CLI and the :mod:`repro.api` facade consume.  The JSON document uses the key
+``"sampler"`` for the sampler *name* (mirroring how LAMARC's menu selects a
+strategy by name) and ``"chain"`` for the chain-length block.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Mapping
 
-__all__ = ["SamplerConfig", "EstimatorConfig", "MPCGSConfig"]
+__all__ = ["SamplerConfig", "EstimatorConfig", "MPCGSConfig", "DEFAULT_SAMPLER"]
+
+DEFAULT_SAMPLER = "gmh"
+
+
+def _check_known_keys(cls, data: Mapping[str, Any]) -> None:
+    """Reject unknown keys so a typo in a spec file fails loudly, not silently."""
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} keys {unknown}; valid keys are {sorted(known)}"
+        )
 
 
 @dataclass(frozen=True)
@@ -62,6 +83,16 @@ class SamplerConfig:
         """Return a copy with the given fields replaced (convenience for sweeps)."""
         return replace(self, **changes)
 
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-safe)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SamplerConfig":
+        """Inverse of :meth:`to_dict`; unknown keys raise ``ValueError``."""
+        _check_known_keys(cls, data)
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class EstimatorConfig:
@@ -82,10 +113,29 @@ class EstimatorConfig:
         if self.max_step_halvings < 1:
             raise ValueError("max_step_halvings must be at least 1")
 
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-safe)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EstimatorConfig":
+        """Inverse of :meth:`to_dict`; unknown keys raise ``ValueError``."""
+        _check_known_keys(cls, data)
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class MPCGSConfig:
-    """Top-level configuration of the EM driver (Fig. 11 main loop)."""
+    """Top-level configuration of the EM driver (Fig. 11 main loop).
+
+    ``sampler`` holds the chain-length block (a :class:`SamplerConfig`);
+    ``sampler_name`` selects which registered sampler runs the chain
+    (``"gmh"`` is the paper's multi-proposal sampler, and any name from
+    :func:`repro.core.registry.available_samplers` works), with
+    ``sampler_options`` passed through to that sampler's builder.  As a
+    convenience ``MPCGSConfig(sampler="lamarc")`` — a string instead of a
+    ``SamplerConfig`` — is accepted and treated as ``sampler_name``.
+    """
 
     sampler: SamplerConfig = field(default_factory=SamplerConfig)
     estimator: EstimatorConfig = field(default_factory=EstimatorConfig)
@@ -93,9 +143,95 @@ class MPCGSConfig:
     theta_convergence_tol: float = 1e-3
     likelihood_engine: str = "batched"
     mutation_model: str = "F81"
+    sampler_name: str = DEFAULT_SAMPLER
+    sampler_options: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        if isinstance(self.sampler, str):
+            # MPCGSConfig(sampler="lamarc") selects a sampler by name while
+            # keeping default chain lengths.
+            object.__setattr__(self, "sampler_name", self.sampler)
+            object.__setattr__(self, "sampler", SamplerConfig())
         if self.n_em_iterations < 1:
             raise ValueError("n_em_iterations must be at least 1")
         if self.theta_convergence_tol <= 0:
             raise ValueError("theta_convergence_tol must be positive")
+        if not self.sampler_name:
+            raise ValueError("sampler_name must be a non-empty sampler name")
+        # Registry keys are lowercase; canonicalize here so name comparisons
+        # (e.g. the CLI's bayesian dispatch) cannot miss on case.
+        object.__setattr__(self, "sampler_name", self.sampler_name.lower())
+
+    def with_sampler(self, name: str, **options) -> "MPCGSConfig":
+        """Copy of this config selecting a different sampler (and its options).
+
+        Passing any keyword options replaces ``sampler_options`` wholesale.
+        Passing none keeps the current options only when ``name`` is the
+        current sampler; switching samplers drops them, because options are
+        per-sampler (a leftover ``n_chains`` would crash the gmh builder).
+        """
+        if options:
+            new_options = dict(options)
+        elif name.lower() == self.sampler_name:
+            new_options = dict(self.sampler_options)
+        else:
+            new_options = {}
+        return replace(self, sampler_name=name, sampler_options=new_options)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dict: ``"sampler"`` is the sampler *name*, ``"chain"`` the lengths."""
+        return {
+            "sampler": self.sampler_name,
+            "sampler_options": dict(self.sampler_options),
+            "chain": self.sampler.to_dict(),
+            "estimator": self.estimator.to_dict(),
+            "n_em_iterations": self.n_em_iterations,
+            "theta_convergence_tol": self.theta_convergence_tol,
+            "likelihood_engine": self.likelihood_engine,
+            "mutation_model": self.mutation_model,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MPCGSConfig":
+        """Inverse of :meth:`to_dict`.
+
+        Accepts both the serialized layout (``"sampler"`` a name string and
+        ``"chain"`` the length block) and the constructor layout
+        (``"sampler"`` a nested ``SamplerConfig`` dict, ``"sampler_name"`` a
+        string), so hand-written and machine-written specs both load.
+        """
+        data = dict(data)
+        kwargs: dict[str, Any] = {}
+
+        sampler_value = data.pop("sampler", None)
+        if isinstance(sampler_value, str):
+            kwargs["sampler_name"] = sampler_value
+        elif isinstance(sampler_value, Mapping):
+            kwargs["sampler"] = SamplerConfig.from_dict(sampler_value)
+        elif sampler_value is not None:
+            raise ValueError("'sampler' must be a sampler name or a chain-config mapping")
+
+        if "chain" in data:
+            kwargs["sampler"] = SamplerConfig.from_dict(data.pop("chain"))
+        if "sampler_name" in data:
+            kwargs["sampler_name"] = data.pop("sampler_name")
+        if "sampler_options" in data:
+            kwargs["sampler_options"] = dict(data.pop("sampler_options"))
+        if "estimator" in data:
+            kwargs["estimator"] = EstimatorConfig.from_dict(data.pop("estimator"))
+
+        _check_known_keys(cls, data)
+        kwargs.update(data)
+        return cls(**kwargs)
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """Serialize to a JSON document (the CLI's ``--config`` format)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MPCGSConfig":
+        """Inverse of :meth:`to_json`."""
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError("a config document must be a JSON object")
+        return cls.from_dict(data)

@@ -11,28 +11,33 @@ does:
    adopt the maximizer as the next driving value,
 4. return the final θ estimate together with the per-iteration history.
 
-The same driver can run the *baseline* single-proposal sampler (by setting
-``n_proposals=1`` or passing an explicit sampler factory), which is how the
-accuracy comparison of Table 1 puts both samplers on identical footing.
+The same driver can run any registered sampler in place of the
+multi-proposal chain — set ``n_proposals=1`` for the single-proposal
+reduction, name a sampler in the config (``MPCGSConfig(sampler="lamarc")``),
+or pass an explicit ``sampler_factory`` to :meth:`MPCGS.run` — which is how
+the accuracy comparison of Table 1 puts both samplers on identical footing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from ..diagnostics.traces import ChainResult
 from ..genealogy.tree import Genealogy
 from ..genealogy.upgma import upgma_tree
-from ..likelihood.engines import make_engine
+from ..likelihood.engines import LikelihoodEngine, make_engine
 from ..likelihood.mutation_models import make_model
 from ..sequences.alignment import Alignment
 from .config import MPCGSConfig
 from .estimator import RelativeLikelihood, ThetaEstimate, maximize_theta
-from .sampler import MultiProposalSampler
+from .registry import Sampler, sampler_factory as registry_sampler_factory
 
-__all__ = ["MPCGS", "EMIteration", "MPCGSResult"]
+SamplerFactory = Callable[[Callable[[], LikelihoodEngine], float], Sampler]
+
+__all__ = ["MPCGS", "EMIteration", "MPCGSResult", "SamplerFactory"]
 
 
 @dataclass(frozen=True)
@@ -87,12 +92,17 @@ class MPCGS:
         """The UPGMA seed genealogy scaled by the driving θ (Section 5.1.3)."""
         return upgma_tree(self.alignment, driving_theta=theta0)
 
+    def _engine_factory(self) -> Callable[[], LikelihoodEngine]:
+        """Zero-argument builder of fresh engines (one per EM iteration or chain)."""
+        return lambda: make_engine(self.config.likelihood_engine, self.alignment, self.model)
+
     def run(
         self,
         theta0: float,
         rng: np.random.Generator,
         *,
         initial_tree: Genealogy | None = None,
+        sampler_factory: SamplerFactory | None = None,
     ) -> MPCGSResult:
         """Estimate θ from the alignment starting from the driving value ``theta0``.
 
@@ -106,17 +116,28 @@ class MPCGS:
             NumPy random generator for the whole run.
         initial_tree:
             Optional starting genealogy; defaults to the UPGMA tree.
+        sampler_factory:
+            Explicit ``(engine_factory, theta) -> Sampler`` used to build
+            each EM iteration's chain.  Defaults to the registry builder for
+            ``config.sampler_name`` (the multi-proposal GMH sampler unless
+            the config names another one);
+            :func:`repro.core.registry.sampler_factory` constructs suitable
+            factories for any registered sampler.
         """
         if theta0 <= 0:
             raise ValueError("theta0 must be positive")
         cfg = self.config
+        if sampler_factory is None:
+            sampler_factory = registry_sampler_factory(
+                cfg.sampler_name, cfg.sampler, **cfg.sampler_options
+            )
+        engine_factory = self._engine_factory()
         theta = float(theta0)
         tree = initial_tree if initial_tree is not None else self.initial_tree(theta)
         result = MPCGSResult(theta=theta)
 
         for iteration in range(cfg.n_em_iterations):
-            engine = make_engine(cfg.likelihood_engine, self.alignment, self.model)
-            sampler = MultiProposalSampler(engine=engine, theta=theta, config=cfg.sampler)
+            sampler = sampler_factory(engine_factory, theta)
             chain = sampler.run(tree, rng)
 
             likelihood = RelativeLikelihood(chain.interval_matrix, driving_theta=theta)

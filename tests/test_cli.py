@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_cli, build_parser, main
 from repro.sequences.phylip import write_phylip
 from repro.simulate.datasets import synthesize_dataset
 
@@ -98,3 +100,181 @@ class TestMain:
             )
             outputs.append(capsys.readouterr().out)
         assert outputs[0] == outputs[1]
+
+
+FAST_ARGS = ["--samples", "20", "--burn-in", "5", "--proposals", "4", "--seed", "7"]
+
+
+class TestSubcommandParser:
+    def test_subcommands_exist(self):
+        parser = build_cli()
+        for command in ("run", "bayes", "baseline", "info"):
+            args = parser.parse_args([command] if command == "info" else [command, "d.phy", "1.0"])
+            assert args.command == command
+
+    def test_unknown_subcommand_falls_back_to_legacy(self, phylip_file, capsys):
+        # A PHYLIP path is not a subcommand, so the flat interface still works.
+        rc = main([phylip_file, "0.5", *FAST_ARGS, "--em-iterations", "1", "--quiet"])
+        assert rc == 0
+        assert capsys.readouterr().out.startswith("theta estimate:")
+
+
+class TestRunSubcommand:
+    def test_matches_legacy_estimate(self, phylip_file, capsys):
+        legacy_argv = [phylip_file, "0.5", *FAST_ARGS, "--em-iterations", "2", "--quiet"]
+        assert main(legacy_argv) == 0
+        legacy_out = capsys.readouterr().out
+        assert main(["run", *legacy_argv]) == 0
+        assert capsys.readouterr().out == legacy_out
+
+    def test_config_spec_drives_the_run(self, phylip_file, tmp_path, capsys):
+        spec = {
+            "sequence_file": phylip_file,
+            "theta0": 0.5,
+            "seed": 7,
+            "config": {
+                "sampler": "gmh",
+                "chain": {"n_proposals": 4, "n_samples": 20, "burn_in": 5},
+                "n_em_iterations": 2,
+            },
+        }
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        assert main(["run", "--config", str(spec_path), "--quiet"]) == 0
+        from_spec = capsys.readouterr().out
+        assert main([phylip_file, "0.5", *FAST_ARGS, "--em-iterations", "2", "--quiet"]) == 0
+        assert from_spec == capsys.readouterr().out
+
+    def test_json_report(self, phylip_file, capsys):
+        rc = main(["run", phylip_file, "0.5", *FAST_ARGS, "--em-iterations", "1", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sampler"] == "gmh"
+        assert payload["theta"] > 0
+        assert payload["config"]["chain"]["n_proposals"] == 4
+
+    def test_save_config_writes_resolved_spec(self, phylip_file, tmp_path, capsys):
+        out = tmp_path / "resolved.json"
+        rc = main(
+            ["run", phylip_file, "0.5", *FAST_ARGS, "--em-iterations", "1",
+             "--save-config", str(out), "--quiet"]
+        )
+        assert rc == 0
+        saved = json.loads(out.read_text())
+        assert saved["sequence_file"] == phylip_file
+        assert saved["config"]["chain"]["n_proposals"] == 4
+        capsys.readouterr()
+
+    def test_non_gmh_sampler_end_to_end(self, phylip_file, capsys):
+        rc = main(
+            ["run", phylip_file, "0.5", "--sampler", "multichain", "--n-chains", "2",
+             *FAST_ARGS, "--em-iterations", "1", "--quiet"]
+        )
+        assert rc == 0
+        assert capsys.readouterr().out.startswith("theta estimate:")
+
+    def test_bayesian_rejected_with_pointer_to_bayes(self, phylip_file, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({"sequence_file": phylip_file, "sampler": "bayesian"}))
+        with pytest.raises(SystemExit):
+            main(["run", "--config", str(spec_path)])
+
+    def test_missing_sequence_file_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--seed", "1"])
+
+    def test_unreadable_file_returns_error_code(self, capsys):
+        assert main(["run", "/nonexistent/file.phy", "1.0", "--quiet"]) == 2
+        assert "error reading" in capsys.readouterr().err
+
+
+class TestBaselineSubcommand:
+    def test_defaults_to_lamarc(self, phylip_file, capsys):
+        rc = main(["baseline", phylip_file, "0.5", *FAST_ARGS, "--em-iterations", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sampler=lamarc" in out
+        assert "theta estimate:" in out
+
+    def test_heated_baseline(self, phylip_file, capsys):
+        rc = main(
+            ["baseline", phylip_file, "0.5", "--sampler", "heated", "--n-chains", "2",
+             *FAST_ARGS, "--em-iterations", "1", "--quiet"]
+        )
+        assert rc == 0
+        assert capsys.readouterr().out.startswith("theta estimate:")
+
+
+class TestBayesSubcommand:
+    def test_posterior_summaries(self, phylip_file, capsys):
+        rc = main(["bayes", phylip_file, *FAST_ARGS])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "posterior mean theta:" in out
+        assert "credible interval" in out
+
+    def test_json_report(self, phylip_file, capsys):
+        rc = main(["bayes", phylip_file, *FAST_ARGS, "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sampler"] == "bayesian"
+        assert payload["diagnostics"]["mode"] == "bayesian"
+
+    def test_seeded_runs_reproducible(self, phylip_file, capsys):
+        outputs = []
+        for _ in range(2):
+            assert main(["bayes", phylip_file, *FAST_ARGS, "--quiet"]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+
+class TestInfoSubcommand:
+    def test_lists_all_registries(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        for section in ("samplers:", "engines:", "models:"):
+            assert section in out
+        for name in ("gmh", "lamarc", "multichain", "heated", "bayesian"):
+            assert name in out
+        assert "batched" in out
+        assert "F81" in out
+
+    def test_json_output(self, capsys):
+        assert main(["info", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["samplers"]) == {"bayesian", "gmh", "heated", "lamarc", "multichain"}
+        assert "version" in payload
+
+
+class TestSamplerSwitchHygiene:
+    """CLI regression tests for stale-option and case-normalization crashes."""
+
+    def test_sampler_override_drops_spec_options(self, phylip_file, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "sequence_file": phylip_file,
+                    "theta0": 0.5,
+                    "seed": 7,
+                    "config": {
+                        "sampler": "multichain",
+                        "sampler_options": {"n_chains": 2},
+                        "chain": {"n_proposals": 4, "n_samples": 20, "burn_in": 5},
+                        "n_em_iterations": 1,
+                    },
+                }
+            )
+        )
+        assert main(["run", "--config", str(spec_path), "--sampler", "gmh", "--quiet"]) == 0
+        assert capsys.readouterr().out.startswith("theta estimate:")
+
+    def test_n_chains_rejected_for_single_chain_samplers(self, phylip_file):
+        with pytest.raises(SystemExit):
+            main(["run", phylip_file, "0.5", "--n-chains", "3", *FAST_ARGS])
+
+    def test_mixed_case_bayesian_spec_still_routed_to_bayes_error(self, phylip_file, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({"sequence_file": phylip_file, "sampler": "Bayesian"}))
+        with pytest.raises(SystemExit):
+            main(["run", "--config", str(spec_path)])

@@ -83,3 +83,51 @@ class TestDriver:
         )
         result = MPCGS(small_dataset.alignment, cfg).run(theta0=0.5, rng=rng)
         assert result.theta > 0
+
+
+class TestSamplerFactory:
+    """The driver honors an explicit sampler factory (and the config's sampler name)."""
+
+    def test_explicit_sampler_factory_is_used(self, small_dataset, quick_config, rng):
+        from repro.baselines.lamarc import LamarcSampler
+        from repro.core.registry import sampler_factory
+
+        built = []
+
+        def factory(engine_factory, theta):
+            sampler = sampler_factory("lamarc", quick_config.sampler)(engine_factory, theta)
+            built.append(sampler)
+            return sampler
+
+        result = MPCGS(small_dataset.alignment, quick_config).run(
+            theta0=0.5, rng=rng, sampler_factory=factory
+        )
+        assert result.theta > 0
+        assert built and all(isinstance(s, LamarcSampler) for s in built)
+        # Each EM iteration builds a fresh sampler at the current driving theta.
+        assert len(built) == len(result.iterations)
+        assert built[0].theta == 0.5
+
+    def test_config_sampler_name_selects_the_chain(self, small_dataset, rng):
+        config = MPCGSConfig(
+            sampler=SamplerConfig(n_proposals=2, n_samples=30, burn_in=10),
+            n_em_iterations=2,
+            sampler_name="multichain",
+            sampler_options={"n_chains": 2},
+        )
+        result = MPCGS(small_dataset.alignment, config).run(theta0=0.5, rng=rng)
+        assert result.theta > 0
+        assert result.iterations[0].chain.extras["n_chains"] == 2
+
+    def test_default_factory_matches_hardcoded_gmh(self, small_dataset, quick_config):
+        from repro.core.registry import sampler_factory
+
+        explicit = MPCGS(small_dataset.alignment, quick_config).run(
+            theta0=0.5,
+            rng=np.random.default_rng(5),
+            sampler_factory=sampler_factory("gmh", quick_config.sampler),
+        )
+        default = MPCGS(small_dataset.alignment, quick_config).run(
+            theta0=0.5, rng=np.random.default_rng(5)
+        )
+        assert explicit.theta == default.theta
