@@ -139,6 +139,8 @@ class HeatedChainSampler:
             raise ValueError("the sampler requires at least three sequences")
         trace = ChainTrace(n_intervals=initial_tree.n_tips - 1)
 
+        # Engines may be shared across runs; report per-run deltas.
+        evals_before = self.engine.n_evaluations
         initial_loglik = self.engine.evaluate(initial_tree)
         chains = [
             _ChainState(beta=beta, tree=initial_tree, log_likelihood=initial_loglik)
@@ -175,7 +177,7 @@ class HeatedChainSampler:
             n_proposal_sets=sweeps * self.n_chains,
             n_accepted=cold.accepted,
             n_decisions=cold.steps,
-            n_likelihood_evaluations=self.engine.n_evaluations,
+            n_likelihood_evaluations=self.engine.n_evaluations - evals_before,
             wall_time_seconds=elapsed,
             extras={
                 "temperatures": list(self.temperatures),

@@ -65,6 +65,9 @@ class LamarcSampler:
             raise ValueError("the sampler requires at least three sequences")
         trace = ChainTrace(n_intervals=initial_tree.n_tips - 1)
 
+        # Engines may be shared across runs; report per-run deltas.
+        evals_before = self.engine.n_evaluations
+
         current = initial_tree
         current_loglik = self.engine.evaluate(current)
 
@@ -100,7 +103,7 @@ class LamarcSampler:
             n_proposal_sets=n_steps,
             n_accepted=n_accepted,
             n_decisions=n_steps,
-            n_likelihood_evaluations=self.engine.n_evaluations,
+            n_likelihood_evaluations=self.engine.n_evaluations - evals_before,
             wall_time_seconds=elapsed,
             extras={"burn_in": cfg.burn_in},
         )

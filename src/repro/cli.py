@@ -72,7 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=("serial", "vectorized", "batched"),
+        choices=("serial", "vectorized", "batched", "cached"),
         default="batched",
         help="likelihood evaluation engine (default: batched)",
     )

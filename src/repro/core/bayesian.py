@@ -182,6 +182,8 @@ class BayesianSampler:
         theta_samples: list[float] = []
 
         tree = initial_tree
+        # Engines may be shared across runs; report per-run deltas.
+        evals_before = self.engine.n_evaluations
         loglik = self.engine.evaluate(tree)
         theta = self.initial_theta
 
@@ -208,7 +210,7 @@ class BayesianSampler:
             n_proposal_sets=n_iterations,
             n_accepted=n_moves,
             n_decisions=n_iterations,
-            n_likelihood_evaluations=self.engine.n_evaluations,
+            n_likelihood_evaluations=self.engine.n_evaluations - evals_before,
             wall_time_seconds=elapsed,
             extras={"n_proposals": cfg.n_proposals, "burn_in": cfg.burn_in},
         )

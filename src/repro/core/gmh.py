@@ -122,6 +122,14 @@ class GeneralizedMetropolisHastings:
         if target is None:
             target = self.resimulator.choose_target(current, rng)
 
+        # Sibling proposals share everything outside the resimulated region:
+        # an incremental engine can reuse the generator's cached partials for
+        # all of it, so warm them before the set is evaluated.  (Full-pruning
+        # engines expose no ``prepare`` and skip this.)
+        prepare = getattr(self.engine, "prepare", None)
+        if prepare is not None:
+            prepare(current)
+
         proposals = [
             self.resimulator.propose(current, target, rng).tree
             for _ in range(self.n_proposals)

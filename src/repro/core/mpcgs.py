@@ -37,6 +37,11 @@ from .registry import Sampler, sampler_factory as registry_sampler_factory
 
 SamplerFactory = Callable[[Callable[[], LikelihoodEngine], float], Sampler]
 
+#: Stock samplers whose registry builders call ``engine_factory`` exactly
+#: once, so sharing one cached engine across EM iterations cannot leak work
+#: (or cached partials) between concurrently-counted chains.
+_SINGLE_ENGINE_SAMPLERS = frozenset({"gmh", "lamarc", "heated", "bayesian"})
+
 __all__ = ["MPCGS", "EMIteration", "MPCGSResult", "SamplerFactory"]
 
 
@@ -92,9 +97,28 @@ class MPCGS:
         """The UPGMA seed genealogy scaled by the driving θ (Section 5.1.3)."""
         return upgma_tree(self.alignment, driving_theta=theta0)
 
-    def _engine_factory(self) -> Callable[[], LikelihoodEngine]:
-        """Zero-argument builder of fresh engines (one per EM iteration or chain)."""
-        return lambda: make_engine(self.config.likelihood_engine, self.alignment, self.model)
+    def _engine_factory(self, share_cache: bool = False) -> Callable[[], LikelihoodEngine]:
+        """Zero-argument builder of engines (one per EM iteration or chain).
+
+        By default every call builds a fresh engine so per-chain work
+        counters stay honest (the multi-chain baseline's documented
+        contract).  With ``share_cache=True`` an engine that carries a
+        reusable partial-likelihood cache (it exposes ``clear_cache``) is
+        built once and shared across EM iterations: the cache is keyed only
+        by subtree structure, the alignment, and the mutation model — none
+        of which change when the driving θ moves — so successive iterations
+        keep their warm cache.  Samplers report per-run counter deltas,
+        which keeps the shared instance's statistics per-iteration accurate.
+        """
+        def build() -> LikelihoodEngine:
+            return make_engine(self.config.likelihood_engine, self.alignment, self.model)
+
+        if not share_cache:
+            return build
+        probe = build()
+        if not hasattr(probe, "clear_cache"):
+            return build
+        return lambda: probe
 
     def run(
         self,
@@ -127,11 +151,17 @@ class MPCGS:
         if theta0 <= 0:
             raise ValueError("theta0 must be positive")
         cfg = self.config
+        # Cache sharing is safe only for samplers known to hold a single
+        # engine.  Everything else — the multi-chain baseline (which must
+        # pay and count every chain's full pruning work independently),
+        # custom registered samplers whose engine discipline is unknown, and
+        # explicit sampler_factory callers — gets fresh engines per call.
+        share_cache = sampler_factory is None and cfg.sampler_name in _SINGLE_ENGINE_SAMPLERS
         if sampler_factory is None:
             sampler_factory = registry_sampler_factory(
                 cfg.sampler_name, cfg.sampler, **cfg.sampler_options
             )
-        engine_factory = self._engine_factory()
+        engine_factory = self._engine_factory(share_cache=share_cache)
         theta = float(theta0)
         tree = initial_tree if initial_tree is not None else self.initial_tree(theta)
         result = MPCGSResult(theta=theta)

@@ -74,6 +74,10 @@ class MultiProposalSampler:
             raise ValueError("the sampler requires at least three sequences")
         trace = ChainTrace(n_intervals=initial_tree.n_tips - 1)
 
+        # Engines may be shared across runs (the EM driver keeps one cached
+        # engine alive across iterations), so report per-run deltas.
+        evals_before = self.engine.n_evaluations
+
         current = initial_tree
         current_loglik = self.engine.evaluate(current)
 
@@ -113,7 +117,7 @@ class MultiProposalSampler:
             n_proposal_sets=n_sets,
             n_accepted=n_moves,
             n_decisions=draws_seen,
-            n_likelihood_evaluations=self.engine.n_evaluations,
+            n_likelihood_evaluations=self.engine.n_evaluations - evals_before,
             wall_time_seconds=elapsed,
             extras={
                 "n_proposals": cfg.n_proposals,

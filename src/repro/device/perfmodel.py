@@ -161,13 +161,27 @@ class DeviceModel:
         self.spec = spec or DeviceSpec()
 
     # -- individual kernels ------------------------------------------------ #
-    def data_likelihood_kernel(self, n_sites: int, n_sequences: int) -> KernelCost:
-        """One data-likelihood evaluation: one lane per site, pruning over 2n−1 nodes."""
+    def data_likelihood_kernel(
+        self, n_sites: int, n_sequences: int, n_dirty_nodes: int | None = None
+    ) -> KernelCost:
+        """One data-likelihood evaluation: one lane per site, pruning over 2n−1 nodes.
+
+        ``n_dirty_nodes`` models the incremental (cached-partials) engine: an
+        evaluation that reuses cached partial likelihoods re-prunes only the
+        dirty path from the perturbed region to the root, so each lane sweeps
+        ``n_dirty_nodes`` nodes instead of all ``2n − 1``.  The fixed launch
+        and reduction costs are unchanged — that is why caching yields
+        diminishing wall-clock returns even as the pruning work collapses.
+        """
         if n_sites < 1 or n_sequences < 2:
             raise ValueError("need at least one site and two sequences")
         spec = self.spec
         n_nodes = 2 * n_sequences - 1
-        work_per_site = n_nodes * (1.0 + spec.memory_access_penalty / 8.0)
+        if n_dirty_nodes is None:
+            n_dirty_nodes = n_nodes
+        if not 1 <= n_dirty_nodes <= n_nodes:
+            raise ValueError(f"n_dirty_nodes must be in [1, {n_nodes}]")
+        work_per_site = n_dirty_nodes * (1.0 + spec.memory_access_penalty / 8.0)
         waves = int(np.ceil(n_sites / spec.n_processing_elements))
         parallel = waves * work_per_site
         plan = plan_reduction(n_sites, spec.warp_size)
@@ -180,14 +194,26 @@ class DeviceModel:
             serial_time=serial,
         )
 
-    def proposal_kernel(self, n_proposals: int, n_sites: int, n_sequences: int) -> KernelCost:
-        """One proposal-set generation: one lane per proposal, each launching a likelihood kernel."""
+    def proposal_kernel(
+        self,
+        n_proposals: int,
+        n_sites: int,
+        n_sequences: int,
+        n_dirty_nodes: int | None = None,
+    ) -> KernelCost:
+        """One proposal-set generation: one lane per proposal, each launching a likelihood kernel.
+
+        ``n_dirty_nodes`` propagates to the child data-likelihood launches:
+        with an incremental engine every proposal's likelihood sweep covers
+        only its dirty path (the resimulated region plus its ancestors)
+        instead of the whole tree.
+        """
         if n_proposals < 1:
             raise ValueError("n_proposals must be positive")
         spec = self.spec
         n_nodes = 2 * n_sequences - 1
         resimulation_work = 20.0 * n_nodes  # interval bookkeeping per proposal
-        child = self.data_likelihood_kernel(n_sites, n_sequences)
+        child = self.data_likelihood_kernel(n_sites, n_sequences, n_dirty_nodes)
         # Dynamic parallelism: the child launches run concurrently, but the
         # total lane demand is n_proposals × n_sites.
         lane_demand = n_proposals * n_sites
@@ -232,13 +258,59 @@ class DeviceModel:
 
     # -- whole-run projections ---------------------------------------------- #
     def chain_iteration_time(
-        self, n_proposals: int, n_sites: int, n_sequences: int, samples_per_set: int
+        self,
+        n_proposals: int,
+        n_sites: int,
+        n_sequences: int,
+        samples_per_set: int,
+        n_dirty_nodes: int | None = None,
     ) -> float:
         """Projected device time of one GMH iteration (proposal set + index draws)."""
-        proposal = self.proposal_kernel(n_proposals, n_sites, n_sequences)
+        proposal = self.proposal_kernel(n_proposals, n_sites, n_sequences, n_dirty_nodes)
         # Index sampling is a host-side walk over N+1 cumulative weights.
         sampling = samples_per_set * (n_proposals + 1) * 0.01
         return proposal.total_time + sampling
+
+    @staticmethod
+    def expected_dirty_nodes(n_sequences: int) -> int:
+        """Expected dirty-path size of one neighbourhood resimulation.
+
+        A proposal re-creates two interior nodes and dirties their ancestors
+        up to the root.  The expected depth of a uniformly chosen interior
+        node in a coalescent genealogy grows logarithmically in the tip
+        count, so the dirty path is modelled as ``2 + ceil(log2 n)`` nodes,
+        clamped to the interior-node count.  The measured counterpart is
+        :meth:`repro.genealogy.tree.Genealogy.dirty_nodes`.
+        """
+        if n_sequences < 2:
+            raise ValueError("need at least two sequences")
+        n_internal = n_sequences - 1
+        return int(min(n_internal, 2 + np.ceil(np.log2(n_sequences))))
+
+    def projected_caching_speedup(
+        self,
+        n_proposals: int,
+        n_sites: int,
+        n_sequences: int,
+        samples_per_set: int | None = None,
+        n_dirty_nodes: int | None = None,
+    ) -> float:
+        """Projected speedup of the incremental engine over full re-pruning.
+
+        Ratio of the full-pruning GMH iteration time to the iteration time
+        when every proposal's likelihood sweep covers only ``n_dirty_nodes``
+        (default: :meth:`expected_dirty_nodes`).  The ratio is bounded above
+        by ``(2n − 1) / n_dirty_nodes`` and eroded by the fixed launch,
+        reduction, and index-sampling costs.
+        """
+        per_set = samples_per_set if samples_per_set is not None else n_proposals
+        if n_dirty_nodes is None:
+            n_dirty_nodes = self.expected_dirty_nodes(n_sequences)
+        full = self.chain_iteration_time(n_proposals, n_sites, n_sequences, per_set)
+        cached = self.chain_iteration_time(
+            n_proposals, n_sites, n_sequences, per_set, n_dirty_nodes
+        )
+        return full / cached
 
     def serial_iteration_time(self, n_sites: int, n_sequences: int) -> float:
         """Projected single-lane time of one classic MH iteration (one proposal)."""

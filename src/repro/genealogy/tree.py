@@ -27,11 +27,41 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-__all__ = ["Genealogy", "TreeValidationError"]
+__all__ = ["Genealogy", "TreeValidationError", "SignatureInterner"]
 
 
 class TreeValidationError(ValueError):
     """Raised when a genealogy's arrays do not describe a valid coalescent tree."""
+
+
+class SignatureInterner:
+    """Hash-consing table mapping structural subtree keys to dense integer ids.
+
+    Two subtrees receive the same id *if and only if* they are structurally
+    identical: same tip rows, same topology, and bitwise-equal branch lengths
+    (keys are compared by equality, not by hash, so there are no collision
+    hazards).  Sharing one interner across many genealogies is what lets the
+    incremental likelihood engine recognise that a proposal left most of the
+    tree untouched.
+    """
+
+    def __init__(self) -> None:
+        self._ids: dict[tuple, int] = {}
+
+    def intern(self, key: tuple) -> int:
+        """Return the stable id for ``key``, assigning a fresh one if new."""
+        found = self._ids.get(key)
+        if found is None:
+            found = len(self._ids)
+            self._ids[key] = found
+        return found
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def clear(self) -> None:
+        """Forget every interned key (invalidates all previously issued ids)."""
+        self._ids.clear()
 
 
 @dataclass
@@ -278,6 +308,53 @@ class Genealogy:
             return tuple(sorted((left, right), key=repr))
 
         return clade(self.root)
+
+    def subtree_signatures(self, interner: SignatureInterner | None = None) -> np.ndarray:
+        """Per-node subtree signature ids (the incremental engine's cache keys).
+
+        ``signatures[k]`` identifies the *entire computation* that produces
+        node ``k``'s partial likelihoods: the tip rows below it, the subtree
+        topology, and every branch length inside the subtree.  Two nodes —
+        in the same genealogy or across different genealogies sharing the
+        ``interner`` — receive equal ids exactly when those inputs are
+        bitwise identical, so a cached partial-likelihood array indexed by
+        the signature can be reused verbatim.
+
+        Child order is canonicalized (the two ``(signature, branch-length)``
+        pairs are sorted), which is value-preserving because the pruning
+        recursion multiplies the two child contributions elementwise.
+        """
+        if interner is None:
+            interner = SignatureInterner()
+        sigs = np.empty(self.n_nodes, dtype=np.int64)
+        times = self.times
+        for node in self.postorder():
+            if node < self.n_tips:
+                sigs[node] = interner.intern((-1, int(node)))
+            else:
+                c0, c1 = (int(c) for c in self.children[node])
+                pair0 = (int(sigs[c0]), float(times[node] - times[c0]))
+                pair1 = (int(sigs[c1]), float(times[node] - times[c1]))
+                if pair1 < pair0:
+                    pair0, pair1 = pair1, pair0
+                sigs[node] = interner.intern(pair0 + pair1)
+        return sigs
+
+    def dirty_nodes(
+        self, baseline: "Genealogy", interner: SignatureInterner | None = None
+    ) -> np.ndarray:
+        """Nodes of ``self`` whose subtree computation cannot be reused from ``baseline``.
+
+        After a local perturbation this is exactly the modified region plus
+        the path from it to the root — the set an incremental engine must
+        re-prune when ``baseline``'s partials are cached.  Returned sorted by
+        node index.
+        """
+        if interner is None:
+            interner = SignatureInterner()
+        known = np.unique(baseline.subtree_signatures(interner))
+        mine = self.subtree_signatures(interner)
+        return np.flatnonzero(~np.isin(mine, known))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Genealogy):

@@ -16,6 +16,7 @@ from .engines import (
     VectorizedEngine,
     make_engine,
 )
+from .incremental import CachedEngine
 from .growth_prior import (
     GrowthEstimate,
     GrowthPooledLikelihood,
@@ -39,6 +40,7 @@ __all__ = [
     "SerialEngine",
     "VectorizedEngine",
     "BatchedEngine",
+    "CachedEngine",
     "ConstantEngine",
     "make_engine",
     "GrowthEstimate",

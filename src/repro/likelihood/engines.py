@@ -47,20 +47,48 @@ __all__ = [
 
 @dataclass
 class LikelihoodEngine:
-    """Base class: holds the data, the model, and work counters."""
+    """Base class: holds the data, the model, and work counters.
+
+    Three counters describe the work done since the last reset:
+
+    ``n_evaluations``
+        Genealogies whose log-likelihood was returned.
+    ``n_nodes_pruned``
+        Interior-node partial-likelihood computations actually performed.  A
+        full pruning pass costs ``n_tips - 1`` per tree; an incremental
+        engine that reuses cached partials reports only the dirty nodes it
+        re-pruned.
+    ``n_tree_site_products``
+        Site-level work in units of "full-tree evaluations × sites": a full
+        pruning of one tree adds ``n_sites``; partial re-pruning adds the
+        matching fraction.  Benchmarks and the device performance model use
+        this as the hardware-independent cost measure.
+    """
 
     alignment: Alignment
     model: MutationModel
     n_evaluations: int = field(default=0, init=False)
+    n_nodes_pruned: int = field(default=0, init=False)
     n_tree_site_products: int = field(default=0, init=False)
 
-    def _count(self, n_trees: int) -> None:
+    def _count(
+        self,
+        n_trees: int,
+        *,
+        nodes_pruned: int | None = None,
+        tree_site_products: int | None = None,
+    ) -> None:
         self.n_evaluations += n_trees
-        self.n_tree_site_products += n_trees * self.alignment.n_sites
+        if tree_site_products is None:
+            tree_site_products = n_trees * self.alignment.n_sites
+        self.n_tree_site_products += tree_site_products
+        if nodes_pruned is not None:
+            self.n_nodes_pruned += nodes_pruned
 
     def reset_counters(self) -> None:
         """Zero the work counters (benchmarks call this between phases)."""
         self.n_evaluations = 0
+        self.n_nodes_pruned = 0
         self.n_tree_site_products = 0
 
     # Subclasses override the two methods below.
@@ -77,7 +105,7 @@ class SerialEngine(LikelihoodEngine):
     """Scalar per-site evaluation, one proposal at a time (the serial baseline)."""
 
     def evaluate(self, tree: Genealogy) -> float:
-        self._count(1)
+        self._count(1, nodes_pruned=tree.n_internal)
         return log_likelihood_reference(tree, self.alignment, self.model)
 
     def evaluate_batch(self, trees: list[Genealogy]) -> np.ndarray:
@@ -88,7 +116,7 @@ class VectorizedEngine(LikelihoodEngine):
     """Site-vectorized evaluation, one proposal per call."""
 
     def evaluate(self, tree: Genealogy) -> float:
-        self._count(1)
+        self._count(1, nodes_pruned=tree.n_internal)
         return log_likelihood(tree, self.alignment, self.model)
 
     def evaluate_batch(self, trees: list[Genealogy]) -> np.ndarray:
@@ -99,13 +127,13 @@ class BatchedEngine(LikelihoodEngine):
     """Site- and proposal-vectorized evaluation of whole proposal sets."""
 
     def evaluate(self, tree: Genealogy) -> float:
-        self._count(1)
+        self._count(1, nodes_pruned=tree.n_internal)
         return log_likelihood(tree, self.alignment, self.model)
 
     def evaluate_batch(self, trees: list[Genealogy]) -> np.ndarray:
         if not trees:
             return np.zeros(0)
-        self._count(len(trees))
+        self._count(len(trees), nodes_pruned=sum(t.n_internal for t in trees))
         return batched_log_likelihood(list(trees), self.alignment, self.model)
 
 
@@ -128,6 +156,9 @@ class ConstantEngine(LikelihoodEngine):
         return np.zeros(len(trees))
 
 
+# The cached incremental engine (repro.likelihood.incremental) registers
+# itself here on import; the package __init__ imports it, so any normal
+# ``import repro.likelihood.engines`` sees the full table.
 _ENGINES = {
     "serial": SerialEngine,
     "vectorized": VectorizedEngine,
@@ -137,8 +168,12 @@ _ENGINES = {
 
 
 def make_engine(name: str, alignment: Alignment, model: MutationModel) -> LikelihoodEngine:
-    """Construct a likelihood engine by name (``serial``/``vectorized``/``batched``)."""
+    """Construct a likelihood engine by case-insensitive name.
+
+    Raises the same "unknown name, available choices" error shape as the
+    registries in :mod:`repro.core.registry`.
+    """
     key = name.lower()
     if key not in _ENGINES:
-        raise ValueError(f"unknown engine {name!r}; choose from {sorted(_ENGINES)}")
+        raise ValueError(f"unknown engine {name!r}; choose from {', '.join(sorted(_ENGINES))}")
     return _ENGINES[key](alignment=alignment, model=model)

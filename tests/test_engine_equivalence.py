@@ -1,0 +1,163 @@
+"""Cross-engine golden equivalence suite (satellite of ISSUE 2).
+
+Every likelihood engine — serial scalar, site-vectorized, proposal-batched,
+and the incremental cached engine — implements the *same* function
+log P(D | G).  These tests pin that down over random genealogies, random
+alignments, and every registered mutation model, including the failure mode
+the cache is most at risk of: returning a stale partial after a long
+perturb → evaluate sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.likelihood.engines import (
+    BatchedEngine,
+    SerialEngine,
+    VectorizedEngine,
+    make_engine,
+)
+from repro.likelihood.incremental import CachedEngine
+from repro.likelihood.mutation_models import make_model
+from repro.proposals.neighborhood import NeighborhoodResimulator
+from repro.simulate.datasets import synthesize_dataset
+from repro.simulate.coalescent_sim import simulate_genealogy
+
+ENGINE_CLASSES = (SerialEngine, VectorizedEngine, BatchedEngine, CachedEngine)
+MODEL_NAMES = ("F81", "JC69", "K80", "F84", "HKY85")
+
+# The engines differ only in floating-point accumulation order, so their
+# log-likelihoods (magnitude ~1e2–1e3) must agree far below statistical
+# relevance; 1e-10 relative is the golden bar.
+RTOL = 1e-10
+ATOL = 1e-9
+
+
+def _dataset_and_trees(seed: int, n_sequences: int = 8, n_sites: int = 120, n_trees: int = 4):
+    rng = np.random.default_rng(seed)
+    dataset = synthesize_dataset(n_sequences, n_sites, true_theta=1.0, rng=rng)
+    trees = [
+        simulate_genealogy(n_sequences, 1.0, rng, tip_names=dataset.alignment.names)
+        for _ in range(n_trees)
+    ]
+    return dataset, trees
+
+
+def _engines(alignment, model):
+    return {cls.__name__: cls(alignment=alignment, model=model) for cls in ENGINE_CLASSES}
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("model_name", MODEL_NAMES)
+    @pytest.mark.parametrize("seed", (11, 29, 73))
+    def test_single_evaluations_agree(self, model_name, seed):
+        dataset, trees = _dataset_and_trees(seed)
+        model = make_model(model_name, dataset.alignment.base_frequencies(pseudocount=1.0))
+        engines = _engines(dataset.alignment, model)
+        for tree in trees:
+            values = {name: eng.evaluate(tree) for name, eng in engines.items()}
+            reference = values["SerialEngine"]
+            assert np.isfinite(reference)
+            for name, value in values.items():
+                assert value == pytest.approx(reference, rel=RTOL, abs=ATOL), (
+                    f"{name} disagrees with SerialEngine under {model_name}"
+                )
+
+    @pytest.mark.parametrize("model_name", MODEL_NAMES)
+    def test_batch_evaluations_agree(self, model_name):
+        dataset, trees = _dataset_and_trees(seed=5, n_trees=6)
+        model = make_model(model_name, dataset.alignment.base_frequencies(pseudocount=1.0))
+        engines = _engines(dataset.alignment, model)
+        results = {name: eng.evaluate_batch(trees) for name, eng in engines.items()}
+        reference = results["SerialEngine"]
+        for name, values in results.items():
+            assert np.allclose(values, reference, rtol=RTOL, atol=ATOL), (
+                f"{name} batch disagrees with SerialEngine under {model_name}"
+            )
+
+    def test_alignment_shapes_are_covered(self):
+        """Equivalence holds across tip counts and site counts, not one shape."""
+        for n_sequences, n_sites in ((4, 40), (6, 33), (12, 257)):
+            dataset, trees = _dataset_and_trees(
+                seed=n_sequences * 1000 + n_sites, n_sequences=n_sequences, n_sites=n_sites,
+                n_trees=2,
+            )
+            model = make_model("F81", dataset.alignment.base_frequencies(pseudocount=1.0))
+            engines = _engines(dataset.alignment, model)
+            for tree in trees:
+                values = [eng.evaluate(tree) for eng in engines.values()]
+                assert np.allclose(values, values[0], rtol=RTOL, atol=ATOL)
+
+
+class TestCacheStalenessRegression:
+    """The cached engine must stay exact through long perturbation histories."""
+
+    def test_long_perturb_evaluate_sequence(self):
+        dataset, (tree, *_ ) = _dataset_and_trees(seed=17, n_sequences=10, n_sites=90, n_trees=1)
+        model = make_model("F81", dataset.alignment.base_frequencies(pseudocount=1.0))
+        cached = CachedEngine(alignment=dataset.alignment, model=model)
+        oracle = VectorizedEngine(alignment=dataset.alignment, model=model)
+        resim = NeighborhoodResimulator(1.0)
+        rng = np.random.default_rng(1234)
+
+        history = [tree]
+        current = tree
+        for step in range(150):
+            current = resim.propose_random(current, rng).tree
+            history.append(current)
+            assert cached.evaluate(current) == pytest.approx(
+                oracle.evaluate(current), rel=RTOL, abs=ATOL
+            ), f"stale cache entry surfaced at step {step}"
+            # Periodically re-evaluate an older state: its entries may have
+            # been partially evicted or overlap newer subtrees — the value
+            # must not drift either way.
+            if step % 25 == 0:
+                old = history[int(rng.integers(len(history)))]
+                assert cached.evaluate(old) == pytest.approx(
+                    oracle.evaluate(old), rel=RTOL, abs=ATOL
+                )
+
+    def test_in_place_time_mutation_is_detected(self):
+        """Branch-length edits (no topology change) must invalidate the cache."""
+        dataset, (tree, *_ ) = _dataset_and_trees(seed=3, n_sequences=6, n_sites=60, n_trees=1)
+        model = make_model("F81", dataset.alignment.base_frequencies(pseudocount=1.0))
+        cached = CachedEngine(alignment=dataset.alignment, model=model)
+        oracle = VectorizedEngine(alignment=dataset.alignment, model=model)
+        assert cached.evaluate(tree) == pytest.approx(oracle.evaluate(tree), rel=RTOL, abs=ATOL)
+
+        stretched = tree.copy()
+        stretched.times[stretched.n_tips :] *= 1.5  # scale every coalescent time
+        assert cached.evaluate(stretched) == pytest.approx(
+            oracle.evaluate(stretched), rel=RTOL, abs=ATOL
+        )
+
+        nudged = tree.copy()
+        root = nudged.root
+        nudged.times[root] += 0.125  # exactly representable nudge of one node
+        assert cached.evaluate(nudged) == pytest.approx(
+            oracle.evaluate(nudged), rel=RTOL, abs=ATOL
+        )
+
+    def test_tiny_cache_still_exact(self):
+        """Heavy eviction (max_entries at the floor) degrades speed, never values."""
+        dataset, (tree, *_ ) = _dataset_and_trees(seed=8, n_sequences=8, n_sites=50, n_trees=1)
+        model = make_model("F81", dataset.alignment.base_frequencies(pseudocount=1.0))
+        cached = CachedEngine(alignment=dataset.alignment, model=model, max_entries=16)
+        oracle = VectorizedEngine(alignment=dataset.alignment, model=model)
+        resim = NeighborhoodResimulator(1.0)
+        rng = np.random.default_rng(9)
+        current = tree
+        for _ in range(60):
+            current = resim.propose_random(current, rng).tree
+            assert cached.evaluate(current) == pytest.approx(
+                oracle.evaluate(current), rel=RTOL, abs=ATOL
+            )
+        assert cached.cache_size <= 16
+
+    def test_make_engine_builds_cached(self):
+        dataset, _ = _dataset_and_trees(seed=2, n_trees=1)
+        model = make_model("F81", dataset.alignment.base_frequencies(pseudocount=1.0))
+        assert isinstance(make_engine("cached", dataset.alignment, model), CachedEngine)
+        assert isinstance(make_engine("CACHED", dataset.alignment, model), CachedEngine)

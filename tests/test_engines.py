@@ -72,3 +72,26 @@ class TestFactory:
     def test_unknown_engine(self, small_dataset, uniform_model):
         with pytest.raises(ValueError, match="unknown engine"):
             make_engine("gpu", small_dataset.alignment, uniform_model)
+
+    def test_unknown_engine_error_shape_matches_registry(self, small_dataset, uniform_model):
+        """Same "unknown name, available: ..." shape as core.registry.make_sampler."""
+        from repro.core.registry import make_sampler
+
+        with pytest.raises(ValueError) as engine_err:
+            make_engine("gpu", small_dataset.alignment, uniform_model)
+        with pytest.raises(ValueError) as sampler_err:
+            make_sampler("gpu", engine_factory=lambda: None)
+        # Both messages: unknown <kind> '<name>'; choose from a, b, c
+        assert str(engine_err.value) == (
+            "unknown engine 'gpu'; choose from batched, cached, constant, serial, vectorized"
+        )
+        assert str(sampler_err.value).startswith("unknown sampler 'gpu'; choose from ")
+        assert "[" not in str(engine_err.value)  # no raw list repr
+
+    def test_case_normalization_covers_cached(self, small_dataset, uniform_model):
+        from repro.likelihood.incremental import CachedEngine
+
+        for name in ("cached", "Cached", "CACHED"):
+            assert isinstance(
+                make_engine(name, small_dataset.alignment, uniform_model), CachedEngine
+            )

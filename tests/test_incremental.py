@@ -1,0 +1,320 @@
+"""Tests for the incremental partial-likelihood caching engine (ISSUE 2 tentpole).
+
+Covers the subtree-signature machinery exposed by :mod:`repro.genealogy.tree`,
+the :class:`~repro.likelihood.incremental.CachedEngine` cache behaviour and
+work counters, the proposal-set reuse threaded through the GMH transition and
+the EM driver, and the partial-recomputation extension of the device cost
+model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import MPCGSConfig, SamplerConfig
+from repro.core.gmh import GeneralizedMetropolisHastings
+from repro.core.mpcgs import MPCGS
+from repro.device.perfmodel import DeviceModel
+from repro.genealogy.tree import SignatureInterner
+from repro.likelihood.engines import BatchedEngine
+from repro.likelihood.incremental import CachedEngine
+from repro.likelihood.mutation_models import Felsenstein81
+from repro.proposals.neighborhood import NeighborhoodResimulator
+from repro.simulate.coalescent_sim import simulate_genealogy
+
+
+@pytest.fixture
+def model(small_dataset):
+    return Felsenstein81(small_dataset.alignment.base_frequencies(pseudocount=1.0))
+
+
+@pytest.fixture
+def tree(rng, small_dataset):
+    return simulate_genealogy(8, 1.0, rng, tip_names=small_dataset.alignment.names)
+
+
+class TestSubtreeSignatures:
+    def test_identical_trees_share_all_signatures(self, tree):
+        interner = SignatureInterner()
+        a = tree.subtree_signatures(interner)
+        b = tree.copy().subtree_signatures(interner)
+        assert np.array_equal(a, b)
+
+    def test_signatures_are_per_node_unique_within_a_tree(self, tree):
+        sigs = tree.subtree_signatures()
+        assert len(set(sigs.tolist())) == tree.n_nodes
+
+    def test_branch_length_change_flips_path_to_root(self, tree):
+        interner = SignatureInterner()
+        edited = tree.copy()
+        node = int(edited.internal_nodes()[0])
+        # Stay strictly between the node's children and its parent.
+        edited.times[node] += 1e-6
+        edited.validate()
+        dirty = edited.dirty_nodes(tree, interner)
+        assert node in dirty
+        assert edited.root in dirty
+        # Everything dirty must be the edited node or one of its ancestors.
+        ancestors = {node}
+        walk = node
+        while edited.parent[walk] >= 0:
+            walk = int(edited.parent[walk])
+            ancestors.add(walk)
+        assert set(dirty.tolist()) <= ancestors
+
+    def test_proposal_dirty_set_is_region_plus_ancestors(self, tree, rng):
+        resim = NeighborhoodResimulator(1.0)
+        outcome = resim.propose_random(tree, rng)
+        dirty = set(outcome.tree.dirty_nodes(tree).tolist())
+        assert outcome.region.target in dirty or outcome.region.parent in dirty
+        for node in dirty:
+            assert not outcome.tree.is_tip(node)
+
+    def test_interner_is_exact_not_hash_based(self):
+        interner = SignatureInterner()
+        a = interner.intern((0, 1.0, 1, 2.0))
+        b = interner.intern((0, 1.0, 1, 2.0))
+        # A representable perturbation (well above ulp(2.0)) is a new key.
+        c = interner.intern((0, 1.0, 1, 2.0 + 1e-12))
+        assert a == b
+        assert c != a
+        assert len(interner) == 2
+
+    def test_child_order_is_canonicalized(self):
+        # Same subtree built with swapped merge argument order must intern equal.
+        from repro.genealogy.tree import Genealogy
+
+        t1 = Genealogy.from_times_and_topology([(0, 1), (2, 3), (4, 5)], [0.1, 0.2, 0.5])
+        t2 = Genealogy.from_times_and_topology([(1, 0), (3, 2), (5, 4)], [0.1, 0.2, 0.5])
+        interner = SignatureInterner()
+        assert np.array_equal(
+            t1.subtree_signatures(interner), t2.subtree_signatures(interner)
+        )
+
+
+class TestCachedEngineBehaviour:
+    def test_second_evaluation_is_all_hits(self, small_dataset, model, tree):
+        engine = CachedEngine(alignment=small_dataset.alignment, model=model)
+        engine.evaluate(tree)
+        pruned_first = engine.n_nodes_pruned
+        assert pruned_first == tree.n_internal
+        value = engine.evaluate(tree)
+        assert engine.n_nodes_pruned == pruned_first  # zero fresh work
+        assert engine.n_evaluations == 2
+        assert np.isfinite(value)
+
+    def test_sibling_proposals_reuse_shared_subtrees(self, small_dataset, model, tree, rng):
+        engine = CachedEngine(alignment=small_dataset.alignment, model=model)
+        resim = NeighborhoodResimulator(1.0)
+        engine.evaluate(tree)
+        target = resim.choose_target(tree, rng)
+        siblings = [resim.propose(tree, target, rng).tree for _ in range(6)]
+        before = engine.n_nodes_pruned
+        engine.evaluate_batch(siblings)
+        fresh = engine.n_nodes_pruned - before
+        # Each sibling re-prunes strictly less than a full tree.
+        assert fresh < len(siblings) * tree.n_internal
+
+    def test_strictly_fewer_site_products_than_batched_on_local_moves(
+        self, small_dataset, model, tree, rng
+    ):
+        cached = CachedEngine(alignment=small_dataset.alignment, model=model)
+        batched = BatchedEngine(alignment=small_dataset.alignment, model=model)
+        resim = NeighborhoodResimulator(1.0)
+        current = tree
+        for engine in (cached, batched):
+            engine.evaluate(current)
+        for _ in range(20):
+            current = resim.propose_random(current, rng).tree
+            cached.evaluate(current)
+            batched.evaluate(current)
+        assert cached.n_tree_site_products < batched.n_tree_site_products
+        assert cached.n_nodes_pruned < batched.n_nodes_pruned
+        assert cached.n_evaluations == batched.n_evaluations
+
+    def test_counters_monotone_and_reset(self, small_dataset, model, tree, rng):
+        engine = CachedEngine(alignment=small_dataset.alignment, model=model)
+        resim = NeighborhoodResimulator(1.0)
+        current = tree
+        snapshots = []
+        for _ in range(10):
+            engine.evaluate(current)
+            snapshots.append(
+                (engine.n_evaluations, engine.n_nodes_pruned, engine.n_tree_site_products)
+            )
+            current = resim.propose_random(current, rng).tree
+        for earlier, later in zip(snapshots, snapshots[1:]):
+            assert all(b >= a for a, b in zip(earlier, later))
+        engine.evaluate(current)  # warm the final state before resetting
+        engine.reset_counters()
+        assert engine.n_evaluations == 0
+        assert engine.n_nodes_pruned == 0
+        assert engine.n_tree_site_products == 0
+        assert engine.n_cache_hits == 0 and engine.n_cache_misses == 0
+        assert engine.hit_rate == 0.0
+        # Counter reset must not wipe the cache: re-evaluating is free.
+        engine.evaluate(current)
+        assert engine.n_nodes_pruned == 0
+
+    def test_clear_cache_forces_full_recompute(self, small_dataset, model, tree):
+        engine = CachedEngine(alignment=small_dataset.alignment, model=model)
+        first = engine.evaluate(tree)
+        engine.clear_cache()
+        assert engine.cache_size == 0
+        again = engine.evaluate(tree)
+        assert again == first
+        assert engine.n_nodes_pruned == 2 * tree.n_internal
+
+    def test_hit_rate_and_cache_size_reporting(self, small_dataset, model, tree):
+        engine = CachedEngine(alignment=small_dataset.alignment, model=model)
+        assert engine.hit_rate == 0.0
+        engine.evaluate(tree)
+        engine.evaluate(tree)
+        assert 0.0 < engine.hit_rate <= 0.5
+        assert engine.cache_size == tree.n_internal
+
+    def test_mismatched_tip_count_raises(self, small_dataset, model, rng):
+        engine = CachedEngine(alignment=small_dataset.alignment, model=model)
+        wrong = simulate_genealogy(5, 1.0, rng)
+        with pytest.raises(ValueError, match="tip count"):
+            engine.evaluate(wrong)
+
+    def test_max_entries_validation(self, small_dataset, model):
+        with pytest.raises(ValueError, match="max_entries"):
+            CachedEngine(alignment=small_dataset.alignment, model=model, max_entries=2)
+
+    def test_empty_batch(self, small_dataset, model):
+        engine = CachedEngine(alignment=small_dataset.alignment, model=model)
+        assert engine.evaluate_batch([]).size == 0
+        assert engine.n_evaluations == 0
+
+    def test_fractional_site_products_never_stuck_at_zero(self, small_dataset, model, rng):
+        """Tiny per-call fractions must accumulate, not round away (carry)."""
+        from repro.sequences.alignment import Alignment
+
+        # 10 sites, 8 tips: one dirty node contributes 10/7 < 2 per call.
+        tiny = Alignment.from_codes(
+            small_dataset.alignment.names, small_dataset.alignment.codes[:, :10]
+        )
+        engine = CachedEngine(alignment=tiny, model=model)
+        tree = simulate_genealogy(8, 1.0, rng, tip_names=tiny.names)
+        resim = NeighborhoodResimulator(1.0)
+        engine.evaluate(tree)
+        engine.reset_counters()
+        current = tree
+        for _ in range(30):
+            current = resim.propose_random(current, rng).tree
+            engine.evaluate(current)
+        expected = tiny.n_sites * engine.n_nodes_pruned / tree.n_internal
+        assert engine.n_tree_site_products > 0
+        assert engine.n_tree_site_products == pytest.approx(expected, abs=1.0)
+
+    def test_default_cache_cap_derived_from_byte_budget(self, small_dataset, model, tree):
+        engine = CachedEngine(alignment=small_dataset.alignment, model=model)
+        assert engine.max_entries is None
+        engine.evaluate(tree)  # _ensure_ready resolves the cap
+        n_patterns = small_dataset.alignment.site_patterns()[0].shape[1]
+        expected = max(1024, CachedEngine.DEFAULT_CACHE_BYTES // (40 * n_patterns))
+        assert engine.max_entries == expected
+
+
+class TestProposalSetReuse:
+    def test_gmh_prepare_warms_generator_partials(self, small_dataset, model, tree, rng):
+        engine = CachedEngine(alignment=small_dataset.alignment, model=model)
+        gmh = GeneralizedMetropolisHastings(
+            engine=engine, resimulator=NeighborhoodResimulator(1.0), n_proposals=4
+        )
+        # Pass a known log-likelihood so the generator itself is never
+        # evaluated; prepare() must still have cached its subtrees.
+        loglik = engine.evaluate(tree)
+        engine.clear_cache()
+        proposal_set = gmh.build_proposal_set(tree, loglik, rng)
+        assert proposal_set.size == 5
+        # The generator's entries were warmed: re-evaluating it is free.
+        pruned = engine.n_nodes_pruned
+        assert engine.evaluate(tree) == loglik
+        assert engine.n_nodes_pruned == pruned
+
+    def test_mpcgs_shares_cached_engine_across_iterations(self, small_dataset):
+        cfg = MPCGSConfig(
+            sampler=SamplerConfig(n_proposals=4, n_samples=30, burn_in=10),
+            n_em_iterations=2,
+            likelihood_engine="cached",
+        )
+        driver = MPCGS(small_dataset.alignment, cfg)
+        factory = driver._engine_factory(share_cache=True)
+        assert factory() is factory()  # one shared cached engine
+        result = driver.run(1.0, np.random.default_rng(4))
+        assert result.theta > 0
+        # Per-iteration evaluation counts stay per-run despite the shared engine.
+        for it in result.iterations:
+            assert 0 < it.chain.n_likelihood_evaluations <= 10_000
+
+    def test_mpcgs_stateless_engines_stay_fresh(self, small_dataset):
+        cfg = MPCGSConfig(likelihood_engine="batched")
+        driver = MPCGS(small_dataset.alignment, cfg)
+        assert driver._engine_factory()() is not driver._engine_factory()()
+        # share_cache only applies to engines that actually carry a cache.
+        shared = driver._engine_factory(share_cache=True)
+        assert shared() is not shared()
+
+    def test_multichain_keeps_fresh_engine_per_chain(self, small_dataset):
+        """The Fig. 6 baseline must pay every chain's pruning independently."""
+        cfg = MPCGSConfig(
+            sampler=SamplerConfig(n_proposals=1, n_samples=12, burn_in=4),
+            n_em_iterations=1,
+            likelihood_engine="cached",
+            sampler_name="multichain",
+            sampler_options={"n_chains": 2},
+        )
+        driver = MPCGS(small_dataset.alignment, cfg)
+        seen = []
+        original = driver._engine_factory
+
+        def spying_factory(share_cache=False):
+            assert not share_cache  # multichain must never share the cache
+            inner = original(share_cache=share_cache)
+
+            def build():
+                engine = inner()
+                seen.append(engine)
+                return engine
+
+            return build
+
+        driver._engine_factory = spying_factory
+        driver.run(1.0, np.random.default_rng(6))
+        assert len(seen) >= 2
+        assert len(set(map(id, seen))) == len(seen)  # all distinct instances
+
+
+class TestIncrementalCostModel:
+    def test_dirty_kernel_is_cheaper_and_bounded(self):
+        device = DeviceModel()
+        full = device.data_likelihood_kernel(600, 24)
+        dirty = device.data_likelihood_kernel(600, 24, n_dirty_nodes=7)
+        assert dirty.parallel_time < full.parallel_time
+        assert dirty.serial_time == full.serial_time  # overheads do not shrink
+        assert dirty.work_per_item == pytest.approx(full.work_per_item * 7 / 47)
+
+    def test_dirty_node_validation(self):
+        device = DeviceModel()
+        with pytest.raises(ValueError, match="n_dirty_nodes"):
+            device.data_likelihood_kernel(100, 8, n_dirty_nodes=0)
+        with pytest.raises(ValueError, match="n_dirty_nodes"):
+            device.data_likelihood_kernel(100, 8, n_dirty_nodes=16)
+
+    def test_expected_dirty_nodes_scales_logarithmically(self):
+        small = DeviceModel.expected_dirty_nodes(8)
+        large = DeviceModel.expected_dirty_nodes(1024)
+        assert small <= large
+        assert large == 12  # 2 + log2(1024)
+        assert DeviceModel.expected_dirty_nodes(2) == 1  # clamped to n_internal
+
+    def test_projected_caching_speedup_above_one(self):
+        device = DeviceModel()
+        speedup = device.projected_caching_speedup(16, 600, 24)
+        assert speedup > 1.0
+        # The full-repruning ceiling bounds the projection.
+        assert speedup <= (2 * 24 - 1) / DeviceModel.expected_dirty_nodes(24)

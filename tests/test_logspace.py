@@ -180,3 +180,73 @@ class TestLogAccumulator:
         acc = LogAccumulator()
         acc.add_many(np.array([]))
         assert acc.count == 0
+
+
+class TestLogSumExpProperties:
+    """Property-style guarantees the samplers rely on (satellite of ISSUE 2)."""
+
+    @given(
+        st.lists(finite_logs, min_size=1, max_size=16),
+        st.floats(min_value=-300.0, max_value=300.0, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_shift_invariance(self, logs, shift):
+        """log_sum(x + c) == log_sum(x) + c — the identity behind max-shifting."""
+        arr = np.asarray(logs)
+        base = log_sum(arr)
+        shifted = log_sum(arr + shift)
+        assert shifted == pytest.approx(base + shift, rel=1e-12, abs=1e-9)
+
+    @given(st.lists(finite_logs, min_size=1, max_size=16), finite_logs)
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_elements(self, logs, extra):
+        """Appending any element strictly increases the log-sum (mass only adds)."""
+        arr = np.asarray(logs)
+        base = log_sum(arr)
+        grown = log_sum(np.append(arr, extra))
+        assert grown >= base
+        assert grown >= max(arr.max(), extra)
+
+    @given(st.lists(finite_logs, min_size=1, max_size=16))
+    @settings(max_examples=200, deadline=None)
+    def test_bounded_by_max_plus_log_n(self, logs):
+        """max(x) <= log_sum(x) <= max(x) + log(n) — tightness of the reduction."""
+        arr = np.asarray(logs)
+        total = log_sum(arr)
+        assert total >= arr.max() - 1e-9
+        assert total <= arr.max() + np.log(arr.size) + 1e-9
+
+    @given(st.lists(finite_logs, min_size=1, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_neg_inf_entries_are_log_domain_zeros(self, logs):
+        """True -inf entries contribute nothing, exactly like LOG_ZERO."""
+        arr = np.asarray(logs)
+        with_inf = np.append(arr, -np.inf)
+        with_zero = np.append(arr, LOG_ZERO)
+        base = log_sum(arr)
+        assert log_sum(with_inf) == pytest.approx(base, rel=1e-12, abs=1e-12)
+        assert log_sum(with_zero) == pytest.approx(base, rel=1e-12, abs=1e-12)
+
+    def test_all_neg_inf_collapses_to_log_zero(self):
+        assert log_sum(np.array([-np.inf, -np.inf])) == LOG_ZERO
+        assert log_sum(np.array([LOG_ZERO, -np.inf])) == LOG_ZERO
+        assert log_add(LOG_ZERO, 3.0) == 3.0
+        assert log_add(float("-inf"), 3.0) == 3.0
+
+    @given(st.lists(finite_logs, min_size=2, max_size=16))
+    @settings(max_examples=100, deadline=None)
+    def test_normalize_is_shift_invariant_distribution(self, logs):
+        """log_normalize sums to one and ignores any common offset."""
+        arr = np.asarray(logs)
+        probs = np.exp(log_normalize(arr))
+        probs_shifted = np.exp(log_normalize(arr + 123.0))
+        assert probs.sum() == pytest.approx(1.0, rel=1e-9)
+        assert np.allclose(probs, probs_shifted, rtol=1e-9, atol=1e-12)
+
+    @given(finite_logs, finite_logs)
+    @settings(max_examples=200, deadline=None)
+    def test_log_add_commutes_and_dominates(self, a, b):
+        ab, ba = log_add(a, b), log_add(b, a)
+        assert ab == pytest.approx(ba, rel=1e-12)
+        assert ab >= max(a, b)
+        assert ab <= max(a, b) + np.log(2.0) + 1e-12
