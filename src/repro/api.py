@@ -34,7 +34,7 @@ import numpy as np
 
 from .core.bayesian import BayesianResult
 from .core.config import MPCGSConfig
-from .core.mpcgs import MPCGS, MPCGSResult
+from .core.mpcgs import MPCGS, MPCGSResult, require_growth_sampler
 from .core.registry import SAMPLERS, make_engine, make_model, make_sampler
 from .genealogy.upgma import upgma_tree
 from .sequences.alignment import Alignment
@@ -139,6 +139,7 @@ class RunReport:
     wall_time_seconds: float
     diagnostics: dict[str, Any] = field(default_factory=dict)
     result: MPCGSResult | BayesianResult | None = None
+    growth: float | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe summary (drops the raw ``result`` object)."""
@@ -152,6 +153,7 @@ class RunReport:
             "n_samples": self.n_samples,
             "n_likelihood_evaluations": self.n_likelihood_evaluations,
             "wall_time_seconds": self.wall_time_seconds,
+            "growth": self.growth,
             "diagnostics": _json_safe(self.diagnostics),
         }
 
@@ -217,6 +219,19 @@ class Experiment:
         self.alignment = _coerce_alignment(data)
         self.config = config if config is not None else MPCGSConfig()
         SAMPLERS.get(self.config.sampler_name)  # fail fast on unknown samplers
+        if self.config.demography == "growth":
+            # Fail fast at construction (MPCGS.run re-validates for direct
+            # library callers): the Bayesian path would otherwise silently
+            # run the constant-size joint sampler under a config that
+            # promises growth, and other non-growth-aware samplers would
+            # only fail deep inside the run.
+            if self.config.sampler_name.lower() == "bayesian":
+                raise ValueError(
+                    "the bayesian sampler does not support demography='growth'; "
+                    "use maximum-likelihood estimation (mpcgs run) with a "
+                    "growth-aware sampler"
+                )
+            require_growth_sampler(self.config)
         if theta0 is None:
             theta0 = float(self.alignment.watterson_theta())
         if theta0 <= 0:
@@ -268,10 +283,16 @@ class Experiment:
         return self._run_ml(rng)
 
     def _run_ml(self, rng: np.random.Generator) -> RunReport:
-        """Maximum-likelihood path: the EM driver over any ChainResult sampler."""
+        """Maximum-likelihood path: the EM driver over any ChainResult sampler.
+
+        Covers both demographies: under ``demography="growth"`` each EM
+        iteration's estimate carries a growth rate alongside θ and the
+        report's ``growth``/``growth_trajectory`` fields are populated.
+        """
         cfg = self.config
         driver = MPCGS(self.alignment, cfg)
         result = driver.run(theta0=self.theta0, rng=rng)
+        growth_run = result.growth is not None
         iterations = [
             {
                 "iteration": it.iteration,
@@ -282,9 +303,25 @@ class Experiment:
                 "n_samples": it.chain.n_samples,
                 "n_likelihood_evaluations": it.chain.n_likelihood_evaluations,
                 "wall_time_seconds": it.chain.wall_time_seconds,
+                **(
+                    {
+                        "driving_growth": it.driving_growth,
+                        "growth_estimate": it.estimate.growth,
+                    }
+                    if growth_run
+                    else {}
+                ),
             }
             for it in result.iterations
         ]
+        diagnostics = {
+            "mode": "maximum_likelihood",
+            "demography": cfg.demography,
+            "n_em_iterations": len(result.iterations),
+            "iterations": iterations,
+        }
+        if growth_run:
+            diagnostics["growth_trajectory"] = result.growth_trajectory
         return RunReport(
             sampler=cfg.sampler_name,
             theta=result.theta,
@@ -295,12 +332,9 @@ class Experiment:
             n_samples=result.total_samples,
             n_likelihood_evaluations=result.total_likelihood_evaluations,
             wall_time_seconds=result.wall_time_seconds,
-            diagnostics={
-                "mode": "maximum_likelihood",
-                "n_em_iterations": len(result.iterations),
-                "iterations": iterations,
-            },
+            diagnostics=diagnostics,
             result=result,
+            growth=result.growth,
         )
 
     def _run_bayesian(self, rng: np.random.Generator) -> RunReport:

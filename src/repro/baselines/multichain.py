@@ -70,32 +70,57 @@ class MultiChainSampler:
         if self.theta <= 0:
             raise ValueError("theta must be positive")
 
+    def chain_quotas(self) -> list[int]:
+        """Per-chain sample quotas summing exactly to ``config.n_samples``.
+
+        A plain ``ceil(n_samples / n_chains)`` per chain overshoots the
+        configured pooled total (100 over 3 chains would pool 102) and with
+        it every work statistic derived from the pool; instead the remainder
+        of the even split is distributed one sample each to the first
+        ``n_samples mod n_chains`` chains.
+        """
+        base, remainder = divmod(self.config.n_samples, self.n_chains)
+        return [base + (1 if i < remainder else 0) for i in range(self.n_chains)]
+
     def run(self, initial_tree: Genealogy, rng: np.random.Generator) -> ChainResult:
-        """Run all chains and pool their post-burn-in samples."""
-        per_chain = int(np.ceil(self.config.n_samples / self.n_chains))
-        chain_cfg = self.config.scaled(n_samples=per_chain)
+        """Run all chains and pool their post-burn-in samples.
+
+        Pools exactly ``config.n_samples`` samples.  When ``n_chains``
+        exceeds ``n_samples`` the surplus chains have nothing to contribute
+        and are not run (no phantom burn-in work is counted).
+        """
+        quotas = self.chain_quotas()
 
         pooled = ChainTrace(n_intervals=initial_tree.n_tips - 1)
         total_steps = 0
         total_accepted = 0
         total_evals = 0
         total_time = 0.0
-        per_chain_results: list[ChainResult] = []
+        per_chain_steps: list[int] = []
+        boundaries: list[tuple[int, int]] = []
 
         # Independent per-chain streams via the SeedSequence spawn tree: child
         # streams are provably non-overlapping, unlike ad-hoc integer reseeding.
         child_rngs = rng.spawn(self.n_chains)
-        for chain_index in range(self.n_chains):
+        for chain_index, quota in enumerate(quotas):
+            if quota == 0:
+                # Keep the per-chain extras index-aligned with the quotas.
+                per_chain_steps.append(0)
+                boundaries.append((len(pooled), len(pooled)))
+                continue
             engine = self.engine_factory()
+            chain_cfg = self.config.scaled(n_samples=quota)
             sampler = LamarcSampler(engine=engine, theta=self.theta, config=chain_cfg)
             result = sampler.run(initial_tree, child_rngs[chain_index])
-            per_chain_results.append(result)
+            per_chain_steps.append(result.n_proposal_sets)
 
+            start = len(pooled)
             mat = result.interval_matrix
             for row, loglik, height in zip(
                 mat, result.trace.log_likelihoods, result.trace.heights
             ):
                 pooled.record(row, loglik, height)
+            boundaries.append((start, len(pooled)))
             total_steps += result.n_proposal_sets
             total_accepted += result.n_accepted
             total_evals += result.n_likelihood_evaluations
@@ -117,7 +142,12 @@ class MultiChainSampler:
             wall_time_seconds=total_time,
             extras={
                 "n_chains": self.n_chains,
-                "per_chain_steps": [r.n_proposal_sets for r in per_chain_results],
+                "per_chain_steps": per_chain_steps,
+                "per_chain_samples": quotas,
+                # Half-open [start, end) row ranges of each chain's samples in
+                # the pooled trace, so convergence diagnostics can tell the
+                # chains apart after pooling.
+                "chain_boundaries": boundaries,
                 "ideal_parallel_steps": ideal_parallel,
                 "serial_steps_equivalent": self.config.burn_in + self.config.n_samples,
             },

@@ -36,7 +36,8 @@ from typing import Sequence
 import numpy as np
 
 from .api import Experiment, RunSpec
-from .core.config import EstimatorConfig, MPCGSConfig, SamplerConfig
+from .core.config import DEMOGRAPHIES, EstimatorConfig, MPCGSConfig, SamplerConfig
+from .core.mpcgs import require_growth_sampler
 from .core.registry import available_engines, available_models, available_samplers
 from .sequences.phylip import read_phylip
 
@@ -215,6 +216,22 @@ def build_cli() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--n-chains", type=int, default=None, help="chain count for multichain/heated samplers"
     )
+    p_run.add_argument(
+        "--demography",
+        choices=DEMOGRAPHIES,
+        default=None,
+        help=(
+            "coalescent demography: 'constant' estimates theta alone (the paper's "
+            "workload); 'growth' estimates (theta, growth rate) jointly under "
+            "exponential growth (default: the spec's, else constant)"
+        ),
+    )
+    p_run.add_argument(
+        "--growth0",
+        type=float,
+        default=None,
+        help="initial driving growth rate for --demography growth (default 0)",
+    )
     p_run.set_defaults(handler=_cmd_run, default_sampler=None)
 
     p_bayes = sub.add_parser(
@@ -291,8 +308,17 @@ def _resolve_spec(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
         config_changes["mutation_model"] = args.model
     if getattr(args, "em_iterations", None) is not None:
         config_changes["n_em_iterations"] = args.em_iterations
+    if getattr(args, "demography", None) is not None:
+        config_changes["demography"] = args.demography
+    if getattr(args, "growth0", None) is not None:
+        config_changes["growth0"] = args.growth0
     if config_changes:
-        cfg = replace(cfg, **config_changes)
+        try:
+            cfg = replace(cfg, **config_changes)
+        except ValueError as exc:
+            # e.g. --growth0 without --demography growth; the config's own
+            # validation is the single source of truth for the message.
+            parser.error(str(exc))
 
     sequence_file = args.sequence_file if args.sequence_file is not None else spec.sequence_file
     theta0 = args.initial_theta if args.initial_theta is not None else spec.theta0
@@ -316,10 +342,16 @@ def _build_experiment(spec: RunSpec, args: argparse.Namespace) -> Experiment | N
 
 
 def _print_em_iterations(report) -> None:
+    growth_run = getattr(report, "growth", None) is not None
     for it in report.result.iterations:
+        growth_part = (
+            f", growth={it.driving_growth:.4f} -> {it.estimate.growth:.4f}"
+            if growth_run
+            else ""
+        )
         print(
             f"  EM iteration {it.iteration + 1}: driving theta={it.driving_theta:.5f} "
-            f"-> estimate {it.estimate.theta:.5f} "
+            f"-> estimate {it.estimate.theta:.5f}{growth_part} "
             f"(acceptance {it.chain.acceptance_rate:.2f}, "
             f"{it.chain.n_likelihood_evaluations} likelihood evaluations, "
             f"{it.chain.wall_time_seconds:.2f}s)"
@@ -344,6 +376,14 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         cfg = replace(cfg, sampler_options={**cfg.sampler_options, "n_chains": args.n_chains})
     if cfg.sampler_name == "bayesian":
         parser.error("the bayesian sampler has no maximization stage; use `mpcgs bayes`")
+    if cfg.demography == "growth":
+        # Report sampler/demography incompatibility as a usage error here;
+        # letting Experiment construction raise it would mislabel it as a
+        # file-reading failure.
+        try:
+            require_growth_sampler(cfg)
+        except ValueError as exc:
+            parser.error(str(exc))
     spec = replace(spec, config=cfg)
 
     experiment = _build_experiment(spec, args)
@@ -351,10 +391,13 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         return 2
     alignment = experiment.alignment
     if not args.quiet and not args.json:
+        demography_part = (
+            f", demography={cfg.demography}" if cfg.demography != "constant" else ""
+        )
         print(
             f"mpcgs: {alignment.n_sequences} sequences x {alignment.n_sites} sites, "
             f"sampler={cfg.sampler_name}, engine={cfg.likelihood_engine}, "
-            f"model={cfg.mutation_model}"
+            f"model={cfg.mutation_model}{demography_part}"
         )
         print(f"Watterson theta (sanity anchor): {alignment.watterson_theta():.4f}")
 
@@ -366,6 +409,8 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     if not args.quiet:
         _print_em_iterations(report)
     print(f"theta estimate: {report.theta:.6f}")
+    if report.growth is not None:
+        print(f"growth estimate: {report.growth:.6f}")
     return 0
 
 
@@ -373,6 +418,11 @@ def _cmd_bayes(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
     """``mpcgs bayes``: posterior summaries from the joint (G, θ) sampler."""
     spec = _resolve_spec(args, parser)
     cfg = spec.config
+    if cfg.demography == "growth":
+        parser.error(
+            "the bayesian sampler does not support demography='growth'; "
+            "use `mpcgs run --demography growth`"
+        )
     options = dict(cfg.sampler_options)
     if args.prior_shape is not None:
         options["prior_shape"] = args.prior_shape

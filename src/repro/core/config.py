@@ -19,9 +19,19 @@ import json
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Mapping
 
-__all__ = ["SamplerConfig", "EstimatorConfig", "MPCGSConfig", "DEFAULT_SAMPLER"]
+__all__ = [
+    "SamplerConfig",
+    "EstimatorConfig",
+    "MPCGSConfig",
+    "DEFAULT_SAMPLER",
+    "DEMOGRAPHIES",
+]
 
 DEFAULT_SAMPLER = "gmh"
+
+#: Demographic models the EM driver can estimate under: the paper's
+#: constant-size coalescent (θ alone) or exponential growth (joint (θ, g)).
+DEMOGRAPHIES = ("constant", "growth")
 
 
 def _check_known_keys(cls, data: Mapping[str, Any]) -> None:
@@ -96,12 +106,23 @@ class SamplerConfig:
 
 @dataclass(frozen=True)
 class EstimatorConfig:
-    """Configuration of the likelihood-curve maximization (Algorithm 2)."""
+    """Configuration of the likelihood-curve maximization (Algorithm 2).
+
+    ``max_theta_step_factor`` and ``max_growth_step`` bound how far one
+    joint (θ, g) maximization may move from the driving values — a trust
+    region for the two-parameter surface, whose importance-sampled estimate
+    degenerates far from the driving point (a handful of samples dominate
+    the reweighting).  The EM loop re-drives every iteration, so the bounds
+    limit one M-step, not the final estimate.  They do not affect the
+    single-parameter :func:`~repro.core.estimator.maximize_theta` path.
+    """
 
     gradient_delta: float = 1e-4
     convergence_tol: float = 1e-5
     max_iterations: int = 200
     max_step_halvings: int = 40
+    max_theta_step_factor: float = 3.0
+    max_growth_step: float = 3.0
 
     def __post_init__(self) -> None:
         if self.gradient_delta <= 0:
@@ -112,6 +133,10 @@ class EstimatorConfig:
             raise ValueError("max_iterations must be at least 1")
         if self.max_step_halvings < 1:
             raise ValueError("max_step_halvings must be at least 1")
+        if self.max_theta_step_factor <= 1:
+            raise ValueError("max_theta_step_factor must be greater than 1")
+        if self.max_growth_step <= 0:
+            raise ValueError("max_growth_step must be positive")
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form (JSON-safe)."""
@@ -135,6 +160,11 @@ class MPCGSConfig:
     ``sampler_options`` passed through to that sampler's builder.  As a
     convenience ``MPCGSConfig(sampler="lamarc")`` — a string instead of a
     ``SamplerConfig`` — is accepted and treated as ``sampler_name``.
+
+    ``demography`` selects the coalescent prior the EM loop estimates under:
+    ``"constant"`` (the paper's single-parameter θ workload, the default)
+    or ``"growth"`` (joint (θ, g) estimation under exponential growth, with
+    ``growth0`` the initial driving growth rate).
     """
 
     sampler: SamplerConfig = field(default_factory=SamplerConfig)
@@ -145,6 +175,8 @@ class MPCGSConfig:
     mutation_model: str = "F81"
     sampler_name: str = DEFAULT_SAMPLER
     sampler_options: dict = field(default_factory=dict)
+    demography: str = "constant"
+    growth0: float = 0.0
 
     def __post_init__(self) -> None:
         if isinstance(self.sampler, str):
@@ -161,6 +193,21 @@ class MPCGSConfig:
         # Registry keys are lowercase; canonicalize here so name comparisons
         # (e.g. the CLI's bayesian dispatch) cannot miss on case.
         object.__setattr__(self, "sampler_name", self.sampler_name.lower())
+        object.__setattr__(self, "demography", str(self.demography).lower())
+        if self.demography not in DEMOGRAPHIES:
+            raise ValueError(
+                f"unknown demography {self.demography!r}; choose from {DEMOGRAPHIES}"
+            )
+        object.__setattr__(self, "growth0", float(self.growth0))
+        if self.demography != "growth" and self.growth0 != 0.0:
+            # A stray growth0 under the constant demography would otherwise
+            # be silently ignored (and silently activate if demography is
+            # later flipped); reject it wherever the config is built —
+            # spec files, the library, and the CLI alike.
+            raise ValueError(
+                "growth0 is only meaningful with demography='growth'; "
+                "set demography='growth' or drop growth0"
+            )
 
     def with_sampler(self, name: str, **options) -> "MPCGSConfig":
         """Copy of this config selecting a different sampler (and its options).
@@ -189,6 +236,8 @@ class MPCGSConfig:
             "theta_convergence_tol": self.theta_convergence_tol,
             "likelihood_engine": self.likelihood_engine,
             "mutation_model": self.mutation_model,
+            "demography": self.demography,
+            "growth0": self.growth0,
         }
 
     @classmethod

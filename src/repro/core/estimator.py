@@ -21,9 +21,20 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..likelihood.coalescent_prior import PooledThetaLikelihood, batched_log_prior
+from ..likelihood.growth_prior import (
+    CombinedGrowthLikelihood,
+    GrowthPooledLikelihood,
+    GrowthRelativeLikelihood,
+)
 from .config import EstimatorConfig
 
-__all__ = ["RelativeLikelihood", "maximize_theta", "ThetaEstimate"]
+__all__ = [
+    "RelativeLikelihood",
+    "maximize_theta",
+    "ThetaEstimate",
+    "JointEstimate",
+    "maximize_joint",
+]
 
 
 class RelativeLikelihood:
@@ -129,6 +140,154 @@ def maximize_theta(
 
     return ThetaEstimate(
         theta=theta,
+        log_relative_likelihood=current,
+        n_iterations=iterations,
+        converged=converged,
+    )
+
+
+@dataclass(frozen=True)
+class JointEstimate:
+    """Result of one joint (θ, g) surface maximization."""
+
+    theta: float
+    growth: float
+    log_relative_likelihood: float
+    n_iterations: int
+    converged: bool
+
+
+def _ascend_coordinate(
+    objective,
+    value: float,
+    current: float,
+    cfg: EstimatorConfig,
+    *,
+    positive: bool,
+    bounds: tuple[float, float],
+) -> tuple[float, float, bool]:
+    """One gradient step with halving along a single coordinate.
+
+    ``objective`` maps the coordinate to log L with the other coordinate held
+    fixed.  Returns the (possibly unchanged) coordinate, the objective there,
+    and whether a step was accepted.  ``positive`` constrains the coordinate
+    to stay strictly positive (θ); ``bounds`` is the trust region around the
+    driving value — candidates outside it are treated like infeasible moves
+    and the step is halved.
+    """
+    scale = max(value, 1e-6) if positive else max(abs(value), 1.0)
+    delta = cfg.gradient_delta * scale
+    lo = max(value - delta, 1e-12) if positive else value - delta
+    hi = value + delta
+    f_lo, f_hi = objective(lo), objective(hi)
+    grad = (f_hi - f_lo) / (hi - lo)
+
+    width = bounds[1] - bounds[0]
+    if np.isfinite(grad):
+        # Clamp to the trust-region width: a cliff-scale finite gradient
+        # (|grad| ~ 1e300 next to the growth prior's -inf region) cannot be
+        # halved into range within any reasonable budget, and any step
+        # longer than the region is infeasible anyway.
+        step = float(np.clip(grad, -width, width))
+    elif np.isfinite(f_hi) != np.isfinite(f_lo):
+        # One probe fell off a -inf cliff: take a region-scale step toward
+        # the finite side and let the halving loop refine it.
+        step = width if np.isfinite(f_hi) else -width
+    else:
+        # Both probes are non-finite; no usable direction along this axis.
+        return value, current, False
+    for _ in range(cfg.max_step_halvings):
+        candidate = value + step
+        feasible = (not positive or candidate > 0) and bounds[0] <= candidate <= bounds[1]
+        if feasible:
+            new = objective(candidate)
+            if new >= current - 1e-15:
+                return float(candidate), float(new), True
+        step *= 0.5
+    return value, current, False
+
+
+def maximize_joint(
+    likelihood: GrowthRelativeLikelihood | GrowthPooledLikelihood | CombinedGrowthLikelihood,
+    theta0: float,
+    growth0: float = 0.0,
+    config: EstimatorConfig | None = None,
+) -> JointEstimate:
+    """Coordinate ascent on log L(θ, g) with step halving on both parameters.
+
+    The two-parameter analogue of Algorithm 2, and the EM M-step's
+    maximizer (the complementary *global* grid scan, for offline use over a
+    caller-chosen region, is
+    :func:`repro.likelihood.growth_prior.maximize_theta_growth`).  Each
+    iteration takes one gradient step in θ (halved until uphill and
+    positive) and then one in g (halved until uphill; g may be negative).
+    Coordinate-wise steps are used because the finite-sample (θ, g) surface
+    is ridge-shaped — growth and size trade off — where a joint gradient
+    direction zig-zags.  The
+    whole ascent is confined to the trust region
+    ``[θ₀/max_theta_step_factor, θ₀·max_theta_step_factor] ×
+    [g₀ − max_growth_step, g₀ + max_growth_step]`` around the driving
+    values, outside of which the importance-sampled surface is dominated by
+    a handful of samples and its maximizer is noise; the EM loop re-drives
+    every iteration, so the region limits one M-step, not the estimate.
+    Iteration stops when neither parameter moves more than the convergence
+    tolerance or the iteration budget is spent.
+    """
+    cfg = config or EstimatorConfig()
+    if theta0 <= 0:
+        raise ValueError("theta0 must be positive")
+
+    theta = float(theta0)
+    growth = float(growth0)
+    theta_bounds = (theta / cfg.max_theta_step_factor, theta * cfg.max_theta_step_factor)
+    growth_bounds = (growth - cfg.max_growth_step, growth + cfg.max_growth_step)
+    current = likelihood.log_likelihood(theta, growth)
+    if not np.isfinite(current):
+        # The surface is degenerate at the driving point (e.g. saturated
+        # growth prior): gradients are NaN and no ascent is possible.
+        # Report honestly rather than claiming convergence at the start.
+        return JointEstimate(
+            theta=theta,
+            growth=growth,
+            log_relative_likelihood=float(current),
+            n_iterations=0,
+            converged=False,
+        )
+    converged = False
+    iterations = 0
+
+    for iterations in range(1, cfg.max_iterations + 1):
+        theta_before, growth_before = theta, growth
+        theta, current, theta_accepted = _ascend_coordinate(
+            lambda t: likelihood.log_likelihood(t, growth),
+            theta,
+            current,
+            cfg,
+            positive=True,
+            bounds=theta_bounds,
+        )
+        growth, current, growth_accepted = _ascend_coordinate(
+            lambda g: likelihood.log_likelihood(theta, g),
+            growth,
+            current,
+            cfg,
+            positive=False,
+            bounds=growth_bounds,
+        )
+        if not theta_accepted and not growth_accepted:
+            converged = True
+            break
+        theta_settled = abs(theta - theta_before) < cfg.convergence_tol * max(theta, 1.0)
+        growth_settled = abs(growth - growth_before) < cfg.convergence_tol * max(
+            abs(growth), 1.0
+        )
+        if theta_settled and growth_settled:
+            converged = True
+            break
+
+    return JointEstimate(
+        theta=theta,
+        growth=growth,
         log_relative_likelihood=current,
         n_iterations=iterations,
         converged=converged,

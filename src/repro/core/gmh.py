@@ -25,6 +25,8 @@ evaluations are dispatched as one batched kernel call.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -34,6 +36,14 @@ from ..likelihood.logspace import log_sum
 from ..proposals.neighborhood import NeighborhoodResimulator
 
 __all__ = ["ProposalSet", "GeneralizedMetropolisHastings"]
+
+#: Optional per-candidate addition to the index-variable log-weights.  The
+#: neighbourhood kernel draws from the *constant-size* conditional coalescent,
+#: so targeting a different genealogy prior π'(G) (e.g. exponential growth)
+#: multiplies each candidate's weight by π'(G̃ᵢ)/π_const(G̃ᵢ | θ).  The hook
+#: receives the whole candidate batch and returns the log-ratio per
+#: candidate — batched, because it sits on the proposal-set hot path.
+LogPriorAdjustment = Callable[[Sequence[Genealogy]], np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -67,6 +77,25 @@ class ProposalSet:
         """Number of candidates (N + 1)."""
         return len(self.trees)
 
+    @cached_property
+    def cumulative_weights(self) -> np.ndarray:
+        """Normalized cumulative index-variable probabilities, computed once.
+
+        Algorithm 1 draws I many times from the same stationary distribution
+        (``samples_per_set`` draws per proposal set), so the exponentiation
+        and normalization are hoisted out of :meth:`sample_index`.
+        """
+        if not np.any(np.isfinite(self.log_weights)):
+            raise ValueError(
+                "all proposal-set log-weights are -inf; every candidate "
+                "(including the current state) has zero posterior weight, so "
+                "the index distribution is undefined — check the likelihood "
+                "engine and prior for underflow"
+            )
+        probs = np.exp(self.log_weights)
+        probs = probs / probs.sum()
+        return np.cumsum(probs)
+
     def sample_index(self, rng: np.random.Generator) -> int:
         """Draw the index variable I from the stationary distribution.
 
@@ -74,11 +103,10 @@ class ProposalSet:
         variate on (0, Σ wᵢ) and walk the cumulative weights until it is
         exceeded — here in normalized probability space.
         """
-        probs = np.exp(self.log_weights)
-        probs = probs / probs.sum()
         u = rng.random()
-        cumulative = np.cumsum(probs)
-        return int(np.searchsorted(cumulative, u, side="right").clip(0, self.size - 1))
+        return int(
+            np.searchsorted(self.cumulative_weights, u, side="right").clip(0, self.size - 1)
+        )
 
 
 class GeneralizedMetropolisHastings:
@@ -89,12 +117,15 @@ class GeneralizedMetropolisHastings:
         engine: LikelihoodEngine,
         resimulator: NeighborhoodResimulator,
         n_proposals: int,
+        *,
+        log_prior_adjustment: LogPriorAdjustment | None = None,
     ) -> None:
         if n_proposals < 1:
             raise ValueError("n_proposals must be at least 1")
         self.engine = engine
         self.resimulator = resimulator
         self.n_proposals = int(n_proposals)
+        self.log_prior_adjustment = log_prior_adjustment
 
     def build_proposal_set(
         self,
@@ -144,7 +175,15 @@ class GeneralizedMetropolisHastings:
             log_liks[: self.n_proposals] = self.engine.evaluate_batch(proposals)
             log_liks[generator_index] = current_log_likelihood
 
-        log_weights = log_liks - log_sum(log_liks)
+        if self.log_prior_adjustment is not None:
+            # Re-weight the index distribution toward the adjusted prior: the
+            # kernel's constant-prior factor cancelled out of Eq. 31, so the
+            # correction is per-candidate π'(G̃ᵢ)/π_const(G̃ᵢ | θ) on top of
+            # the data likelihood.
+            scores = log_liks + np.asarray(self.log_prior_adjustment(trees), dtype=float)
+        else:
+            scores = log_liks
+        log_weights = scores - log_sum(scores)
         return ProposalSet(
             trees=tuple(trees),
             log_data_likelihoods=np.asarray(log_liks, dtype=float),

@@ -20,6 +20,7 @@ the accuracy comparison of Table 1 puts both samplers on identical footing.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -29,43 +30,129 @@ from ..diagnostics.traces import ChainResult
 from ..genealogy.tree import Genealogy
 from ..genealogy.upgma import upgma_tree
 from ..likelihood.engines import LikelihoodEngine, make_engine
+from ..likelihood.growth_prior import CombinedGrowthLikelihood, GrowthRelativeLikelihood
 from ..likelihood.mutation_models import make_model
 from ..sequences.alignment import Alignment
 from .config import MPCGSConfig
-from .estimator import RelativeLikelihood, ThetaEstimate, maximize_theta
-from .registry import Sampler, sampler_factory as registry_sampler_factory
+from .estimator import (
+    JointEstimate,
+    RelativeLikelihood,
+    ThetaEstimate,
+    maximize_joint,
+    maximize_theta,
+)
+from .registry import Sampler, make_sampler
+from .registry import sampler_factory as registry_sampler_factory
 
 SamplerFactory = Callable[[Callable[[], LikelihoodEngine], float], Sampler]
+
+
+def _interior_topological_order(tree: Genealogy) -> list[int]:
+    """Interior nodes in coalescent event order (children strictly before parents).
+
+    Kahn's algorithm over the interior-node ancestry, popping ready nodes
+    from a (time, index) min-heap: with distinct interior times this is
+    exactly the time sort (a parent is always older than its children, so
+    the youngest unranked interior node is always ready), and with tied
+    times the ancestry constraint still holds, deterministically tie-broken
+    by node index.
+    """
+    n_tips = tree.n_tips
+    n_pending = {}
+    heap: list[tuple[float, int]] = []
+    for node in range(n_tips, tree.n_nodes):
+        interior_children = int(np.sum(tree.children[node] >= n_tips))
+        n_pending[node] = interior_children
+        if interior_children == 0:
+            heap.append((float(tree.times[node]), node))
+    heapq.heapify(heap)
+
+    order: list[int] = []
+    while heap:
+        _, node = heapq.heappop(heap)
+        order.append(node)
+        parent = int(tree.parent[node])
+        if parent >= 0:
+            n_pending[parent] -= 1
+            if n_pending[parent] == 0:
+                heapq.heappush(heap, (float(tree.times[parent]), parent))
+    if len(order) != tree.n_internal:
+        raise ValueError("genealogy ancestry is cyclic or disconnected")
+    return order
 
 #: Stock samplers whose registry builders call ``engine_factory`` exactly
 #: once, so sharing one cached engine across EM iterations cannot leak work
 #: (or cached partials) between concurrently-counted chains.
 _SINGLE_ENGINE_SAMPLERS = frozenset({"gmh", "lamarc", "heated", "bayesian"})
 
-__all__ = ["MPCGS", "EMIteration", "MPCGSResult", "SamplerFactory"]
+#: Samplers whose builders accept a ``growth`` option and correct their
+#: stationary distribution toward the growth coalescent prior.
+_GROWTH_SAMPLERS = frozenset({"gmh"})
+
+
+def require_growth_sampler(config: MPCGSConfig) -> None:
+    """Reject configs whose sampler cannot target the growth posterior."""
+    if config.sampler_name not in _GROWTH_SAMPLERS:
+        raise ValueError(
+            f"demography='growth' requires a growth-aware sampler "
+            f"({', '.join(sorted(_GROWTH_SAMPLERS))}), not {config.sampler_name!r}"
+        )
+
+__all__ = [
+    "MPCGS",
+    "EMIteration",
+    "MPCGSResult",
+    "MultiLocusGrowthResult",
+    "SamplerFactory",
+    "run_multilocus_growth",
+]
 
 
 @dataclass(frozen=True)
 class EMIteration:
-    """One Expectation-Maximization iteration's inputs and outputs."""
+    """One Expectation-Maximization iteration's inputs and outputs.
+
+    ``driving_growth`` is the exponential growth rate the chain was driven
+    with; it stays at the constant-demography value 0.0 (and ``estimate`` is
+    a :class:`~repro.core.estimator.ThetaEstimate`) unless the run estimates
+    under ``demography="growth"``, where ``estimate`` is a
+    :class:`~repro.core.estimator.JointEstimate`.
+    """
 
     iteration: int
     driving_theta: float
-    estimate: ThetaEstimate
+    estimate: ThetaEstimate | JointEstimate
     chain: ChainResult
+    driving_growth: float = 0.0
 
 
 @dataclass
 class MPCGSResult:
-    """Final output of an mpcgs run."""
+    """Final output of an mpcgs run.
+
+    ``growth`` is ``None`` for constant-demography runs and the final
+    exponential growth-rate estimate for ``demography="growth"`` runs.
+    """
 
     theta: float
     iterations: list[EMIteration] = field(default_factory=list)
+    growth: float | None = None
 
     @property
     def theta_trajectory(self) -> np.ndarray:
         """Driving θ values across EM iterations, ending at the final estimate."""
         values = [it.driving_theta for it in self.iterations] + [self.theta]
+        return np.asarray(values)
+
+    @property
+    def growth_trajectory(self) -> np.ndarray:
+        """Driving g values across EM iterations, ending at the final estimate.
+
+        All zeros (the constant-demography rate) when the run did not
+        estimate growth.
+        """
+        final = self.growth if self.growth is not None else 0.0
+        values = [it.driving_growth for it in self.iterations] + [final]
         return np.asarray(values)
 
     @property
@@ -151,6 +238,10 @@ class MPCGS:
         if theta0 <= 0:
             raise ValueError("theta0 must be positive")
         cfg = self.config
+        if cfg.demography == "growth":
+            return self._run_growth(
+                theta0, rng, initial_tree=initial_tree, sampler_factory=sampler_factory
+            )
         # Cache sharing is safe only for samplers known to hold a single
         # engine.  Everything else — the multi-chain baseline (which must
         # pay and count every chain's full pruning work independently),
@@ -194,6 +285,86 @@ class MPCGS:
 
         return result
 
+    def _run_growth(
+        self,
+        theta0: float,
+        rng: np.random.Generator,
+        *,
+        initial_tree: Genealogy | None,
+        sampler_factory: SamplerFactory | None,
+    ) -> MPCGSResult:
+        """The joint (θ, g) EM loop under the exponential-growth demography.
+
+        Same program flow as the constant-θ loop, with both stages widened:
+        the Expectation stage's chain targets the posterior under the growth
+        prior P(G | θ, g) at the current driving pair, and the Maximization
+        stage ascends the two-parameter relative-likelihood surface L(θ, g)
+        and adopts both maximizers as the next driving values.
+        """
+        cfg = self.config
+        if sampler_factory is not None:
+            raise ValueError(
+                "demography='growth' drives the sampler with both (theta, growth); "
+                "an explicit sampler_factory only rebinds theta — select a "
+                "growth-aware sampler via the config instead"
+            )
+        require_growth_sampler(cfg)
+        engine_factory = self._engine_factory(
+            share_cache=cfg.sampler_name in _SINGLE_ENGINE_SAMPLERS
+        )
+        theta = float(theta0)
+        growth = float(cfg.growth0)
+        tree = initial_tree if initial_tree is not None else self.initial_tree(theta)
+        result = MPCGSResult(theta=theta, growth=growth)
+
+        for iteration in range(cfg.n_em_iterations):
+            sampler = self.growth_iteration_sampler(theta, growth, engine_factory)
+            chain = sampler.run(tree, rng)
+
+            likelihood = GrowthRelativeLikelihood(
+                chain.interval_matrix, driving_theta=theta, driving_growth=growth
+            )
+            estimate = maximize_joint(likelihood, theta, growth, cfg.estimator)
+
+            result.iterations.append(
+                EMIteration(
+                    iteration=iteration,
+                    driving_theta=theta,
+                    estimate=estimate,
+                    chain=chain,
+                    driving_growth=growth,
+                )
+            )
+
+            theta_moved = abs(estimate.theta - theta)
+            growth_moved = abs(estimate.growth - growth)
+            theta, growth = estimate.theta, estimate.growth
+            result.theta, result.growth = theta, growth
+            tree = self._reseed_tree(tree, chain)
+            tol = cfg.theta_convergence_tol
+            if theta_moved < tol * max(theta, 1.0) and growth_moved < tol * max(
+                abs(growth), 1.0
+            ):
+                break
+
+        return result
+
+    def growth_iteration_sampler(self, theta: float, growth: float, engine_factory=None):
+        """One EM iteration's growth-targeted sampler at the driving (θ, g)."""
+        cfg = self.config
+        if engine_factory is None:
+            engine_factory = self._engine_factory(
+                share_cache=cfg.sampler_name in _SINGLE_ENGINE_SAMPLERS
+            )
+        return make_sampler(
+            cfg.sampler_name,
+            engine_factory=engine_factory,
+            theta=theta,
+            config=cfg.sampler,
+            growth=growth,
+            **cfg.sampler_options,
+        )
+
     @staticmethod
     def _reseed_tree(previous: Genealogy, chain: ChainResult) -> Genealogy:
         """Build the next EM iteration's starting tree.
@@ -209,10 +380,117 @@ class MPCGS:
             return previous
         last = intervals[-1]
         new = previous.copy()
-        # Assign new times to interior nodes in their existing time order.
-        order = np.argsort(new.times[new.n_tips :]) + new.n_tips
+        # Assign new times to interior nodes in their existing coalescent
+        # event order.  A plain time argsort can order a parent before its
+        # child when interior times tie (the argsort tiebreak knows nothing
+        # of ancestry), and the cumsum reassignment would then violate the
+        # parent-older-than-child invariant; instead rank by a stable
+        # topological order — pop the oldest-first min-heap of nodes whose
+        # interior children are already ranked — which equals the time order
+        # whenever times are distinct.
+        order = _interior_topological_order(new)
         new_times = np.cumsum(last)
+        # A degenerate recorded sample (zero-length interval, e.g. from
+        # floating-point collapse in the proposal rebuild) yields tied cumsum
+        # times; nudge them strictly increasing so a parent assigned the
+        # later rank stays strictly older than its child.  Strictly positive
+        # intervals are left bit-for-bit untouched.
+        if new_times[0] <= 0.0:
+            new_times[0] = 1e-300
+        for i in range(1, new_times.size):
+            if new_times[i] <= new_times[i - 1]:
+                new_times[i] = new_times[i - 1] * (1.0 + 1e-12) + 1e-300
         for node, t in zip(order, new_times):
             new.times[node] = t
         new.validate()
         return new
+
+
+@dataclass
+class MultiLocusGrowthResult:
+    """Final output of a multi-locus joint (θ, g) estimation."""
+
+    theta: float
+    growth: float
+    n_loci: int
+    #: Driving (θ, g) pairs per EM iteration, ending at the final estimate.
+    trajectory: list[tuple[float, float]] = field(default_factory=list)
+    total_samples: int = 0
+    total_likelihood_evaluations: int = 0
+
+    @property
+    def n_iterations(self) -> int:
+        """Number of EM iterations performed."""
+        return max(len(self.trajectory) - 1, 0)
+
+
+def run_multilocus_growth(
+    alignments,
+    config: MPCGSConfig,
+    theta0: float,
+    rng: np.random.Generator,
+) -> MultiLocusGrowthResult:
+    """Joint (θ, g) estimation from several unlinked loci sharing one demography.
+
+    A single locus constrains the exponential growth rate only weakly — its
+    (θ, g) likelihood is a long, nearly flat ridge whose maximizer
+    systematically overshoots g (the well-documented single-locus bias of
+    LAMARC-family growth estimators).  Unlinked loci share the demography,
+    so their log-likelihood surfaces add: each EM iteration drives one
+    growth-targeted chain per locus at the current (θ, g), sums the
+    per-locus relative-likelihood surfaces
+    (:class:`~repro.likelihood.growth_prior.CombinedGrowthLikelihood`), and
+    ascends the summed surface jointly.  Curvature accumulates locus by
+    locus and the maximizer pins both parameters down.
+
+    ``config`` must have ``demography="growth"``; per-locus chains use
+    independent child RNG streams spawned from ``rng``.
+    """
+    alignments = list(alignments)
+    if not alignments:
+        raise ValueError("need at least one alignment")
+    if config.demography != "growth":
+        raise ValueError("run_multilocus_growth requires a demography='growth' config")
+    require_growth_sampler(config)
+    if theta0 <= 0:
+        raise ValueError("theta0 must be positive")
+
+    drivers = [MPCGS(alignment, config) for alignment in alignments]
+    engine_factories = [
+        driver._engine_factory(share_cache=config.sampler_name in _SINGLE_ENGINE_SAMPLERS)
+        for driver in drivers
+    ]
+    theta = float(theta0)
+    growth = float(config.growth0)
+    trees = [driver.initial_tree(theta) for driver in drivers]
+    result = MultiLocusGrowthResult(theta=theta, growth=growth, n_loci=len(drivers))
+    result.trajectory.append((theta, growth))
+
+    for _ in range(config.n_em_iterations):
+        components = []
+        locus_rngs = rng.spawn(len(drivers))
+        for locus, driver in enumerate(drivers):
+            sampler = driver.growth_iteration_sampler(theta, growth, engine_factories[locus])
+            chain = sampler.run(trees[locus], locus_rngs[locus])
+            components.append(
+                GrowthRelativeLikelihood(
+                    chain.interval_matrix, driving_theta=theta, driving_growth=growth
+                )
+            )
+            trees[locus] = MPCGS._reseed_tree(trees[locus], chain)
+            result.total_samples += chain.n_samples
+            result.total_likelihood_evaluations += chain.n_likelihood_evaluations
+
+        estimate = maximize_joint(
+            CombinedGrowthLikelihood(components), theta, growth, config.estimator
+        )
+        theta_moved = abs(estimate.theta - theta)
+        growth_moved = abs(estimate.growth - growth)
+        theta, growth = estimate.theta, estimate.growth
+        result.theta, result.growth = theta, growth
+        result.trajectory.append((theta, growth))
+        tol = config.theta_convergence_tol
+        if theta_moved < tol * max(theta, 1.0) and growth_moved < tol * max(abs(growth), 1.0):
+            break
+
+    return result

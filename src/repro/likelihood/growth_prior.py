@@ -29,6 +29,7 @@ __all__ = [
     "batched_log_growth_prior",
     "GrowthRelativeLikelihood",
     "GrowthPooledLikelihood",
+    "CombinedGrowthLikelihood",
     "GrowthEstimate",
     "maximize_theta_growth",
 ]
@@ -41,11 +42,32 @@ def _interval_times(interval_lengths: np.ndarray) -> tuple[np.ndarray, np.ndarra
     return starts, ends
 
 
+#: Exponent cap below the float64 overflow threshold (log of float64 max is
+#: ≈ 709.8).  A positive exponent at or beyond it is treated as infinite
+#: exposure — log-prior exactly −inf — rather than clamped to a finite
+#: plateau: a plateau would make the event term (+g·Σt) dominate and tilt
+#: the surface *uphill* in g precisely where the density must vanish,
+#: inviting runaway ascent.  Computing through the cap instead avoids both
+#: that artifact and inf−inf → NaN in the difference below.
+_EXP_CAP = 700.0
+
+
 def _growth_integral(starts: np.ndarray, ends: np.ndarray, growth: float) -> np.ndarray:
-    """∫ e^{g t} dt over each interval, with the g → 0 limit handled."""
+    """∫ e^{g t} dt over each interval, with the g → 0 limit handled.
+
+    Entries whose (positive) exponent would overflow return ``inf``: the
+    exposure really is astronomically large there, and propagating the
+    infinity keeps the log-prior at −inf instead of a spurious finite value.
+    """
     if abs(growth) < 1e-12:
         return ends - starts
-    return (np.exp(growth * ends) - np.exp(growth * starts)) / growth
+    upper = growth * ends
+    out = (
+        np.exp(np.minimum(upper, _EXP_CAP)) - np.exp(np.minimum(growth * starts, _EXP_CAP))
+    ) / growth
+    if growth > 0:
+        out = np.where(upper >= _EXP_CAP, np.inf, out)
+    return out
 
 
 def log_growth_prior(interval_lengths: np.ndarray, theta: float, growth: float) -> float:
@@ -187,6 +209,56 @@ class GrowthPooledLikelihood:
         return float(self.log_surface(np.asarray([theta]), np.asarray([growth]))[0, 0])
 
 
+class CombinedGrowthLikelihood:
+    """Sum of independent per-locus log-likelihood surfaces in (θ, g).
+
+    Unlinked loci share one demography, so their log-likelihoods add.  A
+    single locus constrains the growth rate only weakly — the (θ, g)
+    surface is a long, nearly flat ridge, and its maximizer is well known to
+    overshoot g — while the summed surface accumulates curvature locus by
+    locus and pins both parameters down.  Components may be any mix of
+    :class:`GrowthRelativeLikelihood` (one locus's relative data
+    likelihood; enters the sum as-is) and :class:`GrowthPooledLikelihood`
+    (directly observed genealogies; its *mean* surface is rescaled by its
+    genealogy count so every observed genealogy carries equal weight in
+    the joint maximization, regardless of how the genealogies are split
+    across components).
+    """
+
+    def __init__(self, components) -> None:
+        components = list(components)
+        if not components:
+            raise ValueError("need at least one component likelihood")
+        self.components = components
+        # GrowthPooledLikelihood reports the per-genealogy mean; the joint
+        # log-likelihood needs the per-component sum (mean x count).
+        self._scales = [
+            float(part.n_samples) if isinstance(part, GrowthPooledLikelihood) else 1.0
+            for part in components
+        ]
+
+    @property
+    def n_loci(self) -> int:
+        """Number of component loci."""
+        return len(self.components)
+
+    def log_surface(self, thetas: np.ndarray, growths: np.ndarray) -> np.ndarray:
+        """Summed log surface on the (θ, g) grid; shape ``(n_thetas, n_growths)``."""
+        total = self._scales[0] * self.components[0].log_surface(thetas, growths)
+        for scale, part in zip(self._scales[1:], self.components[1:]):
+            total = total + scale * part.log_surface(thetas, growths)
+        return total
+
+    def log_likelihood(self, theta: float, growth: float) -> float:
+        """Summed log-likelihood at a single parameter point."""
+        return float(
+            sum(
+                scale * part.log_likelihood(theta, growth)
+                for scale, part in zip(self._scales, self.components)
+            )
+        )
+
+
 @dataclass(frozen=True)
 class GrowthEstimate:
     """Result of the two-parameter maximization."""
@@ -206,10 +278,13 @@ def maximize_theta_growth(
     """Maximize L(θ, g) by coarse grid search with iterative local refinement.
 
     A grid pass locates the basin; each refinement pass shrinks the grid by
-    a factor of four around the current optimum.  Grid search is preferred
-    over joint gradient ascent here because the (θ, g) surface from a finite
-    sample is ridge-shaped (growth and size trade off), where naive ascent
-    zig-zags.
+    a factor of four around the current optimum.  This is the *global*
+    maximizer for offline exploration of a caller-chosen region: it scans
+    wherever the grids reach, with no notion of a driving point.  The EM
+    M-step instead uses :func:`repro.core.estimator.maximize_joint` — a
+    trust-region coordinate ascent around the driving values — because the
+    importance-sampled surface is only trustworthy near the driving point
+    and a region-bounded local ascent is what one M-step needs.
     """
     thetas = np.asarray(theta_grid, dtype=float)
     growths = np.asarray(growth_grid, dtype=float)

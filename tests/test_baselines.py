@@ -107,6 +107,62 @@ class TestMultiChain:
         # Every chain pays its own burn-in: total steps exceed the serial equivalent.
         assert result.n_proposal_sets > cfg.burn_in + cfg.n_samples
 
+    def test_pools_exactly_the_configured_total(
+        self, small_dataset, uniform_model, seed_tree, rng
+    ):
+        """Regression: ceil-splitting 100 samples over 3 chains pooled 102.
+
+        The pooled count must equal ``config.n_samples`` exactly, with the
+        remainder of the even split distributed across the leading chains.
+        """
+        cfg = SamplerConfig(n_samples=100, burn_in=2)
+        sampler = MultiChainSampler(
+            engine_factory=lambda: make_engine(small_dataset, uniform_model),
+            theta=1.0,
+            n_chains=3,
+            config=cfg,
+        )
+        assert sampler.chain_quotas() == [34, 33, 33]
+        result = sampler.run(seed_tree, rng)
+        assert result.n_samples == 100
+        # ...and the serial-equivalent accounting now matches the actual pool.
+        assert result.extras["serial_steps_equivalent"] == 2 + 100
+
+    def test_chain_boundaries_partition_the_pooled_trace(
+        self, small_dataset, uniform_model, seed_tree, rng
+    ):
+        cfg = SamplerConfig(n_samples=10, burn_in=2)
+        sampler = MultiChainSampler(
+            engine_factory=lambda: make_engine(small_dataset, uniform_model),
+            theta=1.0,
+            n_chains=3,
+            config=cfg,
+        )
+        result = sampler.run(seed_tree, rng)
+        boundaries = result.extras["chain_boundaries"]
+        assert result.extras["per_chain_samples"] == [4, 3, 3]
+        assert boundaries == [(0, 4), (4, 7), (7, 10)]
+        assert boundaries[-1][1] == result.n_samples
+
+    def test_more_chains_than_samples_skips_surplus_chains(
+        self, small_dataset, uniform_model, seed_tree, rng
+    ):
+        cfg = SamplerConfig(n_samples=2, burn_in=1)
+        sampler = MultiChainSampler(
+            engine_factory=lambda: make_engine(small_dataset, uniform_model),
+            theta=1.0,
+            n_chains=4,
+            config=cfg,
+        )
+        result = sampler.run(seed_tree, rng)
+        assert result.n_samples == 2
+        assert result.extras["per_chain_samples"] == [1, 1, 0, 0]
+        assert result.extras["chain_boundaries"] == [(0, 1), (1, 2), (2, 2), (2, 2)]
+        # Surplus chains are not run; their step counts stay index-aligned at 0.
+        steps = result.extras["per_chain_steps"]
+        assert len(steps) == 4
+        assert steps[2:] == [0, 0] and all(s > 0 for s in steps[:2])
+
     def test_ideal_parallel_accounting(self, small_dataset, uniform_model, seed_tree, rng):
         cfg = SamplerConfig(n_samples=20, burn_in=10)
         sampler = MultiChainSampler(

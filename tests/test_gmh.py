@@ -80,6 +80,34 @@ class TestIndexSampling:
         freqs = np.bincount(draws, minlength=3) / draws.size
         assert np.allclose(freqs, [0.7, 0.2, 0.1], atol=0.03)
 
+    def test_cumulative_weights_computed_once_and_reused(self, rng):
+        logw = np.log(np.array([0.5, 0.3, 0.2]))
+        pset = ProposalSet(
+            trees=(None, None, None),  # type: ignore[arg-type]
+            log_data_likelihoods=logw.copy(),
+            log_weights=logw,
+            target=0,
+            generator_index=2,
+        )
+        first = pset.cumulative_weights
+        pset.sample_index(rng)
+        assert pset.cumulative_weights is first  # cached, not recomputed per draw
+        assert first[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(first) >= 0)
+
+    def test_all_minus_inf_weights_raise_a_clear_error(self, rng):
+        """Regression: an all-(-inf) weight set used to cascade NaNs silently."""
+        logw = np.full(3, -np.inf)
+        pset = ProposalSet(
+            trees=(None, None, None),  # type: ignore[arg-type]
+            log_data_likelihoods=logw.copy(),
+            log_weights=logw,
+            target=0,
+            generator_index=2,
+        )
+        with pytest.raises(ValueError, match="log-weights"):
+            pset.sample_index(rng)
+
     def test_degenerate_weights_always_pick_the_peak(self, rng):
         logw = np.array([0.0, -500.0, -500.0])
         logw = logw - np.log(np.sum(np.exp(logw - logw.max()))) - logw.max()
@@ -91,6 +119,45 @@ class TestIndexSampling:
             generator_index=0,
         )
         assert all(pset.sample_index(rng) == 0 for _ in range(50))
+
+
+class TestPriorAdjustment:
+    def test_adjustment_shifts_the_index_weights(
+        self, small_dataset, uniform_model, seed_tree, rng
+    ):
+        """The hook adds a per-candidate log-term on top of the data likelihood."""
+        engine = BatchedEngine(alignment=small_dataset.alignment, model=uniform_model)
+        plain = GeneralizedMetropolisHastings(
+            engine=engine, resimulator=NeighborhoodResimulator(1.0), n_proposals=4
+        )
+        # Penalize tall genealogies: candidates are re-weighted, data
+        # likelihoods are untouched.  The hook receives the whole batch.
+        adjusted = GeneralizedMetropolisHastings(
+            engine=engine,
+            resimulator=NeighborhoodResimulator(1.0),
+            n_proposals=4,
+            log_prior_adjustment=lambda trees: -5.0
+            * np.array([t.tree_height() for t in trees]),
+        )
+        pset_adj = adjusted.build_proposal_set(seed_tree, None, np.random.default_rng(3))
+        pset_ref = plain.build_proposal_set(seed_tree, None, np.random.default_rng(3))
+        assert np.allclose(pset_adj.log_data_likelihoods, pset_ref.log_data_likelihoods)
+        heights = np.array([t.tree_height() for t in pset_adj.trees])
+        scores = pset_adj.log_data_likelihoods - 5.0 * heights
+        expected = scores - np.log(np.sum(np.exp(scores - scores.max()))) - scores.max()
+        assert np.allclose(pset_adj.log_weights, expected)
+
+    def test_no_adjustment_matches_pure_likelihood_weights(
+        self, small_dataset, uniform_model, seed_tree
+    ):
+        engine = BatchedEngine(alignment=small_dataset.alignment, model=uniform_model)
+        gmh = GeneralizedMetropolisHastings(
+            engine=engine, resimulator=NeighborhoodResimulator(1.0), n_proposals=4
+        )
+        pset = gmh.build_proposal_set(seed_tree, None, np.random.default_rng(3))
+        ll = pset.log_data_likelihoods
+        expected = ll - np.log(np.sum(np.exp(ll - ll.max()))) - ll.max()
+        assert np.allclose(pset.log_weights, expected)
 
 
 class TestIterate:

@@ -119,6 +119,76 @@ class TestSamplerFactory:
         assert result.theta > 0
         assert result.iterations[0].chain.extras["n_chains"] == 2
 
+    def test_reseed_tree_handles_tied_interior_times(self):
+        """Regression: argsort on tied times could rank a parent before its child.
+
+        Floating-point collapse in the proposal rebuild can leave a parent
+        and child at exactly the same time.  The old time-argsort reseed
+        then assigned the parent the smaller cumsum time (argsort ties break
+        by index, and the parent's index can be lower), so ``validate``
+        raised mid-EM.  The topological reseed must retime such a tree
+        into a valid genealogy.
+        """
+        from repro.diagnostics.traces import ChainResult, ChainTrace
+        from repro.genealogy.tree import Genealogy
+
+        # Node 4 is the *parent* of node 5 yet shares its time (the
+        # collapsed state) and has the smaller index: a plain time sort
+        # ranks 4 first and retimes it younger than its child.
+        tied = Genealogy(
+            times=np.array([0.0, 0.0, 0.0, 0.0, 0.5, 0.5, 1.0]),
+            parent=np.array([5, 5, 4, 6, 6, 4, -1]),
+            children=np.array(
+                [[-1, -1], [-1, -1], [-1, -1], [-1, -1], [5, 2], [0, 1], [4, 3]]
+            ),
+        )
+        trace = ChainTrace(n_intervals=3)
+        trace.record(np.array([0.2, 0.3, 0.4]), log_likelihood=-1.0, height=0.9)
+        chain = ChainResult(trace=trace, driving_theta=1.0)
+
+        reseeded = MPCGS._reseed_tree(tied, chain)
+        reseeded.validate()  # would raise under the argsort reseed
+        # Child node 5 must end up strictly younger than its parent node 4.
+        assert reseeded.times[5] < reseeded.times[4]
+        assert reseeded.times[6] == pytest.approx(0.9)
+
+    def test_reseed_tree_handles_zero_length_recorded_interval(self, small_dataset):
+        """A degenerate sample row (zero-length interval) must not abort EM:
+        tied cumsum times are nudged strictly increasing before assignment."""
+        from repro.diagnostics.traces import ChainResult, ChainTrace
+        from repro.genealogy.upgma import upgma_tree
+
+        tree = upgma_tree(small_dataset.alignment, driving_theta=1.0)
+        n_intervals = tree.n_tips - 1
+        intervals = np.full(n_intervals, 0.1)
+        intervals[1] = 0.0  # collapsed event
+        trace = ChainTrace(n_intervals=n_intervals)
+        trace.record(intervals, log_likelihood=-1.0, height=float(intervals.sum()))
+        chain = ChainResult(trace=trace, driving_theta=1.0)
+
+        reseeded = MPCGS._reseed_tree(tree, chain)
+        reseeded.validate()  # strictly increasing times despite the tie
+
+    def test_reseed_tree_preserves_event_order_without_ties(self, small_dataset):
+        """With distinct times the topological reseed equals the old time sort."""
+        from repro.diagnostics.traces import ChainResult, ChainTrace
+        from repro.genealogy.upgma import upgma_tree
+
+        tree = upgma_tree(small_dataset.alignment, driving_theta=1.0)
+        n_intervals = tree.n_tips - 1
+        trace = ChainTrace(n_intervals=n_intervals)
+        intervals = np.linspace(0.1, 0.4, n_intervals)
+        trace.record(intervals, log_likelihood=-1.0, height=float(intervals.sum()))
+        chain = ChainResult(trace=trace, driving_theta=1.0)
+
+        reseeded = MPCGS._reseed_tree(tree, chain)
+        reseeded.validate()
+        # The ranking of interior nodes by time is unchanged; only the times move.
+        old_order = np.argsort(tree.times[tree.n_tips :], kind="stable")
+        new_order = np.argsort(reseeded.times[tree.n_tips :], kind="stable")
+        assert np.array_equal(old_order, new_order)
+        assert reseeded.times[tree.n_tips :].max() == pytest.approx(intervals.sum())
+
     def test_default_factory_matches_hardcoded_gmh(self, small_dataset, quick_config):
         from repro.core.registry import sampler_factory
 
