@@ -26,9 +26,22 @@ experiments serialize to JSON via :class:`repro.api.RunSpec`.
 from .api import Experiment, RunReport, RunSpec, run_experiment
 from .core.bayesian import BayesianResult, BayesianSampler, ThetaPrior
 from .core.config import EstimatorConfig, MPCGSConfig, SamplerConfig
-from .core.estimator import RelativeLikelihood, ThetaEstimate, maximize_theta
+from .core.estimator import (
+    DemographyEstimate,
+    RelativeLikelihood,
+    ThetaEstimate,
+    maximize_demography,
+    maximize_theta,
+)
 from .core.gmh import GeneralizedMetropolisHastings, ProposalSet
-from .core.mpcgs import MPCGS, EMIteration, MPCGSResult
+from .core.mpcgs import (
+    MPCGS,
+    EMIteration,
+    MPCGSResult,
+    MultiLocusResult,
+    run_multilocus,
+    run_multilocus_growth,
+)
 from .core.registry import (
     Sampler,
     available_engines,
@@ -38,6 +51,16 @@ from .core.registry import (
     register_sampler,
     sampler_factory,
 )
+from .demography import (
+    BottleneckDemography,
+    ConstantDemography,
+    Demography,
+    ExponentialDemography,
+    LogisticDemography,
+    available_demographies,
+    make_demography,
+    register_demography,
+)
 from .core.sampler import MultiProposalSampler
 from .baselines.heated import HeatedChainSampler, default_temperatures
 from .baselines.lamarc import LamarcSampler
@@ -46,6 +69,11 @@ from .genealogy.newick import from_newick, to_newick
 from .genealogy.tree import Genealogy
 from .genealogy.upgma import upgma_tree
 from .likelihood.coalescent_prior import PooledThetaLikelihood
+from .likelihood.demography_prior import (
+    CombinedDemographyLikelihood,
+    DemographyPooledLikelihood,
+    DemographyRelativeLikelihood,
+)
 from .likelihood.engines import (
     BatchedEngine,
     ConstantEngine,
@@ -73,6 +101,10 @@ from .sequences.phylip import read_phylip, write_phylip
 from .sequences.popgen_stats import summarize_alignment
 from .simulate.coalescent_sim import simulate_genealogy
 from .simulate.datasets import SyntheticDataset, synthesize_dataset
+from .simulate.demography_sim import (
+    simulate_demography_genealogy,
+    simulate_demography_intervals,
+)
 from .simulate.growth_sim import simulate_growth_genealogy
 
 __version__ = "1.0.0"
@@ -139,5 +171,23 @@ __all__ = [
     "read_fasta",
     "write_fasta",
     "summarize_alignment",
+    "Demography",
+    "ConstantDemography",
+    "ExponentialDemography",
+    "BottleneckDemography",
+    "LogisticDemography",
+    "make_demography",
+    "register_demography",
+    "available_demographies",
+    "DemographyEstimate",
+    "maximize_demography",
+    "DemographyRelativeLikelihood",
+    "DemographyPooledLikelihood",
+    "CombinedDemographyLikelihood",
+    "MultiLocusResult",
+    "run_multilocus",
+    "run_multilocus_growth",
+    "simulate_demography_genealogy",
+    "simulate_demography_intervals",
     "__version__",
 ]

@@ -26,6 +26,7 @@ facade reproduces ``MPCGS(...).run(...)`` bit-for-bit.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping
@@ -34,8 +35,14 @@ import numpy as np
 
 from .core.bayesian import BayesianResult
 from .core.config import MPCGSConfig
-from .core.mpcgs import MPCGS, MPCGSResult, require_growth_sampler
-from .core.registry import SAMPLERS, make_engine, make_model, make_sampler
+from .core.mpcgs import MPCGS, MPCGSResult, MultiLocusResult, run_multilocus
+from .core.registry import (
+    SAMPLERS,
+    make_engine,
+    make_model,
+    make_sampler,
+    require_demography_support,
+)
 from .genealogy.upgma import upgma_tree
 from .sequences.alignment import Alignment
 from .sequences.phylip import read_phylip
@@ -48,40 +55,56 @@ class RunSpec:
     """A complete, portable description of one experiment.
 
     ``sequence_file`` may be ``None`` when the alignment is supplied
-    in-memory (the spec then documents everything but the data).  ``theta0``
-    defaults to the Watterson moment estimate of the alignment at run time;
-    ``seed`` of ``None`` means OS entropy (a non-reproducible run).
+    in-memory (the spec then documents everything but the data).
+    ``sequence_files`` names several unlinked loci sharing one demography —
+    the multi-locus workload of :func:`repro.core.mpcgs.run_multilocus`
+    (mutually exclusive with ``sequence_file``).  ``theta0`` defaults to
+    the Watterson moment estimate of the alignment at run time; ``seed`` of
+    ``None`` means OS entropy (a non-reproducible run).
     """
 
     config: MPCGSConfig = field(default_factory=MPCGSConfig)
     sequence_file: str | None = None
     theta0: float | None = None
     seed: int | None = None
+    sequence_files: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.theta0 is not None and self.theta0 <= 0:
             raise ValueError("theta0 must be positive")
+        if self.sequence_files is not None:
+            object.__setattr__(
+                self, "sequence_files", tuple(str(p) for p in self.sequence_files)
+            )
+            if not self.sequence_files:
+                raise ValueError("sequence_files must name at least one locus")
+            if self.sequence_file is not None:
+                raise ValueError("give sequence_file or sequence_files, not both")
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe dict with the config nested under ``"config"``."""
-        return {
+        out: dict[str, Any] = {
             "sequence_file": self.sequence_file,
             "theta0": self.theta0,
             "seed": self.seed,
             "config": self.config.to_dict(),
         }
+        if self.sequence_files is not None:
+            out["sequence_files"] = list(self.sequence_files)
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
         """Inverse of :meth:`to_dict`.
 
         Also accepts a *flat* document: any keys beyond
-        ``sequence_file``/``theta0``/``seed`` are interpreted as the config
-        block, so a bare :meth:`MPCGSConfig.to_dict` document is a valid
-        spec too.
+        ``sequence_file``/``sequence_files``/``theta0``/``seed`` are
+        interpreted as the config block, so a bare
+        :meth:`MPCGSConfig.to_dict` document is a valid spec too.
         """
         data = dict(data)
         sequence_file = data.pop("sequence_file", None)
+        sequence_files = data.pop("sequence_files", None)
         theta0 = data.pop("theta0", None)
         seed = data.pop("seed", None)
         if "config" in data:
@@ -93,7 +116,13 @@ class RunSpec:
             config = MPCGSConfig.from_dict(data)
         else:
             config = MPCGSConfig()
-        return cls(config=config, sequence_file=sequence_file, theta0=theta0, seed=seed)
+        return cls(
+            config=config,
+            sequence_file=sequence_file,
+            theta0=theta0,
+            seed=seed,
+            sequence_files=tuple(sequence_files) if sequence_files is not None else None,
+        )
 
     def to_json(self, *, indent: int | None = 2) -> str:
         """Serialize to a JSON document (the CLI's ``--config`` format)."""
@@ -138,8 +167,9 @@ class RunReport:
     n_likelihood_evaluations: int
     wall_time_seconds: float
     diagnostics: dict[str, Any] = field(default_factory=dict)
-    result: MPCGSResult | BayesianResult | None = None
+    result: MPCGSResult | MultiLocusResult | BayesianResult | None = None
     growth: float | None = None
+    demography_params: dict[str, float] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe summary (drops the raw ``result`` object)."""
@@ -154,6 +184,7 @@ class RunReport:
             "n_likelihood_evaluations": self.n_likelihood_evaluations,
             "wall_time_seconds": self.wall_time_seconds,
             "growth": self.growth,
+            "demography_params": _json_safe(self.demography_params),
             "diagnostics": _json_safe(self.diagnostics),
         }
 
@@ -216,24 +247,43 @@ class Experiment:
         theta0: float | None = None,
         seed: int | None = None,
     ) -> None:
-        self.alignment = _coerce_alignment(data)
+        self.loci: list[Alignment] | None = None
+        self.source_files: tuple[str, ...] | None = None
+        if isinstance(data, (list, tuple)):
+            # Several unlinked loci sharing one demography (the multi-locus
+            # workload); a single-element list still runs the multi-locus
+            # driver so specs behave uniformly.
+            self.loci = [_coerce_alignment(item) for item in data]
+            if not self.loci:
+                raise ValueError("need at least one locus alignment")
+            if all(isinstance(item, (str, Path)) for item in data):
+                # Remember the paths so spec() round-trips the experiment.
+                self.source_files = tuple(str(item) for item in data)
+            self.alignment = self.loci[0]
+        else:
+            self.alignment = _coerce_alignment(data)
         self.config = config if config is not None else MPCGSConfig()
         SAMPLERS.get(self.config.sampler_name)  # fail fast on unknown samplers
-        if self.config.demography == "growth":
-            # Fail fast at construction (MPCGS.run re-validates for direct
-            # library callers): the Bayesian path would otherwise silently
-            # run the constant-size joint sampler under a config that
-            # promises growth, and other non-growth-aware samplers would
-            # only fail deep inside the run.
-            if self.config.sampler_name.lower() == "bayesian":
-                raise ValueError(
-                    "the bayesian sampler does not support demography='growth'; "
-                    "use maximum-likelihood estimation (mpcgs run) with a "
-                    "growth-aware sampler"
-                )
-            require_growth_sampler(self.config)
+        self.config.demography_model()  # fail fast on bad demography params
+        # Fail fast at construction (MPCGS.run re-validates for direct
+        # library callers): an incapable sampler — the Bayesian one
+        # included — would otherwise only fail deep inside the run, or
+        # silently ignore the demography.  One shared registry check covers
+        # the library, this facade, and the CLI.
+        require_demography_support(self.config)
+        if self.loci is not None and self.config.sampler_name.lower() == "bayesian":
+            raise ValueError(
+                "the bayesian sampler estimates a single-locus posterior; "
+                "multi-locus runs need an EM sampler (mpcgs run --loci ...)"
+            )
         if theta0 is None:
-            theta0 = float(self.alignment.watterson_theta())
+            if self.loci is not None:
+                # One shared θ across loci: the mean Watterson estimate.
+                theta0 = float(
+                    np.mean([locus.watterson_theta() for locus in self.loci])
+                )
+            else:
+                theta0 = float(self.alignment.watterson_theta())
         if theta0 <= 0:
             raise ValueError("theta0 must be positive")
         self.theta0 = float(theta0)
@@ -256,18 +306,38 @@ class Experiment:
         elif isinstance(spec, Mapping):
             spec = RunSpec.from_dict(spec)
         if data is None:
-            if spec.sequence_file is None:
+            if spec.sequence_files is not None:
+                data = list(spec.sequence_files)
+            elif spec.sequence_file is not None:
+                data = spec.sequence_file
+            else:
                 raise ValueError("the spec names no sequence_file; pass data= explicitly")
-            data = spec.sequence_file
         return cls(data, spec.config, theta0=spec.theta0, seed=spec.seed)
 
-    def spec(self, sequence_file: str | None = None) -> RunSpec:
-        """The portable :class:`RunSpec` describing this experiment."""
+    def spec(
+        self,
+        sequence_file: str | None = None,
+        sequence_files: tuple[str, ...] | list[str] | None = None,
+    ) -> RunSpec:
+        """The portable :class:`RunSpec` describing this experiment.
+
+        A multi-locus experiment built from file paths remembers them, so
+        its spec round-trips through :meth:`from_spec` without re-naming
+        the loci; pass ``sequence_files`` explicitly to override (e.g.
+        when the loci were supplied as in-memory alignments).
+        """
+        if sequence_files is None and sequence_file is None and self.loci is not None:
+            sequence_files = self.source_files
+        if sequence_file is not None and self.loci is not None:
+            raise ValueError(
+                "this is a multi-locus experiment; name its data via sequence_files"
+            )
         return RunSpec(
             config=self.config,
             sequence_file=sequence_file,
             theta0=self.theta0,
             seed=self.seed,
+            sequence_files=tuple(sequence_files) if sequence_files is not None else None,
         )
 
     def run(self, rng: np.random.Generator | None = None) -> RunReport:
@@ -278,6 +348,8 @@ class Experiment:
         """
         if rng is None:
             rng = np.random.default_rng(self.seed)
+        if self.loci is not None:
+            return self._run_multilocus(rng)
         if self.config.sampler_name.lower() == "bayesian":
             return self._run_bayesian(rng)
         return self._run_ml(rng)
@@ -293,6 +365,7 @@ class Experiment:
         driver = MPCGS(self.alignment, cfg)
         result = driver.run(theta0=self.theta0, rng=rng)
         growth_run = result.growth is not None
+        demography_run = result.demography_params is not None
         iterations = [
             {
                 "iteration": it.iteration,
@@ -311,6 +384,16 @@ class Experiment:
                     if growth_run
                     else {}
                 ),
+                **(
+                    {
+                        "driving_params": it.driving_params,
+                        "params_estimate": dict(
+                            zip(it.driving_params, it.estimate.params)
+                        ),
+                    }
+                    if demography_run and it.driving_params is not None
+                    else {}
+                ),
             }
             for it in result.iterations
         ]
@@ -322,6 +405,8 @@ class Experiment:
         }
         if growth_run:
             diagnostics["growth_trajectory"] = result.growth_trajectory
+        if demography_run:
+            diagnostics["demography_params"] = result.demography_params
         return RunReport(
             sampler=cfg.sampler_name,
             theta=result.theta,
@@ -335,6 +420,37 @@ class Experiment:
             diagnostics=diagnostics,
             result=result,
             growth=result.growth,
+            demography_params=result.demography_params,
+        )
+
+    def _run_multilocus(self, rng: np.random.Generator) -> RunReport:
+        """Multi-locus path: per-locus chains, one shared demography estimate."""
+        cfg = self.config
+        start = time.perf_counter()
+        result = run_multilocus(self.loci, cfg, theta0=self.theta0, rng=rng)
+        elapsed = time.perf_counter() - start
+        diagnostics = {
+            "mode": "multilocus",
+            "demography": cfg.demography,
+            "n_loci": result.n_loci,
+            "n_em_iterations": result.n_iterations,
+            "trajectory": [list(point) for point in result.trajectory],
+            "demography_params": dict(result.params),
+        }
+        return RunReport(
+            sampler=cfg.sampler_name,
+            theta=result.theta,
+            theta_trajectory=np.asarray([point[0] for point in result.trajectory]),
+            theta0=self.theta0,
+            seed=self.seed,
+            config=cfg,
+            n_samples=result.total_samples,
+            n_likelihood_evaluations=result.total_likelihood_evaluations,
+            wall_time_seconds=elapsed,
+            diagnostics=diagnostics,
+            result=result,
+            growth=result.growth,
+            demography_params=dict(result.params) if result.params else None,
         )
 
     def _run_bayesian(self, rng: np.random.Generator) -> RunReport:

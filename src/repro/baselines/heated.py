@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.config import SamplerConfig
+from ..demography.base import Demography, prior_ratio_adjustment
 from ..diagnostics.traces import ChainResult, ChainTrace
 from ..genealogy.tree import Genealogy
 from ..likelihood.engines import LikelihoodEngine
@@ -51,6 +52,9 @@ class _ChainState:
     log_likelihood: float
     accepted: int = 0
     steps: int = 0
+    #: log π_dem(G|θ) − log π_const(G|θ) of the current state (importance-
+    #: corrected demography runs only; 0 otherwise).
+    log_prior_adjust: float = 0.0
 
 
 class HeatedChainSampler:
@@ -72,6 +76,15 @@ class HeatedChainSampler:
         ``burn_in`` discarded sweeps.
     swap_interval:
         Number of per-chain update sweeps between swap proposals.
+    demography:
+        Optional :class:`~repro.demography.base.Demography` of the driving
+        coalescent prior, targeted by every temperature rung (only the data
+        likelihood is tempered, so the prior terms still cancel out of swap
+        ratios).  By default proposals come from the demography-conditional
+        kernel (Λ-inverse time rescaling) and the per-chain acceptance stays
+        β·Δ log P(D|G); with ``importance_correction=True`` the constant
+        kernel proposes and each acceptance gains the untempered prior-ratio
+        correction — the same mechanism the GMH chain's index weights use.
     """
 
     def __init__(
@@ -82,6 +95,8 @@ class HeatedChainSampler:
         config: SamplerConfig | None = None,
         *,
         swap_interval: int = 1,
+        demography: Demography | None = None,
+        importance_correction: bool = False,
     ) -> None:
         if theta <= 0:
             raise ValueError("theta must be positive")
@@ -99,7 +114,18 @@ class HeatedChainSampler:
         self.temperatures = temps
         self.config = config or SamplerConfig()
         self.swap_interval = int(swap_interval)
-        self.resimulator = NeighborhoodResimulator(self.theta)
+        self.demography = demography
+        self.importance_correction = bool(importance_correction)
+        effective = demography if demography is not None and not demography.is_constant else None
+        self._adjust = None
+        if effective is not None and self.importance_correction:
+            self.resimulator = NeighborhoodResimulator(self.theta)
+            batched = prior_ratio_adjustment(effective, self.theta)
+            self._adjust = lambda tree: float(batched([tree])[0])
+        elif effective is not None:
+            self.resimulator = NeighborhoodResimulator(self.theta, demography=effective)
+        else:
+            self.resimulator = NeighborhoodResimulator(self.theta)
 
     @property
     def n_chains(self) -> int:
@@ -111,10 +137,18 @@ class HeatedChainSampler:
         outcome = self.resimulator.propose_random(state.tree, rng)
         proposal_loglik = self.engine.evaluate(outcome.tree)
         log_ratio = state.beta * (proposal_loglik - state.log_likelihood)
+        proposal_adjust = 0.0
+        if self._adjust is not None:
+            # Constant-kernel proposal under a demography prior: the prior
+            # no longer cancels, and it is not tempered (only the data
+            # likelihood is), so the correction enters at full strength.
+            proposal_adjust = self._adjust(outcome.tree)
+            log_ratio += proposal_adjust - state.log_prior_adjust
         state.steps += 1
         if log_ratio >= 0.0 or rng.random() < np.exp(log_ratio):
             state.tree = outcome.tree
             state.log_likelihood = proposal_loglik
+            state.log_prior_adjust = proposal_adjust
             state.accepted += 1
 
     def _propose_swap(
@@ -128,8 +162,12 @@ class HeatedChainSampler:
         log_ratio = (a.beta - b.beta) * (b.log_likelihood - a.log_likelihood)
         accepted = log_ratio >= 0.0 or rng.random() < np.exp(log_ratio)
         if accepted:
+            # The untempered prior terms cancel out of the swap ratio (both
+            # rungs share one prior), but the cached per-state adjustment
+            # must travel with the state it describes.
             a.tree, b.tree = b.tree, a.tree
             a.log_likelihood, b.log_likelihood = b.log_likelihood, a.log_likelihood
+            a.log_prior_adjust, b.log_prior_adjust = b.log_prior_adjust, a.log_prior_adjust
         return accepted, i
 
     def run(self, initial_tree: Genealogy, rng: np.random.Generator) -> ChainResult:
@@ -142,8 +180,14 @@ class HeatedChainSampler:
         # Engines may be shared across runs; report per-run deltas.
         evals_before = self.engine.n_evaluations
         initial_loglik = self.engine.evaluate(initial_tree)
+        initial_adjust = self._adjust(initial_tree) if self._adjust is not None else 0.0
         chains = [
-            _ChainState(beta=beta, tree=initial_tree, log_likelihood=initial_loglik)
+            _ChainState(
+                beta=beta,
+                tree=initial_tree,
+                log_likelihood=initial_loglik,
+                log_prior_adjust=initial_adjust,
+            )
             for beta in self.temperatures
         ]
 
@@ -187,5 +231,17 @@ class HeatedChainSampler:
                     c.accepted / c.steps if c.steps else 0.0 for c in chains
                 ],
                 "burn_in": cfg.burn_in,
+                **(
+                    {
+                        "demography": self.demography.to_dict(),
+                        "proposal_kernel": (
+                            "constant+correction"
+                            if self.importance_correction
+                            else "conditional"
+                        ),
+                    }
+                    if self.demography is not None
+                    else {}
+                ),
             },
         )

@@ -20,6 +20,7 @@ import time
 import numpy as np
 
 from ..core.config import SamplerConfig
+from ..demography.base import Demography, prior_ratio_adjustment
 from ..diagnostics.traces import ChainResult, ChainTrace
 from ..genealogy.tree import Genealogy
 from ..likelihood.engines import LikelihoodEngine
@@ -41,6 +42,16 @@ class LamarcSampler:
     config:
         Chain lengths.  ``n_proposals`` and ``samples_per_set`` are ignored
         (this sampler makes exactly one proposal per step).
+    demography:
+        Optional :class:`~repro.demography.base.Demography` of the driving
+        coalescent prior.  By default the proposal is drawn from the
+        demography-conditional kernel (Λ-inverse time rescaling), so the
+        prior still cancels out of Eq. 28 and the acceptance ratio stays a
+        pure data-likelihood ratio.  With ``importance_correction=True``
+        the constant-size kernel proposes and the acceptance ratio gains
+        the prior-ratio term log π_dem(G'|θ) − log π_dem(G|θ) −
+        (log π_const(G'|θ) − log π_const(G|θ)) — the same correction the
+        GMH chain's index weights received in the growth workload.
     """
 
     def __init__(
@@ -50,13 +61,28 @@ class LamarcSampler:
         config: SamplerConfig | None = None,
         *,
         validate_proposals: bool = False,
+        demography: Demography | None = None,
+        importance_correction: bool = False,
     ) -> None:
         if theta <= 0:
             raise ValueError("theta must be positive")
         self.engine = engine
         self.theta = float(theta)
         self.config = config or SamplerConfig()
-        self.resimulator = NeighborhoodResimulator(theta, validate=validate_proposals)
+        self.demography = demography
+        self.importance_correction = bool(importance_correction)
+        effective = demography if demography is not None and not demography.is_constant else None
+        self._adjust = None
+        if effective is not None and self.importance_correction:
+            self.resimulator = NeighborhoodResimulator(theta, validate=validate_proposals)
+            batched = prior_ratio_adjustment(effective, self.theta)
+            self._adjust = lambda tree: float(batched([tree])[0])
+        elif effective is not None:
+            self.resimulator = NeighborhoodResimulator(
+                theta, validate=validate_proposals, demography=effective
+            )
+        else:
+            self.resimulator = NeighborhoodResimulator(theta, validate=validate_proposals)
 
     def run(self, initial_tree: Genealogy, rng: np.random.Generator) -> ChainResult:
         """Run burn-in plus sampling; every chain step is one proposal/accept decision."""
@@ -70,6 +96,7 @@ class LamarcSampler:
 
         current = initial_tree
         current_loglik = self.engine.evaluate(current)
+        current_adjust = self._adjust(current) if self._adjust is not None else 0.0
 
         n_steps = 0
         n_accepted = 0
@@ -83,9 +110,17 @@ class LamarcSampler:
             n_steps += 1
 
             log_ratio = proposal_loglik - current_loglik
+            if self._adjust is not None:
+                # Constant-kernel proposal targeting the demography prior:
+                # the prior factors no longer cancel out of Eq. 28, so the
+                # acceptance ratio carries the prior-ratio correction.
+                proposal_adjust = self._adjust(proposal)
+                log_ratio += proposal_adjust - current_adjust
             if log_ratio >= 0.0 or rng.random() < np.exp(log_ratio):
                 current = proposal
                 current_loglik = proposal_loglik
+                if self._adjust is not None:
+                    current_adjust = proposal_adjust
                 n_accepted += 1
 
             if n_steps > cfg.burn_in and (n_steps - cfg.burn_in) % cfg.thin == 0:
@@ -97,6 +132,12 @@ class LamarcSampler:
                 recorded += 1
 
         elapsed = time.perf_counter() - start
+        extras = {"burn_in": cfg.burn_in}
+        if self.demography is not None:
+            extras["demography"] = self.demography.to_dict()
+            extras["proposal_kernel"] = (
+                "constant+correction" if self.importance_correction else "conditional"
+            )
         return ChainResult(
             trace=trace,
             driving_theta=self.theta,
@@ -105,5 +146,5 @@ class LamarcSampler:
             n_decisions=n_steps,
             n_likelihood_evaluations=self.engine.n_evaluations - evals_before,
             wall_time_seconds=elapsed,
-            extras={"burn_in": cfg.burn_in},
+            extras=extras,
         )

@@ -5,7 +5,10 @@ engine / model registries of :mod:`repro.core.registry`:
 
 ``mpcgs run``
     Maximum-likelihood θ estimation — the EM driver of Fig. 11 — with any
-    registered chain sampler (``--sampler gmh|lamarc|multichain|heated``).
+    registered chain sampler (``--sampler gmh|lamarc|multichain|heated``),
+    under any registered demography (``--demography``, with initial
+    parameters via ``--growth0`` or ``--demography-params``), from one
+    alignment or several unlinked loci (``--loci``).
 ``mpcgs bayes``
     Bayesian θ estimation with the joint (genealogy, θ) sampler: posterior
     mean/median and credible interval instead of a likelihood maximizer.
@@ -13,7 +16,8 @@ engine / model registries of :mod:`repro.core.registry`:
     The classic single-proposal baselines end-to-end (defaults to the
     LAMARC-style sampler), for accuracy comparisons against ``run``.
 ``mpcgs info``
-    List the registered samplers, likelihood engines, and mutation models.
+    List the registered samplers, likelihood engines, mutation models, and
+    demographies (``--json`` for a machine-readable document).
 
 Every run subcommand accepts ``--config spec.json`` — a serialized
 :class:`~repro.api.RunSpec` (or bare :class:`~repro.core.config.MPCGSConfig`
@@ -35,10 +39,17 @@ from typing import Sequence
 
 import numpy as np
 
+import json as _json
+
 from .api import Experiment, RunSpec
 from .core.config import DEMOGRAPHIES, EstimatorConfig, MPCGSConfig, SamplerConfig
-from .core.mpcgs import require_growth_sampler
-from .core.registry import available_engines, available_models, available_samplers
+from .core.registry import (
+    available_demographies,
+    available_engines,
+    available_models,
+    available_samplers,
+    require_demography_support,
+)
 from .sequences.phylip import read_phylip
 
 __all__ = ["build_parser", "build_cli", "main"]
@@ -221,9 +232,10 @@ def build_cli() -> argparse.ArgumentParser:
         choices=DEMOGRAPHIES,
         default=None,
         help=(
-            "coalescent demography: 'constant' estimates theta alone (the paper's "
-            "workload); 'growth' estimates (theta, growth rate) jointly under "
-            "exponential growth (default: the spec's, else constant)"
+            "coalescent demography (any registered model): 'constant' estimates "
+            "theta alone (the paper's workload); 'growth'/'exponential', "
+            "'bottleneck', and 'logistic' estimate theta jointly with the "
+            "model's parameters (default: the spec's, else constant)"
         ),
     )
     p_run.add_argument(
@@ -231,6 +243,27 @@ def build_cli() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="initial driving growth rate for --demography growth (default 0)",
+    )
+    p_run.add_argument(
+        "--demography-params",
+        metavar="JSON",
+        default=None,
+        help=(
+            "initial demography parameters as a JSON object, e.g. "
+            "'{\"start\": 0.2, \"strength\": 0.1}' (missing parameters take "
+            "the model's defaults)"
+        ),
+    )
+    p_run.add_argument(
+        "--loci",
+        nargs="+",
+        metavar="SEQ.PHY",
+        default=None,
+        help=(
+            "PHYLIP files of several unlinked loci sharing one demography; "
+            "runs the multi-locus joint estimation instead of the "
+            "single-alignment EM loop"
+        ),
     )
     p_run.set_defaults(handler=_cmd_run, default_sampler=None)
 
@@ -270,7 +303,8 @@ def build_cli() -> argparse.ArgumentParser:
     p_baseline.set_defaults(handler=_cmd_run, default_sampler="lamarc")
 
     p_info = sub.add_parser(
-        "info", help="list registered samplers, likelihood engines, and mutation models"
+        "info",
+        help="list registered samplers, likelihood engines, mutation models, and demographies",
     )
     p_info.add_argument("--json", action="store_true", help="print the registries as JSON")
     p_info.set_defaults(handler=_cmd_info)
@@ -312,6 +346,14 @@ def _resolve_spec(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
         config_changes["demography"] = args.demography
     if getattr(args, "growth0", None) is not None:
         config_changes["growth0"] = args.growth0
+    if getattr(args, "demography_params", None) is not None:
+        try:
+            params = _json.loads(args.demography_params)
+        except ValueError as exc:
+            parser.error(f"--demography-params is not valid JSON: {exc}")
+        if not isinstance(params, dict):
+            parser.error("--demography-params must be a JSON object of name: value pairs")
+        config_changes["demography_params"] = params
     if config_changes:
         try:
             cfg = replace(cfg, **config_changes)
@@ -320,24 +362,58 @@ def _resolve_spec(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
             # validation is the single source of truth for the message.
             parser.error(str(exc))
 
+    loci = getattr(args, "loci", None)
+    if loci is not None and args.sequence_file is not None and args.initial_theta is None:
+        # ``mpcgs run --loci a.phy b.phy --seed 3 0.5``: with the files
+        # consumed by --loci, the bare number lands in the sequence_file slot.
+        try:
+            args.initial_theta = float(args.sequence_file)
+        except ValueError:
+            pass
+        else:
+            args.sequence_file = None
+    if loci is not None and args.initial_theta is None and len(loci) > 1:
+        # ``mpcgs run --loci a.phy b.phy 0.5``: the greedy nargs="+" of
+        # --loci swallows a trailing initial θ; a bare number is never a
+        # sequence file, so pop it back out.
+        try:
+            args.initial_theta = float(loci[-1])
+        except ValueError:
+            pass
+        else:
+            loci = loci[:-1]
+    sequence_files = tuple(loci) if loci is not None else spec.sequence_files
     sequence_file = args.sequence_file if args.sequence_file is not None else spec.sequence_file
     theta0 = args.initial_theta if args.initial_theta is not None else spec.theta0
     seed = args.seed if args.seed is not None else spec.seed
-    if sequence_file is None:
-        parser.error("no sequence file given (positionally or via --config)")
+    if sequence_files is not None:
+        if args.sequence_file is not None:
+            parser.error("give loci via --loci or one file positionally, not both")
+        sequence_file = None
+    elif sequence_file is None:
+        parser.error("no sequence file given (positionally, via --loci, or via --config)")
     if theta0 is not None and theta0 <= 0:
         parser.error("initial_theta must be positive")
-    return RunSpec(config=cfg, sequence_file=sequence_file, theta0=theta0, seed=seed)
+    return RunSpec(
+        config=cfg,
+        sequence_file=sequence_file,
+        theta0=theta0,
+        seed=seed,
+        sequence_files=sequence_files,
+    )
 
 
 def _build_experiment(spec: RunSpec, args: argparse.Namespace) -> Experiment | None:
     """Build the experiment, or print an error and return ``None`` (exit code 2)."""
     if args.save_config is not None:
         spec.save(args.save_config)
+    source = (
+        spec.sequence_file if spec.sequence_files is None else list(spec.sequence_files)
+    )
     try:
         return Experiment.from_spec(spec)
     except (OSError, ValueError) as exc:
-        print(f"error reading {spec.sequence_file!r}: {exc}", file=sys.stderr)
+        print(f"error reading {source!r}: {exc}", file=sys.stderr)
         return None
 
 
@@ -376,14 +452,13 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         cfg = replace(cfg, sampler_options={**cfg.sampler_options, "n_chains": args.n_chains})
     if cfg.sampler_name == "bayesian":
         parser.error("the bayesian sampler has no maximization stage; use `mpcgs bayes`")
-    if cfg.demography == "growth":
-        # Report sampler/demography incompatibility as a usage error here;
-        # letting Experiment construction raise it would mislabel it as a
-        # file-reading failure.
-        try:
-            require_growth_sampler(cfg)
-        except ValueError as exc:
-            parser.error(str(exc))
+    # Report sampler/demography incompatibility as a usage error here;
+    # letting Experiment construction raise it would mislabel it as a
+    # file-reading failure.
+    try:
+        require_demography_support(cfg)
+    except ValueError as exc:
+        parser.error(str(exc))
     spec = replace(spec, config=cfg)
 
     experiment = _build_experiment(spec, args)
@@ -394,12 +469,20 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         demography_part = (
             f", demography={cfg.demography}" if cfg.demography != "constant" else ""
         )
-        print(
-            f"mpcgs: {alignment.n_sequences} sequences x {alignment.n_sites} sites, "
-            f"sampler={cfg.sampler_name}, engine={cfg.likelihood_engine}, "
-            f"model={cfg.mutation_model}{demography_part}"
-        )
-        print(f"Watterson theta (sanity anchor): {alignment.watterson_theta():.4f}")
+        if experiment.loci is not None:
+            sizes = " + ".join(str(locus.n_sequences) for locus in experiment.loci)
+            print(
+                f"mpcgs: {len(experiment.loci)} loci ({sizes} sequences), "
+                f"sampler={cfg.sampler_name}, engine={cfg.likelihood_engine}, "
+                f"model={cfg.mutation_model}{demography_part}"
+            )
+        else:
+            print(
+                f"mpcgs: {alignment.n_sequences} sequences x {alignment.n_sites} sites, "
+                f"sampler={cfg.sampler_name}, engine={cfg.likelihood_engine}, "
+                f"model={cfg.mutation_model}{demography_part}"
+            )
+            print(f"Watterson theta (sanity anchor): {alignment.watterson_theta():.4f}")
 
     report = experiment.run()
 
@@ -407,10 +490,19 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         print(report.to_json())
         return 0
     if not args.quiet:
-        _print_em_iterations(report)
+        if report.diagnostics.get("mode") == "multilocus":
+            for i, point in enumerate(report.diagnostics["trajectory"]):
+                values = ", ".join(f"{v:.5f}" for v in point)
+                label = "start" if i == 0 else f"EM iteration {i}"
+                print(f"  {label}: ({values})")
+        else:
+            _print_em_iterations(report)
     print(f"theta estimate: {report.theta:.6f}")
     if report.growth is not None:
         print(f"growth estimate: {report.growth:.6f}")
+    if report.demography_params is not None and report.growth is None:
+        rendered = ", ".join(f"{k}={v:.6f}" for k, v in report.demography_params.items())
+        print(f"demography estimate ({report.config.demography}): {rendered}")
     return 0
 
 
@@ -418,11 +510,18 @@ def _cmd_bayes(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
     """``mpcgs bayes``: posterior summaries from the joint (G, θ) sampler."""
     spec = _resolve_spec(args, parser)
     cfg = spec.config
-    if cfg.demography == "growth":
+    if spec.sequence_files is not None:
         parser.error(
-            "the bayesian sampler does not support demography='growth'; "
-            "use `mpcgs run --demography growth`"
+            "the bayesian sampler estimates a single-locus posterior; "
+            "use `mpcgs run --loci ...` for multi-locus estimation"
         )
+    if cfg.demography != "constant":
+        # One shared capability message (the registry check below would say
+        # the same once the sampler is switched to bayesian).
+        try:
+            require_demography_support(replace(cfg, sampler_name="bayesian"))
+        except ValueError as exc:
+            parser.error(str(exc))
     options = dict(cfg.sampler_options)
     if args.prior_shape is not None:
         options["prior_shape"] = args.prior_shape
@@ -461,18 +560,21 @@ def _cmd_bayes(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
 
 
 def _cmd_info(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
-    """``mpcgs info``: discoverability for the three registries."""
+    """``mpcgs info``: discoverability for the four registries.
+
+    ``--json`` emits a machine-readable document (used by CI to assert the
+    registries are populated and importable).
+    """
     from . import __version__
 
     registries = {
         "samplers": available_samplers(),
         "engines": available_engines(),
         "models": {name.upper(): desc for name, desc in available_models().items()},
+        "demographies": available_demographies(),
     }
     if args.json:
-        import json
-
-        print(json.dumps({"version": __version__, **registries}, indent=2))
+        print(_json.dumps({"version": __version__, **registries}, indent=2))
         return 0
     print(f"mpcgs {__version__}")
     for section, entries in registries.items():

@@ -1,9 +1,15 @@
 """The paper's primary contribution: the multi-proposal (GMH) coalescent genealogy sampler."""
 
 from .config import EstimatorConfig, MPCGSConfig, SamplerConfig
-from .estimator import RelativeLikelihood, ThetaEstimate, maximize_theta
+from .estimator import (
+    DemographyEstimate,
+    RelativeLikelihood,
+    ThetaEstimate,
+    maximize_demography,
+    maximize_theta,
+)
 from .gmh import GeneralizedMetropolisHastings, ProposalSet
-from .mpcgs import MPCGS, EMIteration, MPCGSResult
+from .mpcgs import MPCGS, EMIteration, MPCGSResult, MultiLocusResult, run_multilocus
 from .sampler import MultiProposalSampler
 
 __all__ = [
@@ -13,10 +19,14 @@ __all__ = [
     "RelativeLikelihood",
     "ThetaEstimate",
     "maximize_theta",
+    "DemographyEstimate",
+    "maximize_demography",
     "GeneralizedMetropolisHastings",
     "ProposalSet",
     "MPCGS",
     "EMIteration",
     "MPCGSResult",
+    "MultiLocusResult",
+    "run_multilocus",
     "MultiProposalSampler",
 ]

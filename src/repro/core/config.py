@@ -19,6 +19,14 @@ import json
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Mapping
 
+from ..demography import (
+    DEMOGRAPHY_ALIASES,
+    Demography,
+    demography_class,
+    make_demography,
+)
+from ..demography.registry import DEMOGRAPHIES as _DEMOGRAPHY_REGISTRY
+
 __all__ = [
     "SamplerConfig",
     "EstimatorConfig",
@@ -29,9 +37,21 @@ __all__ = [
 
 DEFAULT_SAMPLER = "gmh"
 
-#: Demographic models the EM driver can estimate under: the paper's
-#: constant-size coalescent (θ alone) or exponential growth (joint (θ, g)).
-DEMOGRAPHIES = ("constant", "growth")
+
+def _demography_names() -> tuple[str, ...]:
+    """Every name a config's ``demography`` field accepts (registry + aliases)."""
+    return tuple(sorted(set(_DEMOGRAPHY_REGISTRY.names()) | set(DEMOGRAPHY_ALIASES)))
+
+
+#: Demographic models the EM driver can estimate under — every name in the
+#: demography registry (:mod:`repro.demography.registry`) plus its aliases
+#: ("growth" is the pre-registry spelling of "exponential").  Evaluated at
+#: import time for CLI choices; custom models registered later are accepted
+#: by the config validation regardless, which consults the live registry.
+DEMOGRAPHIES = _demography_names()
+
+#: Names whose initial growth rate may come from the legacy ``growth0`` field.
+_GROWTH_NAMES = ("growth", "exponential")
 
 
 def _check_known_keys(cls, data: Mapping[str, Any]) -> None:
@@ -161,10 +181,16 @@ class MPCGSConfig:
     convenience ``MPCGSConfig(sampler="lamarc")`` — a string instead of a
     ``SamplerConfig`` — is accepted and treated as ``sampler_name``.
 
-    ``demography`` selects the coalescent prior the EM loop estimates under:
-    ``"constant"`` (the paper's single-parameter θ workload, the default)
-    or ``"growth"`` (joint (θ, g) estimation under exponential growth, with
-    ``growth0`` the initial driving growth rate).
+    ``demography`` selects the coalescent prior the EM loop estimates under,
+    by registry name (:func:`repro.demography.available_demographies`):
+    ``"constant"`` (the paper's single-parameter θ workload, the default),
+    ``"growth"``/``"exponential"`` (joint (θ, g) estimation under
+    exponential growth, with ``growth0`` the initial driving rate), or any
+    other registered model (``"bottleneck"``, ``"logistic"``, custom ones).
+    ``demography_params`` holds the model's initial/driving parameter
+    values (missing ones take the model's declared defaults); the
+    structured spec form ``demography={"name": ..., "params": {...}}`` is
+    accepted everywhere a name string is, including JSON documents.
     """
 
     sampler: SamplerConfig = field(default_factory=SamplerConfig)
@@ -177,6 +203,7 @@ class MPCGSConfig:
     sampler_options: dict = field(default_factory=dict)
     demography: str = "constant"
     growth0: float = 0.0
+    demography_params: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if isinstance(self.sampler, str):
@@ -193,13 +220,32 @@ class MPCGSConfig:
         # Registry keys are lowercase; canonicalize here so name comparisons
         # (e.g. the CLI's bayesian dispatch) cannot miss on case.
         object.__setattr__(self, "sampler_name", self.sampler_name.lower())
+        if isinstance(self.demography, Mapping):
+            # Structured spec {"name": ..., "params": {...}} — accepted both
+            # from JSON documents and from the constructor.
+            spec = dict(self.demography)
+            name = spec.pop("name", None)
+            params = spec.pop("params", {}) or {}
+            if name is None or spec:
+                raise ValueError(
+                    "a structured demography must be {'name': ..., 'params': {...}}"
+                )
+            if self.demography_params:
+                raise ValueError(
+                    "give demography parameters either inside the structured "
+                    "demography spec or as demography_params, not both"
+                )
+            object.__setattr__(self, "demography", str(name))
+            object.__setattr__(self, "demography_params", dict(params))
         object.__setattr__(self, "demography", str(self.demography).lower())
-        if self.demography not in DEMOGRAPHIES:
+        try:
+            model_cls = demography_class(self.demography)
+        except ValueError:
             raise ValueError(
-                f"unknown demography {self.demography!r}; choose from {DEMOGRAPHIES}"
-            )
+                f"unknown demography {self.demography!r}; choose from {_demography_names()}"
+            ) from None
         object.__setattr__(self, "growth0", float(self.growth0))
-        if self.demography != "growth" and self.growth0 != 0.0:
+        if self.demography not in _GROWTH_NAMES and self.growth0 != 0.0:
             # A stray growth0 under the constant demography would otherwise
             # be silently ignored (and silently activate if demography is
             # later flipped); reject it wherever the config is built —
@@ -208,6 +254,32 @@ class MPCGSConfig:
                 "growth0 is only meaningful with demography='growth'; "
                 "set demography='growth' or drop growth0"
             )
+        params = {str(k): float(v) for k, v in dict(self.demography_params).items()}
+        object.__setattr__(self, "demography_params", params)
+        if self.growth0 != 0.0 and "growth" in params:
+            raise ValueError(
+                "give the initial growth rate either as growth0 or as "
+                "demography_params['growth'], not both"
+            )
+        valid = {spec.name for spec in model_cls.param_specs}
+        unknown = sorted(set(params) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown {self.demography} demography parameter(s) {unknown}; "
+                f"valid parameters are {sorted(valid)}"
+            )
+
+    def demography_model(self) -> Demography:
+        """Build the configured :class:`~repro.demography.base.Demography`.
+
+        Merges the model's declared defaults with ``demography_params`` and
+        the legacy ``growth0`` field (which seeds the exponential model's
+        ``growth`` parameter when the name is ``"growth"``/``"exponential"``).
+        """
+        params = dict(self.demography_params)
+        if self.demography in _GROWTH_NAMES:
+            params.setdefault("growth", self.growth0)
+        return make_demography(self.demography, params)
 
     def with_sampler(self, name: str, **options) -> "MPCGSConfig":
         """Copy of this config selecting a different sampler (and its options).
@@ -238,6 +310,7 @@ class MPCGSConfig:
             "mutation_model": self.mutation_model,
             "demography": self.demography,
             "growth0": self.growth0,
+            "demography_params": dict(self.demography_params),
         }
 
     @classmethod

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..demography.base import Demography
 from ..likelihood.coalescent_prior import PooledThetaLikelihood, batched_log_prior
 from ..likelihood.growth_prior import (
     CombinedGrowthLikelihood,
@@ -34,6 +35,8 @@ __all__ = [
     "ThetaEstimate",
     "JointEstimate",
     "maximize_joint",
+    "DemographyEstimate",
+    "maximize_demography",
 ]
 
 
@@ -207,48 +210,81 @@ def _ascend_coordinate(
     return value, current, False
 
 
-def maximize_joint(
-    likelihood: GrowthRelativeLikelihood | GrowthPooledLikelihood | CombinedGrowthLikelihood,
-    theta0: float,
-    growth0: float = 0.0,
-    config: EstimatorConfig | None = None,
-) -> JointEstimate:
-    """Coordinate ascent on log L(θ, g) with step halving on both parameters.
+@dataclass(frozen=True)
+class DemographyEstimate:
+    """Result of one joint (θ, demography-parameters) surface maximization."""
 
-    The two-parameter analogue of Algorithm 2, and the EM M-step's
-    maximizer (the complementary *global* grid scan, for offline use over a
-    caller-chosen region, is
-    :func:`repro.likelihood.growth_prior.maximize_theta_growth`).  Each
-    iteration takes one gradient step in θ (halved until uphill and
-    positive) and then one in g (halved until uphill; g may be negative).
-    Coordinate-wise steps are used because the finite-sample (θ, g) surface
-    is ridge-shaped — growth and size trade off — where a joint gradient
-    direction zig-zags.  The
-    whole ascent is confined to the trust region
-    ``[θ₀/max_theta_step_factor, θ₀·max_theta_step_factor] ×
-    [g₀ − max_growth_step, g₀ + max_growth_step]`` around the driving
-    values, outside of which the importance-sampled surface is dominated by
-    a handful of samples and its maximizer is noise; the EM loop re-drives
-    every iteration, so the region limits one M-step, not the estimate.
-    Iteration stops when neither parameter moves more than the convergence
-    tolerance or the iteration budget is spent.
+    theta: float
+    params: tuple[float, ...]
+    param_names: tuple[str, ...]
+    log_relative_likelihood: float
+    n_iterations: int
+    converged: bool
+
+    @property
+    def params_dict(self) -> dict[str, float]:
+        """The estimated demography parameters as a name -> value mapping."""
+        return dict(zip(self.param_names, self.params))
+
+    @property
+    def growth(self) -> float | None:
+        """The exponential growth rate, when this demography has one."""
+        return self.params_dict.get("growth")
+
+
+def maximize_demography(
+    likelihood,
+    theta0: float,
+    demography: Demography,
+    config: EstimatorConfig | None = None,
+) -> DemographyEstimate:
+    """Coordinate ascent on log L(θ, params) over (θ, demography.params).
+
+    The N-dimensional generalization of Algorithm 2 and the EM M-step's
+    maximizer for any demography: each iteration takes one gradient step in
+    θ (halved until uphill and positive) and then one in each demography
+    parameter, in :attr:`~repro.demography.base.Demography.param_specs`
+    order.  Coordinate-wise steps are used because the finite-sample
+    surfaces are ridge-shaped — demography parameters trade off against
+    population size — where a joint gradient direction zig-zags.
+
+    ``likelihood`` must expose ``log_likelihood(theta, params)`` with
+    ``params`` the demography's free-parameter vector (e.g.
+    :class:`~repro.likelihood.demography_prior.DemographyRelativeLikelihood`);
+    ``demography`` supplies the starting parameter vector (its current
+    values — the chain's driving point) and the per-parameter feasibility
+    bounds and trust-region half-widths.  The whole ascent is confined to
+    ``[θ₀/max_theta_step_factor, θ₀·max_theta_step_factor]`` ×
+    ``Π_i [p₀ᵢ − stepᵢ, p₀ᵢ + stepᵢ] ∩ [lowerᵢ, upperᵢ]`` around the
+    driving values (``stepᵢ`` is the spec's ``max_step``, defaulting to
+    ``config.max_growth_step``), outside of which an importance-sampled
+    surface is dominated by a handful of samples and its maximizer is
+    noise; the EM loop re-drives every iteration, so the region limits one
+    M-step, not the estimate.  With a parameter-free demography (constant)
+    this reduces to θ-only ascent.
     """
     cfg = config or EstimatorConfig()
     if theta0 <= 0:
         raise ValueError("theta0 must be positive")
 
+    specs = demography.param_specs
     theta = float(theta0)
-    growth = float(growth0)
+    params = demography.param_values()
     theta_bounds = (theta / cfg.max_theta_step_factor, theta * cfg.max_theta_step_factor)
-    growth_bounds = (growth - cfg.max_growth_step, growth + cfg.max_growth_step)
-    current = likelihood.log_likelihood(theta, growth)
+    param_bounds = []
+    for spec, value in zip(specs, params):
+        half = spec.max_step if spec.max_step is not None else cfg.max_growth_step
+        param_bounds.append((max(value - half, spec.lower), min(value + half, spec.upper)))
+
+    current = likelihood.log_likelihood(theta, params)
     if not np.isfinite(current):
         # The surface is degenerate at the driving point (e.g. saturated
         # growth prior): gradients are NaN and no ascent is possible.
         # Report honestly rather than claiming convergence at the start.
-        return JointEstimate(
+        return DemographyEstimate(
             theta=theta,
-            growth=growth,
+            params=tuple(float(p) for p in params),
+            param_names=demography.param_names,
             log_relative_likelihood=float(current),
             n_iterations=0,
             converged=False,
@@ -257,38 +293,100 @@ def maximize_joint(
     iterations = 0
 
     for iterations in range(1, cfg.max_iterations + 1):
-        theta_before, growth_before = theta, growth
+        theta_before = theta
+        params_before = params.copy()
         theta, current, theta_accepted = _ascend_coordinate(
-            lambda t: likelihood.log_likelihood(t, growth),
+            lambda t: likelihood.log_likelihood(t, params),
             theta,
             current,
             cfg,
             positive=True,
             bounds=theta_bounds,
         )
-        growth, current, growth_accepted = _ascend_coordinate(
-            lambda g: likelihood.log_likelihood(theta, g),
-            growth,
-            current,
-            cfg,
-            positive=False,
-            bounds=growth_bounds,
-        )
-        if not theta_accepted and not growth_accepted:
+        any_param_accepted = False
+        for i in range(params.size):
+            def objective(value: float, i: int = i) -> float:
+                # Finite-difference probes may step just past a parameter's
+                # feasible range (e.g. a bottleneck strength below zero);
+                # treat that as log L = -inf so the one-sided-cliff fallback
+                # of _ascend_coordinate steps back toward the feasible side
+                # instead of the model rejecting the value.
+                if not specs[i].lower <= value <= specs[i].upper:
+                    return -np.inf
+                probe = params.copy()
+                probe[i] = value
+                return likelihood.log_likelihood(theta, probe)
+
+            params[i], current, accepted = _ascend_coordinate(
+                objective,
+                float(params[i]),
+                current,
+                cfg,
+                positive=False,
+                bounds=param_bounds[i],
+            )
+            any_param_accepted = any_param_accepted or accepted
+        if not theta_accepted and not any_param_accepted:
             converged = True
             break
         theta_settled = abs(theta - theta_before) < cfg.convergence_tol * max(theta, 1.0)
-        growth_settled = abs(growth - growth_before) < cfg.convergence_tol * max(
-            abs(growth), 1.0
+        params_settled = all(
+            abs(p - p_before) < cfg.convergence_tol * max(abs(p), 1.0)
+            for p, p_before in zip(params, params_before)
         )
-        if theta_settled and growth_settled:
+        if theta_settled and params_settled:
             converged = True
             break
 
-    return JointEstimate(
+    return DemographyEstimate(
         theta=theta,
-        growth=growth,
+        params=tuple(float(p) for p in params),
+        param_names=demography.param_names,
         log_relative_likelihood=current,
         n_iterations=iterations,
         converged=converged,
+    )
+
+
+class _GrowthVectorAdapter:
+    """Present a scalar (θ, g)-signature likelihood as a (θ, params) one."""
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+
+    def log_likelihood(self, theta: float, params) -> float:
+        return self.inner.log_likelihood(theta, float(np.asarray(params).reshape(-1)[0]))
+
+
+def maximize_joint(
+    likelihood: GrowthRelativeLikelihood | GrowthPooledLikelihood | CombinedGrowthLikelihood,
+    theta0: float,
+    growth0: float = 0.0,
+    config: EstimatorConfig | None = None,
+) -> JointEstimate:
+    """Coordinate ascent on log L(θ, g) with step halving on both parameters.
+
+    The (θ, g)-signature form of :func:`maximize_demography` with the
+    exponential demography (the complementary *global* grid scan, for
+    offline use over a caller-chosen region, is
+    :func:`repro.likelihood.growth_prior.maximize_theta_growth`).  The
+    trust region is ``[θ₀/max_theta_step_factor, θ₀·max_theta_step_factor]
+    × [g₀ − max_growth_step, g₀ + max_growth_step]`` around the driving
+    values.  Iteration stops when neither parameter moves more than the
+    convergence tolerance or the iteration budget is spent.
+    """
+    from ..demography.models import ExponentialDemography
+
+    estimate = maximize_demography(
+        _GrowthVectorAdapter(likelihood),
+        theta0,
+        ExponentialDemography(growth=float(growth0)),
+        config,
+    )
+    return JointEstimate(
+        theta=estimate.theta,
+        growth=estimate.params[0],
+        log_relative_likelihood=estimate.log_relative_likelihood,
+        n_iterations=estimate.n_iterations,
+        converged=estimate.converged,
     )

@@ -37,12 +37,16 @@ from ..proposals.neighborhood import NeighborhoodResimulator
 
 __all__ = ["ProposalSet", "GeneralizedMetropolisHastings"]
 
-#: Optional per-candidate addition to the index-variable log-weights.  The
-#: neighbourhood kernel draws from the *constant-size* conditional coalescent,
-#: so targeting a different genealogy prior π'(G) (e.g. exponential growth)
-#: multiplies each candidate's weight by π'(G̃ᵢ)/π_const(G̃ᵢ | θ).  The hook
-#: receives the whole candidate batch and returns the log-ratio per
-#: candidate — batched, because it sits on the proposal-set hot path.
+#: Optional per-candidate addition to the index-variable log-weights.  When
+#: the neighbourhood kernel draws from the *constant-size* conditional
+#: coalescent but the chain targets a different genealogy prior π'(G) — any
+#: registered :mod:`repro.demography` model — each candidate's weight is
+#: multiplied by π'(G̃ᵢ)/π_const(G̃ᵢ | θ)
+#: (:func:`repro.demography.base.prior_ratio_adjustment` builds the hook).
+#: A demography-conditional kernel needs no hook: its proposal density
+#: cancels the demography prior exactly, as in Eq. 31.  The hook receives
+#: the whole candidate batch and returns the log-ratio per candidate —
+#: batched, because it sits on the proposal-set hot path.
 LogPriorAdjustment = Callable[[Sequence[Genealogy]], np.ndarray]
 
 

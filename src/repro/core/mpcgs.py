@@ -26,22 +26,27 @@ from typing import Callable
 
 import numpy as np
 
+from ..demography.base import Demography
 from ..diagnostics.traces import ChainResult
 from ..genealogy.tree import Genealogy
 from ..genealogy.upgma import upgma_tree
+from ..likelihood.demography_prior import (
+    CombinedDemographyLikelihood,
+    DemographyRelativeLikelihood,
+)
 from ..likelihood.engines import LikelihoodEngine, make_engine
-from ..likelihood.growth_prior import CombinedGrowthLikelihood, GrowthRelativeLikelihood
 from ..likelihood.mutation_models import make_model
 from ..sequences.alignment import Alignment
 from .config import MPCGSConfig
 from .estimator import (
+    DemographyEstimate,
     JointEstimate,
     RelativeLikelihood,
     ThetaEstimate,
-    maximize_joint,
+    maximize_demography,
     maximize_theta,
 )
-from .registry import Sampler, make_sampler
+from .registry import Sampler, make_sampler, require_demography_support
 from .registry import sampler_factory as registry_sampler_factory
 
 SamplerFactory = Callable[[Callable[[], LikelihoodEngine], float], Sampler]
@@ -85,25 +90,25 @@ def _interior_topological_order(tree: Genealogy) -> list[int]:
 #: (or cached partials) between concurrently-counted chains.
 _SINGLE_ENGINE_SAMPLERS = frozenset({"gmh", "lamarc", "heated", "bayesian"})
 
-#: Samplers whose builders accept a ``growth`` option and correct their
-#: stationary distribution toward the growth coalescent prior.
-_GROWTH_SAMPLERS = frozenset({"gmh"})
-
 
 def require_growth_sampler(config: MPCGSConfig) -> None:
-    """Reject configs whose sampler cannot target the growth posterior."""
-    if config.sampler_name not in _GROWTH_SAMPLERS:
-        raise ValueError(
-            f"demography='growth' requires a growth-aware sampler "
-            f"({', '.join(sorted(_GROWTH_SAMPLERS))}), not {config.sampler_name!r}"
-        )
+    """Back-compat alias of :func:`repro.core.registry.require_demography_support`.
+
+    The capability now lives on the sampler registry entry
+    (``supports_demography``) instead of a hardcoded sampler set, so custom
+    samplers can opt in; the one shared check covers the library, the
+    :mod:`repro.api` facade, and the CLI.
+    """
+    require_demography_support(config)
 
 __all__ = [
     "MPCGS",
     "EMIteration",
     "MPCGSResult",
+    "MultiLocusResult",
     "MultiLocusGrowthResult",
     "SamplerFactory",
+    "run_multilocus",
     "run_multilocus_growth",
 ]
 
@@ -112,31 +117,38 @@ __all__ = [
 class EMIteration:
     """One Expectation-Maximization iteration's inputs and outputs.
 
-    ``driving_growth`` is the exponential growth rate the chain was driven
-    with; it stays at the constant-demography value 0.0 (and ``estimate`` is
-    a :class:`~repro.core.estimator.ThetaEstimate`) unless the run estimates
-    under ``demography="growth"``, where ``estimate`` is a
-    :class:`~repro.core.estimator.JointEstimate`.
+    Under a non-constant demography ``estimate`` is a
+    :class:`~repro.core.estimator.DemographyEstimate`, ``driving_params``
+    holds the demography parameters the chain was driven with, and
+    ``driving_growth`` mirrors the exponential model's ``growth`` parameter
+    (0.0 for every other demography, preserving the PR-3 field).  Constant
+    runs carry a :class:`~repro.core.estimator.ThetaEstimate` and no
+    driving parameters.
     """
 
     iteration: int
     driving_theta: float
-    estimate: ThetaEstimate | JointEstimate
+    estimate: ThetaEstimate | JointEstimate | DemographyEstimate
     chain: ChainResult
     driving_growth: float = 0.0
+    driving_params: dict | None = None
 
 
 @dataclass
 class MPCGSResult:
     """Final output of an mpcgs run.
 
-    ``growth`` is ``None`` for constant-demography runs and the final
-    exponential growth-rate estimate for ``demography="growth"`` runs.
+    ``demography``/``demography_params`` name the estimated model and its
+    final parameter estimates (``None`` for constant runs); ``growth``
+    mirrors ``demography_params["growth"]`` when the model has one (the
+    exponential/growth demography), keeping the PR-3 surface intact.
     """
 
     theta: float
     iterations: list[EMIteration] = field(default_factory=list)
     growth: float | None = None
+    demography: str | None = None
+    demography_params: dict | None = None
 
     @property
     def theta_trajectory(self) -> np.ndarray:
@@ -238,9 +250,17 @@ class MPCGS:
         if theta0 <= 0:
             raise ValueError("theta0 must be positive")
         cfg = self.config
-        if cfg.demography == "growth":
-            return self._run_growth(
-                theta0, rng, initial_tree=initial_tree, sampler_factory=sampler_factory
+        demography = cfg.demography_model()
+        if demography.param_specs:
+            # Any demography with free parameters runs the joint EM loop; a
+            # parameter-free demography is the constant-size model, whose
+            # θ-only loop below stays bit-identical to the paper's driver.
+            return self._run_demography(
+                theta0,
+                rng,
+                demography,
+                initial_tree=initial_tree,
+                sampler_factory=sampler_factory,
             )
         # Cache sharing is safe only for samplers known to hold a single
         # engine.  Everything else — the multi-chain baseline (which must
@@ -285,46 +305,49 @@ class MPCGS:
 
         return result
 
-    def _run_growth(
+    def _run_demography(
         self,
         theta0: float,
         rng: np.random.Generator,
+        demography: Demography,
         *,
         initial_tree: Genealogy | None,
         sampler_factory: SamplerFactory | None,
     ) -> MPCGSResult:
-        """The joint (θ, g) EM loop under the exponential-growth demography.
+        """The joint (θ, demography-parameters) EM loop.
 
         Same program flow as the constant-θ loop, with both stages widened:
-        the Expectation stage's chain targets the posterior under the growth
-        prior P(G | θ, g) at the current driving pair, and the Maximization
-        stage ascends the two-parameter relative-likelihood surface L(θ, g)
-        and adopts both maximizers as the next driving values.
+        the Expectation stage's chain targets the posterior under the
+        demography prior P(G | θ, params) at the current driving point
+        (demography-conditional proposal kernel by default), and the
+        Maximization stage ascends the (θ, params) relative-likelihood
+        surface and adopts all maximizers as the next driving values.
         """
         cfg = self.config
         if sampler_factory is not None:
             raise ValueError(
-                "demography='growth' drives the sampler with both (theta, growth); "
-                "an explicit sampler_factory only rebinds theta — select a "
-                "growth-aware sampler via the config instead"
+                "a non-constant demography drives the sampler with (theta, "
+                "demography params); an explicit sampler_factory only rebinds "
+                "theta — select a demography-capable sampler via the config instead"
             )
-        require_growth_sampler(cfg)
+        require_demography_support(cfg)
         engine_factory = self._engine_factory(
             share_cache=cfg.sampler_name in _SINGLE_ENGINE_SAMPLERS
         )
         theta = float(theta0)
-        growth = float(cfg.growth0)
         tree = initial_tree if initial_tree is not None else self.initial_tree(theta)
-        result = MPCGSResult(theta=theta, growth=growth)
+        result = MPCGSResult(theta=theta, demography=demography.name)
+        result.demography_params = demography.params
+        result.growth = demography.params.get("growth")
 
         for iteration in range(cfg.n_em_iterations):
-            sampler = self.growth_iteration_sampler(theta, growth, engine_factory)
+            sampler = self.demography_iteration_sampler(theta, demography, engine_factory)
             chain = sampler.run(tree, rng)
 
-            likelihood = GrowthRelativeLikelihood(
-                chain.interval_matrix, driving_theta=theta, driving_growth=growth
+            likelihood = DemographyRelativeLikelihood(
+                chain.interval_matrix, demography, driving_theta=theta
             )
-            estimate = maximize_joint(likelihood, theta, growth, cfg.estimator)
+            estimate = maximize_demography(likelihood, theta, demography, cfg.estimator)
 
             result.iterations.append(
                 EMIteration(
@@ -332,37 +355,56 @@ class MPCGS:
                     driving_theta=theta,
                     estimate=estimate,
                     chain=chain,
-                    driving_growth=growth,
+                    driving_growth=demography.params.get("growth", 0.0),
+                    driving_params=demography.params,
                 )
             )
 
-            theta_moved = abs(estimate.theta - theta)
-            growth_moved = abs(estimate.growth - growth)
-            theta, growth = estimate.theta, estimate.growth
-            result.theta, result.growth = theta, growth
-            tree = self._reseed_tree(tree, chain)
             tol = cfg.theta_convergence_tol
-            if theta_moved < tol * max(theta, 1.0) and growth_moved < tol * max(
-                abs(growth), 1.0
-            ):
+            theta_settled = abs(estimate.theta - theta) < tol * max(estimate.theta, 1.0)
+            params_settled = all(
+                abs(new - old) < tol * max(abs(new), 1.0)
+                for new, old in zip(estimate.params, demography.param_values())
+            )
+            theta = estimate.theta
+            demography = demography.with_param_values(estimate.params)
+            result.theta = theta
+            result.demography_params = demography.params
+            result.growth = demography.params.get("growth")
+            tree = self._reseed_tree(tree, chain)
+            if theta_settled and params_settled:
                 break
 
         return result
 
-    def growth_iteration_sampler(self, theta: float, growth: float, engine_factory=None):
-        """One EM iteration's growth-targeted sampler at the driving (θ, g)."""
+    def demography_iteration_sampler(
+        self, theta: float, demography: Demography, engine_factory=None
+    ):
+        """One EM iteration's demography-targeted sampler at the driving point."""
         cfg = self.config
         if engine_factory is None:
             engine_factory = self._engine_factory(
                 share_cache=cfg.sampler_name in _SINGLE_ENGINE_SAMPLERS
             )
+        # A parameter-free demography is the constant model every sampler
+        # already targets: omit the option so samplers without a demography
+        # keyword (multichain, custom ones) work unchanged.
+        demography_options = {"demography": demography} if demography.param_specs else {}
         return make_sampler(
             cfg.sampler_name,
             engine_factory=engine_factory,
             theta=theta,
             config=cfg.sampler,
-            growth=growth,
+            **demography_options,
             **cfg.sampler_options,
+        )
+
+    def growth_iteration_sampler(self, theta: float, growth: float, engine_factory=None):
+        """Back-compat (PR-3) spelling of :meth:`demography_iteration_sampler`."""
+        from ..demography.models import ExponentialDemography
+
+        return self.demography_iteration_sampler(
+            theta, ExponentialDemography(growth=float(growth)), engine_factory
         )
 
     @staticmethod
@@ -407,16 +449,26 @@ class MPCGS:
 
 
 @dataclass
-class MultiLocusGrowthResult:
-    """Final output of a multi-locus joint (θ, g) estimation."""
+class MultiLocusResult:
+    """Final output of a multi-locus joint (θ, demography-parameters) estimation.
+
+    ``trajectory`` holds the driving ``(θ, *params)`` tuples per EM
+    iteration, ending at the final estimate; ``growth`` mirrors
+    ``params["growth"]`` when the demography has one (the PR-3 surface).
+    """
 
     theta: float
-    growth: float
     n_loci: int
-    #: Driving (θ, g) pairs per EM iteration, ending at the final estimate.
-    trajectory: list[tuple[float, float]] = field(default_factory=list)
+    demography: str = "constant"
+    params: dict = field(default_factory=dict)
+    trajectory: list[tuple] = field(default_factory=list)
     total_samples: int = 0
     total_likelihood_evaluations: int = 0
+
+    @property
+    def growth(self) -> float | None:
+        """The exponential growth-rate estimate, when the demography has one."""
+        return self.params.get("growth")
 
     @property
     def n_iterations(self) -> int:
@@ -424,73 +476,104 @@ class MultiLocusGrowthResult:
         return max(len(self.trajectory) - 1, 0)
 
 
-def run_multilocus_growth(
+#: Back-compat (PR-3) name for the growth-demography multi-locus result.
+MultiLocusGrowthResult = MultiLocusResult
+
+
+def run_multilocus(
     alignments,
     config: MPCGSConfig,
     theta0: float,
     rng: np.random.Generator,
-) -> MultiLocusGrowthResult:
-    """Joint (θ, g) estimation from several unlinked loci sharing one demography.
+) -> MultiLocusResult:
+    """Joint estimation from several unlinked loci sharing one demography.
 
-    A single locus constrains the exponential growth rate only weakly — its
-    (θ, g) likelihood is a long, nearly flat ridge whose maximizer
-    systematically overshoots g (the well-documented single-locus bias of
+    A single locus constrains demography parameters only weakly — the
+    (θ, params) likelihood is a long, nearly flat ridge whose maximizer
+    systematically overshoots (the well-documented single-locus bias of
     LAMARC-family growth estimators).  Unlinked loci share the demography,
     so their log-likelihood surfaces add: each EM iteration drives one
-    growth-targeted chain per locus at the current (θ, g), sums the
-    per-locus relative-likelihood surfaces
-    (:class:`~repro.likelihood.growth_prior.CombinedGrowthLikelihood`), and
-    ascends the summed surface jointly.  Curvature accumulates locus by
-    locus and the maximizer pins both parameters down.
+    demography-targeted chain per locus at the current driving point, sums
+    the per-locus relative-likelihood surfaces
+    (:class:`~repro.likelihood.demography_prior.CombinedDemographyLikelihood`),
+    and ascends the summed surface jointly.  Curvature accumulates locus by
+    locus and the maximizer pins the parameters down.
 
-    ``config`` must have ``demography="growth"``; per-locus chains use
-    independent child RNG streams spawned from ``rng``.
+    Works for *any* registered demography, the constant one included (the
+    combined surface is then θ-only).  Per-locus chains use independent
+    child RNG streams spawned from ``rng``.
     """
     alignments = list(alignments)
     if not alignments:
         raise ValueError("need at least one alignment")
-    if config.demography != "growth":
-        raise ValueError("run_multilocus_growth requires a demography='growth' config")
-    require_growth_sampler(config)
+    require_demography_support(config)
     if theta0 <= 0:
         raise ValueError("theta0 must be positive")
 
+    demography = config.demography_model()
     drivers = [MPCGS(alignment, config) for alignment in alignments]
     engine_factories = [
         driver._engine_factory(share_cache=config.sampler_name in _SINGLE_ENGINE_SAMPLERS)
         for driver in drivers
     ]
     theta = float(theta0)
-    growth = float(config.growth0)
     trees = [driver.initial_tree(theta) for driver in drivers]
-    result = MultiLocusGrowthResult(theta=theta, growth=growth, n_loci=len(drivers))
-    result.trajectory.append((theta, growth))
+    result = MultiLocusResult(
+        theta=theta,
+        n_loci=len(drivers),
+        demography=demography.name,
+        params=demography.params,
+    )
+    result.trajectory.append((theta, *demography.param_values()))
 
     for _ in range(config.n_em_iterations):
         components = []
         locus_rngs = rng.spawn(len(drivers))
         for locus, driver in enumerate(drivers):
-            sampler = driver.growth_iteration_sampler(theta, growth, engine_factories[locus])
+            sampler = driver.demography_iteration_sampler(
+                theta, demography, engine_factories[locus]
+            )
             chain = sampler.run(trees[locus], locus_rngs[locus])
             components.append(
-                GrowthRelativeLikelihood(
-                    chain.interval_matrix, driving_theta=theta, driving_growth=growth
+                DemographyRelativeLikelihood(
+                    chain.interval_matrix, demography, driving_theta=theta
                 )
             )
             trees[locus] = MPCGS._reseed_tree(trees[locus], chain)
             result.total_samples += chain.n_samples
             result.total_likelihood_evaluations += chain.n_likelihood_evaluations
 
-        estimate = maximize_joint(
-            CombinedGrowthLikelihood(components), theta, growth, config.estimator
+        estimate = maximize_demography(
+            CombinedDemographyLikelihood(components), theta, demography, config.estimator
         )
-        theta_moved = abs(estimate.theta - theta)
-        growth_moved = abs(estimate.growth - growth)
-        theta, growth = estimate.theta, estimate.growth
-        result.theta, result.growth = theta, growth
-        result.trajectory.append((theta, growth))
         tol = config.theta_convergence_tol
-        if theta_moved < tol * max(theta, 1.0) and growth_moved < tol * max(abs(growth), 1.0):
+        theta_settled = abs(estimate.theta - theta) < tol * max(estimate.theta, 1.0)
+        params_settled = all(
+            abs(new - old) < tol * max(abs(new), 1.0)
+            for new, old in zip(estimate.params, demography.param_values())
+        )
+        theta = estimate.theta
+        demography = demography.with_param_values(estimate.params)
+        result.theta = theta
+        result.params = demography.params
+        result.trajectory.append((theta, *estimate.params))
+        if theta_settled and params_settled:
             break
 
     return result
+
+
+def run_multilocus_growth(
+    alignments,
+    config: MPCGSConfig,
+    theta0: float,
+    rng: np.random.Generator,
+) -> MultiLocusResult:
+    """Joint (θ, g) estimation from several unlinked loci (PR-3 surface).
+
+    The exponential-growth spelling of :func:`run_multilocus`; ``config``
+    must name the growth/exponential demography.
+    """
+    if config.demography not in ("growth", "exponential"):
+        raise ValueError("run_multilocus_growth requires a demography='growth' config")
+    return run_multilocus(alignments, config, theta0, rng)

@@ -15,9 +15,14 @@ ML and Bayesian modes through a single interface:
   the drivers, the :mod:`repro.api` facade, or the CLI, all of which look
   the sampler up by name;
 * the existing ``make_engine``/``make_model`` factories are mirrored into
-  the same registry machinery (``ENGINES``, ``MODELS``) so discovery —
-  ``available_samplers()``, ``available_engines()``, ``available_models()``
-  — works identically across all three extension points.
+  the same registry machinery (``ENGINES``, ``MODELS``), and the demography
+  registry (:mod:`repro.demography.registry`) uses the identical
+  :class:`~repro.core.registry_base.Registry` class, so discovery —
+  ``available_samplers()``, ``available_engines()``, ``available_models()``,
+  ``available_demographies()`` — works identically across all four
+  extension points.  Sampler entries carry a ``supports_demography``
+  capability flag consulted by :func:`require_demography_support`, the one
+  shared guard behind every non-constant demography run.
 
 Every sampler builder receives the *normalized* construction inputs
 
@@ -46,6 +51,7 @@ import numpy as np
 from ..baselines.heated import HeatedChainSampler, default_temperatures
 from ..baselines.lamarc import LamarcSampler
 from ..baselines.multichain import MultiChainSampler
+from ..demography.registry import available_demographies
 from ..diagnostics.traces import ChainResult
 from ..genealogy.tree import Genealogy
 from ..likelihood.engines import _ENGINES, LikelihoodEngine
@@ -54,6 +60,7 @@ from ..likelihood.mutation_models import MODEL_NAMES, MutationModel
 from ..likelihood.mutation_models import make_model as _make_model
 from .bayesian import BayesianResult, BayesianSampler, ThetaPrior
 from .config import SamplerConfig
+from .registry_base import Registry
 from .sampler import MultiProposalSampler
 
 __all__ = [
@@ -72,6 +79,9 @@ __all__ = [
     "available_samplers",
     "available_engines",
     "available_models",
+    "available_demographies",
+    "demography_capable_samplers",
+    "require_demography_support",
 ]
 
 
@@ -85,69 +95,6 @@ class Sampler(Protocol):
 
 
 EngineFactory = Callable[[], LikelihoodEngine]
-
-
-class Registry:
-    """String-keyed factory registry with discoverable names and descriptions.
-
-    Parameters
-    ----------
-    kind:
-        Human-readable noun used in error messages ("sampler", "engine", …).
-    """
-
-    def __init__(self, kind: str) -> None:
-        self.kind = kind
-        self._builders: dict[str, Callable] = {}
-        self._descriptions: dict[str, str] = {}
-
-    def register(
-        self, name: str, builder: Callable | None = None, *, description: str = ""
-    ) -> Callable:
-        """Register ``builder`` under ``name`` (usable as a decorator).
-
-        Re-registering an existing name replaces it, which lets applications
-        override a stock sampler with an instrumented variant.
-        """
-        key = name.lower()
-
-        def _add(fn: Callable) -> Callable:
-            self._builders[key] = fn
-            if description:
-                self._descriptions[key] = description
-            elif fn.__doc__:
-                self._descriptions[key] = fn.__doc__.strip().splitlines()[0]
-            else:
-                self._descriptions[key] = ""
-            return fn
-
-        if builder is not None:
-            return _add(builder)
-        return _add
-
-    def names(self) -> tuple[str, ...]:
-        """Registered names, sorted."""
-        return tuple(sorted(self._builders))
-
-    def describe(self) -> dict[str, str]:
-        """Mapping of name -> one-line description (for ``mpcgs info`` and docs)."""
-        return {name: self._descriptions.get(name, "") for name in self.names()}
-
-    def __contains__(self, name: str) -> bool:
-        return name.lower() in self._builders
-
-    def get(self, name: str) -> Callable:
-        """The builder registered under ``name``; raises with the valid choices."""
-        key = name.lower()
-        if key not in self._builders:
-            raise ValueError(
-                f"unknown {self.kind} {name!r}; choose from {', '.join(self.names())}"
-            )
-        return self._builders[key]
-
-    def create(self, name: str, *args, **kwargs):
-        """Look up ``name`` and call its builder with the given arguments."""
-        return self.get(name)(*args, **kwargs)
 
 
 # ---------------------------------------------------------------------------
@@ -258,38 +205,83 @@ SAMPLERS.register(
     "gmh",
     _build_gmh,
     description="multi-proposal Generalized Metropolis-Hastings chain (the paper's sampler)",
+    metadata={"supports_demography": True},
 )
 SAMPLERS.register(
     "lamarc",
     _build_lamarc,
     description="single-proposal Metropolis-Hastings baseline (Kuhner et al. 1995)",
+    metadata={"supports_demography": True},
 )
 SAMPLERS.register(
     "multichain",
     _build_multichain,
     description="P independent chains with pooled samples (Fig. 6 baseline); option n_chains",
+    metadata={"supports_demography": False},
 )
 SAMPLERS.register(
     "heated",
     _build_heated,
     description="Metropolis-coupled MC3 heated chains; options n_chains/temperatures/swap_interval",
+    metadata={"supports_demography": True},
 )
 SAMPLERS.register(
     "bayesian",
     _build_bayesian,
     description="joint (genealogy, theta) sampler: GMH moves + conjugate Gibbs theta draws",
+    metadata={"supports_demography": False},
 )
 
 
+def demography_capable_samplers() -> tuple[str, ...]:
+    """Registered samplers whose builders can target a non-constant demography."""
+    return tuple(
+        name
+        for name in SAMPLERS.names()
+        if SAMPLERS.metadata(name).get("supports_demography", False)
+    )
+
+
+def require_demography_support(config) -> None:
+    """The single capability check behind every non-constant demography run.
+
+    Looks up the ``supports_demography`` flag on the sampler's registry
+    entry, so a custom sampler registered with
+    ``register_sampler(..., metadata={"supports_demography": True})`` is
+    accepted everywhere (library, :mod:`repro.api`, and CLI) without
+    touching any of them.  Raises :class:`ValueError` with one shared
+    message for every incapable sampler, the Bayesian one included.
+    """
+    if config.demography == "constant":
+        return
+    if SAMPLERS.metadata(config.sampler_name).get("supports_demography", False):
+        return
+    capable = ", ".join(demography_capable_samplers())
+    raise ValueError(
+        f"sampler {config.sampler_name!r} does not support "
+        f"demography={config.demography!r}; choose a growth-aware "
+        f"(demography-capable) sampler ({capable}) — e.g. "
+        f"`mpcgs run --demography {config.demography}`"
+    )
+
+
 def register_sampler(
-    name: str, builder: Callable | None = None, *, description: str = ""
+    name: str,
+    builder: Callable | None = None,
+    *,
+    description: str = "",
+    metadata: dict | None = None,
 ) -> Callable:
     """Register a sampler builder under ``name`` (usable as a decorator).
 
     The builder must accept ``(engine_factory, theta, config, **options)``
-    and return an object satisfying the :class:`Sampler` protocol.
+    and return an object satisfying the :class:`Sampler` protocol.  Pass
+    ``metadata={"supports_demography": True}`` if the builder accepts a
+    ``demography=`` option and targets the corresponding posterior; the
+    drivers consult this flag before handing a non-constant demography to
+    the sampler.
     """
-    return SAMPLERS.register(name, builder, description=description)
+    return SAMPLERS.register(name, builder, description=description, metadata=metadata)
 
 
 def make_sampler(

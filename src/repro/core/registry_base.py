@@ -1,0 +1,96 @@
+"""The string-keyed factory registry shared by every extension point.
+
+The package exposes four extension registries — samplers, likelihood
+engines, mutation models (:mod:`repro.core.registry`) and demographies
+(:mod:`repro.demography.registry`).  They all share this one mechanism so
+discovery (``names``/``describe``), error shapes, and registration idioms
+are identical everywhere.  The class lives in its own dependency-free
+module because the demography registry sits *below* the sampler registry in
+the import graph (samplers are built from demographies, not the other way
+around), so it cannot import :mod:`repro.core.registry` without a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = ["Registry"]
+
+
+class Registry:
+    """String-keyed factory registry with discoverable names and descriptions.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable noun used in error messages ("sampler", "engine", …).
+
+    Each entry may carry a ``metadata`` mapping of capability flags (e.g.
+    the sampler registry's ``supports_demography``) that callers can query
+    with :meth:`metadata` without constructing anything.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._builders: dict[str, Callable] = {}
+        self._descriptions: dict[str, str] = {}
+        self._metadata: dict[str, dict[str, Any]] = {}
+
+    def register(
+        self,
+        name: str,
+        builder: Callable | None = None,
+        *,
+        description: str = "",
+        metadata: dict[str, Any] | None = None,
+    ) -> Callable:
+        """Register ``builder`` under ``name`` (usable as a decorator).
+
+        Re-registering an existing name replaces it, which lets applications
+        override a stock sampler with an instrumented variant.
+        """
+        key = name.lower()
+
+        def _add(fn: Callable) -> Callable:
+            self._builders[key] = fn
+            if description:
+                self._descriptions[key] = description
+            elif fn.__doc__:
+                self._descriptions[key] = fn.__doc__.strip().splitlines()[0]
+            else:
+                self._descriptions[key] = ""
+            self._metadata[key] = dict(metadata) if metadata else {}
+            return fn
+
+        if builder is not None:
+            return _add(builder)
+        return _add
+
+    def names(self) -> tuple[str, ...]:
+        """Registered names, sorted."""
+        return tuple(sorted(self._builders))
+
+    def describe(self) -> dict[str, str]:
+        """Mapping of name -> one-line description (for ``mpcgs info`` and docs)."""
+        return {name: self._descriptions.get(name, "") for name in self.names()}
+
+    def metadata(self, name: str) -> dict[str, Any]:
+        """The capability metadata registered with ``name`` (a copy)."""
+        self.get(name)  # uniform unknown-name error
+        return dict(self._metadata.get(name.lower(), {}))
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._builders
+
+    def get(self, name: str) -> Callable:
+        """The builder registered under ``name``; raises with the valid choices."""
+        key = name.lower()
+        if key not in self._builders:
+            raise ValueError(
+                f"unknown {self.kind} {name!r}; choose from {', '.join(self.names())}"
+            )
+        return self._builders[key]
+
+    def create(self, name: str, *args, **kwargs):
+        """Look up ``name`` and call its builder with the given arguments."""
+        return self.get(name)(*args, **kwargs)

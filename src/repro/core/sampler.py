@@ -15,11 +15,11 @@ import time
 
 import numpy as np
 
+from ..demography.base import Demography, prior_ratio_adjustment
+from ..demography.models import ExponentialDemography
 from ..diagnostics.traces import ChainResult, ChainTrace
 from ..genealogy.tree import Genealogy
-from ..likelihood.coalescent_prior import batched_log_prior
 from ..likelihood.engines import LikelihoodEngine
-from ..likelihood.growth_prior import batched_log_growth_prior
 from ..proposals.neighborhood import NeighborhoodResimulator
 from .config import SamplerConfig
 from .gmh import GeneralizedMetropolisHastings
@@ -41,14 +41,25 @@ class MultiProposalSampler:
         recorded trace.
     config:
         Chain-length and proposal-set configuration.
+    demography:
+        Optional :class:`~repro.demography.base.Demography` of the driving
+        coalescent prior.  By default the chain targets the posterior under
+        P_dem(G | θ, params) with the *demography-conditional* proposal
+        kernel (Λ-inverse time rescaling inside the resimulator), under
+        which the GMH index weights collapse to data likelihoods exactly as
+        in Eq. 31 — no importance correction, and mixing that does not
+        degrade at large |g|.  ``None`` (the default) keeps the
+        constant-demography chain bit-identical to the paper's sampler.
+    importance_correction:
+        When true, propose from the *constant-size* conditional kernel
+        instead and correct each candidate's index weight by the prior
+        ratio P_dem(G | θ, params) / P_const(G | θ) (the PR-3 growth
+        mechanism, kept for comparison benchmarks and reproducibility of
+        old runs; it mixes slowly at large |g|).
     growth:
-        Optional exponential growth rate g of the driving demography.  When
-        given, the chain targets the posterior under the growth coalescent
-        prior P(G | θ, g): proposals are still generated by the constant-size
-        conditional kernel, and each candidate's index weight is corrected by
-        the prior ratio P_growth(G | θ, g) / P_const(G | θ) (the constant
-        factor that cancelled out of Eq. 31).  ``None`` (the default) keeps
-        the constant-demography chain bit-identical to the paper's sampler.
+        Back-compat sugar for the exponential demography:
+        ``growth=g`` ≡ ``demography=ExponentialDemography(growth=g),
+        importance_correction=True`` — exactly the PR-3 chain.
     """
 
     def __init__(
@@ -59,30 +70,37 @@ class MultiProposalSampler:
         *,
         validate_proposals: bool = False,
         growth: float | None = None,
+        demography: Demography | None = None,
+        importance_correction: bool | None = None,
     ) -> None:
         if theta <= 0:
             raise ValueError("theta must be positive")
+        if growth is not None and demography is not None:
+            raise ValueError("pass either growth= (legacy) or demography=, not both")
+        if growth is not None:
+            demography = ExponentialDemography(growth=float(growth))
+            if importance_correction is None:
+                importance_correction = True
         self.engine = engine
         self.theta = float(theta)
         self.growth = None if growth is None else float(growth)
+        self.demography = demography
+        self.importance_correction = bool(importance_correction)
         self.config = config or SamplerConfig()
-        self.resimulator = NeighborhoodResimulator(theta, validate=validate_proposals)
+        # The constant model (including exponential g = 0, where the prior
+        # ratio is identically zero) needs neither rescaling nor correction:
+        # skip both and run the paper's chain bit-for-bit.
+        effective = demography if demography is not None and not demography.is_constant else None
         adjustment = None
-        # At g = 0 the growth prior reduces exactly to the constant prior,
-        # so the correction is identically zero — skip the two batched prior
-        # sweeps per proposal set it would cost on the hot path.
-        if self.growth is not None and self.growth != 0.0:
-            theta_arr = np.asarray([self.theta])
-            growth_arr = np.asarray([self.growth])
-
-            def adjustment(trees) -> np.ndarray:
-                # One batched prior sweep over the whole candidate set (this
-                # sits on the proposal-set hot path).
-                mat = np.vstack([tree.interval_representation() for tree in trees])
-                return (
-                    batched_log_growth_prior(mat, theta_arr, growth_arr)[:, 0, 0]
-                    - batched_log_prior(mat, theta_arr)[:, 0]
-                )
+        if effective is not None and self.importance_correction:
+            self.resimulator = NeighborhoodResimulator(theta, validate=validate_proposals)
+            adjustment = prior_ratio_adjustment(effective, self.theta)
+        elif effective is not None:
+            self.resimulator = NeighborhoodResimulator(
+                theta, validate=validate_proposals, demography=effective
+            )
+        else:
+            self.resimulator = NeighborhoodResimulator(theta, validate=validate_proposals)
 
         self.gmh = GeneralizedMetropolisHastings(
             engine=engine,
@@ -148,6 +166,11 @@ class MultiProposalSampler:
         }
         if self.growth is not None:
             extras["driving_growth"] = self.growth
+        if self.demography is not None:
+            extras["demography"] = self.demography.to_dict()
+            extras["proposal_kernel"] = (
+                "constant+correction" if self.importance_correction else "conditional"
+            )
         return ChainResult(
             trace=trace,
             driving_theta=self.theta,

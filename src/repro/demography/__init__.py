@@ -1,0 +1,46 @@
+"""Pluggable demography layer: coalescent priors beyond the constant size.
+
+One abstraction — the :class:`Demography` protocol (relative coalescent
+intensity ν(t), cumulative intensity Λ(t) and its inverse, a batched
+demography-parameterized genealogy prior, and a declared free-parameter
+vector) — threads through every layer that conditions on the population's
+size history: the likelihood priors, the neighbourhood proposal kernel
+(via Λ-inverse time rescaling), the gmh/lamarc/heated samplers, the joint
+(θ, params) estimator, the genealogy simulator, and the config/CLI surface.
+Models are registered by name (:data:`DEMOGRAPHIES`) exactly like samplers
+and engines.
+"""
+
+from .base import Demography, ParamSpec, prior_ratio_adjustment
+from .models import (
+    BottleneckDemography,
+    ConstantDemography,
+    ExponentialDemography,
+    LogisticDemography,
+)
+from .registry import (
+    DEMOGRAPHIES,
+    DEMOGRAPHY_ALIASES,
+    available_demographies,
+    canonical_name,
+    demography_class,
+    make_demography,
+    register_demography,
+)
+
+__all__ = [
+    "Demography",
+    "ParamSpec",
+    "prior_ratio_adjustment",
+    "ConstantDemography",
+    "ExponentialDemography",
+    "BottleneckDemography",
+    "LogisticDemography",
+    "DEMOGRAPHIES",
+    "DEMOGRAPHY_ALIASES",
+    "available_demographies",
+    "canonical_name",
+    "demography_class",
+    "make_demography",
+    "register_demography",
+]

@@ -1,0 +1,290 @@
+"""The ``Demography`` protocol: one abstraction for every coalescent prior.
+
+A demography describes how the (scaled) population size varies backwards in
+time.  Everything downstream needs only three functions of it:
+
+``intensity`` — ν(t)
+    The *relative coalescent intensity* at time ``t`` (backwards from the
+    present): the instantaneous pairwise coalescent rate is
+    ``2 ν(t) / θ``, so ``k`` lineages coalesce at total hazard
+    ``k (k − 1) ν(t) / θ``.  The constant-size model of the paper is
+    ν ≡ 1; exponential growth ``g`` is ν(t) = e^{g t}.
+
+``cumulative_intensity`` — Λ(t) = ∫₀ᵗ ν(s) ds
+    The integrated intensity.  In the *rescaled* time τ = Λ(t) every
+    demography becomes the constant-size coalescent, which is what lets the
+    proposal kernel (:mod:`repro.proposals`) and the simulator
+    (:mod:`repro.simulate.demography_sim`) stay demography-generic: run the
+    constant-size machinery in τ and map event times back through Λ⁻¹.
+
+``batched_log_prior``
+    log P(G | θ, params) for a batch of genealogies given as coalescent
+    interval matrices — the demography-parameterized generalization of
+    Eq. 18 (:mod:`repro.likelihood.coalescent_prior`) and of the
+    exponential-growth density (:mod:`repro.likelihood.growth_prior`):
+
+        log P(G | θ) = Σ_events [ log(2/θ) + log ν(t_event) ]
+                       − Σ_intervals k (k − 1) · (Λ(t_end) − Λ(t_start)) / θ
+
+Concrete demographies are frozen dataclasses whose fields are the model's
+free parameters; :attr:`Demography.param_specs` declares each parameter's
+default, feasible bounds, and trust-region step so the joint estimator
+(:func:`repro.core.estimator.maximize_demography`) can ascend over
+``(θ, params)`` without model-specific code.  Instances are registered by
+name in :mod:`repro.demography.registry` and serialize to
+``{"name": ..., "params": {...}}`` documents.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields, replace
+from typing import Any, ClassVar, Mapping
+
+import numpy as np
+
+__all__ = ["ParamSpec", "Demography", "prior_ratio_adjustment"]
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """Declaration of one free demography parameter.
+
+    Attributes
+    ----------
+    name:
+        Field name on the demography dataclass (and key in serialized
+        ``params`` documents).
+    default:
+        Value used when a config does not set the parameter.
+    lower, upper:
+        Hard feasibility bounds (the coordinate ascent never evaluates
+        outside them).
+    max_step:
+        Trust-region half-width for one M-step of the joint estimator;
+        ``None`` defers to ``EstimatorConfig.max_growth_step`` (the generic
+        per-parameter step bound).
+    description:
+        One-line human description (``mpcgs info`` and docs).
+    """
+
+    name: str
+    default: float
+    lower: float = -math.inf
+    upper: float = math.inf
+    max_step: float | None = None
+    description: str = ""
+
+
+class Demography:
+    """Base class of all demographic models (see module docstring).
+
+    Subclasses are frozen dataclasses; their dataclass fields must match
+    :attr:`param_specs` one-to-one.  Subclasses implement
+    :meth:`log_intensity` and :meth:`cumulative_intensity` (vectorized over
+    ``t``); :meth:`inverse_cumulative_intensity` has a generic bisection
+    default that closed-form models should override.
+    """
+
+    #: Registry name of the model ("constant", "exponential", …).
+    name: ClassVar[str] = ""
+    #: Free parameters, in the order the estimator's coordinate ascent visits them.
+    param_specs: ClassVar[tuple[ParamSpec, ...]] = ()
+
+    # ------------------------------------------------------------------ #
+    # Parameter vector machinery
+    # ------------------------------------------------------------------ #
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        """Names of the free parameters, in estimation order."""
+        return tuple(spec.name for spec in self.param_specs)
+
+    @property
+    def params(self) -> dict[str, float]:
+        """Current parameter values as an ordered name -> value mapping."""
+        return {name: float(getattr(self, name)) for name in self.param_names}
+
+    def param_values(self) -> np.ndarray:
+        """Current parameter values as a vector (the estimator's coordinates)."""
+        return np.asarray([getattr(self, name) for name in self.param_names], dtype=float)
+
+    def with_params(self, **changes: float) -> "Demography":
+        """Copy of this demography with the named parameters replaced."""
+        unknown = sorted(set(changes) - set(self.param_names))
+        if unknown:
+            raise ValueError(
+                f"unknown {self.name or type(self).__name__} parameter(s) {unknown}; "
+                f"valid parameters are {list(self.param_names)}"
+            )
+        return replace(self, **{k: float(v) for k, v in changes.items()})
+
+    def with_param_values(self, values) -> "Demography":
+        """Copy of this demography with the whole parameter vector replaced."""
+        values = np.asarray(values, dtype=float).reshape(-1)
+        if values.size != len(self.param_names):
+            raise ValueError(
+                f"{self.name or type(self).__name__} takes {len(self.param_names)} "
+                f"parameter(s) {list(self.param_names)}, got {values.size}"
+            )
+        return self.with_params(**dict(zip(self.param_names, values)))
+
+    # ------------------------------------------------------------------ #
+    # The three model functions
+    # ------------------------------------------------------------------ #
+    @property
+    def is_constant(self) -> bool:
+        """True when this instance is the constant-size coalescent (ν ≡ 1).
+
+        Samplers use this to skip demography machinery entirely — e.g.
+        exponential growth at g = 0 runs the paper's chain bit-for-bit.
+        """
+        return False
+
+    def intensity(self, t):
+        """Relative coalescent intensity ν(t) (vectorized)."""
+        return np.exp(self.log_intensity(t))
+
+    def log_intensity(self, t):
+        """log ν(t) (vectorized) — the per-event term of the prior."""
+        raise NotImplementedError
+
+    def cumulative_intensity(self, t):
+        """Λ(t) = ∫₀ᵗ ν(s) ds (vectorized; must handle ``t = inf``)."""
+        raise NotImplementedError
+
+    def total_intensity(self) -> float:
+        """Λ(∞): ``inf`` unless the demography declines so fast backwards in
+        time that the integrated intensity converges (e.g. exponential
+        g < 0), in which case lineages may never coalesce."""
+        return float(self.cumulative_intensity(np.inf))
+
+    def inverse_cumulative_intensity(self, y):
+        """Λ⁻¹(y): the time at which the integrated intensity reaches ``y``.
+
+        Generic monotone bisection via ``scipy.optimize.brentq``; models
+        with closed-form inverses override this.  ``y`` beyond Λ(∞) raises.
+        """
+        y_arr = np.atleast_1d(np.asarray(y, dtype=float))
+        out = np.empty_like(y_arr)
+        for i, target in enumerate(y_arr):
+            out[i] = self._invert_scalar(float(target))
+        return out if np.ndim(y) else float(out[0])
+
+    def _invert_scalar(self, target: float) -> float:
+        from scipy.optimize import brentq
+
+        if target < 0:
+            raise ValueError("cumulative intensity is non-negative")
+        if target == 0.0:
+            return 0.0
+        if not math.isfinite(target):
+            return math.inf
+        if target >= self.total_intensity():
+            raise ValueError(
+                f"cumulative intensity {target} exceeds the demography's total "
+                f"integrated intensity {self.total_intensity()}"
+            )
+        hi = max(target, 1.0)
+        for _ in range(200):
+            if float(self.cumulative_intensity(hi)) >= target:
+                break
+            hi *= 2.0
+        else:  # pragma: no cover - total_intensity() guard prevents this
+            raise ValueError("failed to bracket the inverse cumulative intensity")
+        return float(
+            brentq(
+                lambda t: float(self.cumulative_intensity(t)) - target,
+                0.0,
+                hi,
+                xtol=1e-12 * max(hi, 1.0),
+            )
+        )
+
+    def integrated_intensity(self, starts, ends):
+        """Λ(ends) − Λ(starts): each interval's coalescent exposure.
+
+        Models whose Λ difference has a cancellation-free closed form (the
+        exponential) override this for precision; the default subtracts the
+        cumulative intensities.
+        """
+        return self.cumulative_intensity(ends) - self.cumulative_intensity(starts)
+
+    # ------------------------------------------------------------------ #
+    # The demography-parameterized coalescent prior
+    # ------------------------------------------------------------------ #
+    def batched_log_prior(self, interval_matrix: np.ndarray, theta: float) -> np.ndarray:
+        """log P(G | θ, params) for each row of ``interval_matrix``.
+
+        ``interval_matrix`` is ``(n_samples, n_intervals)`` of coalescent
+        interval lengths — row ``m`` is the reduced representation of
+        sampled genealogy ``m`` (``n − i`` lineages during interval ``i``).
+        Returns a ``(n_samples,)`` vector of log densities.
+        """
+        mat = np.asarray(interval_matrix, dtype=float)
+        if mat.ndim != 2:
+            raise ValueError("interval_matrix must be 2-D (n_samples, n_intervals)")
+        if theta <= 0:
+            raise ValueError("theta must be positive")
+        n_intervals = mat.shape[1]
+        lineages = (n_intervals + 1) - np.arange(n_intervals)
+        coeff = (lineages * (lineages - 1)).astype(float)
+        ends = np.cumsum(mat, axis=1)
+        starts = ends - mat
+        event_term = n_intervals * np.log(2.0 / theta) + self.log_intensity(ends).sum(axis=1)
+        exposure = (self.integrated_intensity(starts, ends) * coeff[None, :]).sum(axis=1)
+        return event_term - exposure / theta
+
+    def log_prior(self, interval_lengths: np.ndarray, theta: float) -> float:
+        """log P(G | θ, params) for a single genealogy's interval lengths."""
+        lengths = np.asarray(interval_lengths, dtype=float)
+        if lengths.ndim != 1 or lengths.size < 1:
+            raise ValueError("interval_lengths must be a non-empty 1-D array")
+        return float(self.batched_log_prior(lengths[None, :], theta)[0])
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        """``{"name": ..., "params": {...}}`` — the structured config spec."""
+        return {"name": self.name, "params": self.params}
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, float] | None = None) -> "Demography":
+        """Build an instance from a (possibly partial) parameter mapping."""
+        params = dict(params or {})
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(params) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown {cls.name or cls.__name__} parameter(s) {unknown}; "
+                f"valid parameters are {sorted(known)}"
+            )
+        return cls(**{k: float(v) for k, v in params.items()})
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{k}={v:g}" for k, v in self.params.items())
+        return f"{self.name}({inner})" if inner else self.name
+
+
+def prior_ratio_adjustment(demography: Demography, theta: float):
+    """The batched log prior-ratio hook log π_dem(G|θ) − log π_const(G|θ).
+
+    This is the importance correction a *constant-kernel* chain applies to
+    target the posterior under ``demography`` instead (the PR-3 growth
+    mechanism, now demography-generic): the neighbourhood kernel proposes
+    from the constant-size conditional coalescent, whose prior factor
+    cancels out of the GMH index weights (Eq. 31) and of the MH acceptance
+    ratio (Eq. 28), so re-targeting multiplies each candidate's weight by
+    π_dem(G̃ᵢ)/π_const(G̃ᵢ | θ).  Returns a callable mapping a sequence of
+    genealogies to the per-tree log-ratio vector (batched — it sits on the
+    proposal-set hot path).
+    """
+    from .models import ConstantDemography
+
+    constant = ConstantDemography()
+
+    def adjustment(trees) -> np.ndarray:
+        mat = np.vstack([tree.interval_representation() for tree in trees])
+        return demography.batched_log_prior(mat, theta) - constant.batched_log_prior(mat, theta)
+
+    return adjustment

@@ -1,0 +1,96 @@
+"""Named registry of demographic models, mirroring the sampler registry.
+
+``make_demography("bottleneck", start=0.2)`` builds any registered model
+from a parameter mapping; ``register_demography`` adds a custom
+:class:`~repro.demography.base.Demography` subclass without touching the
+config layer, the drivers, or the CLI, all of which look demographies up by
+name (``MPCGSConfig.demography_model``, ``mpcgs info``).  The legacy config
+string ``"growth"`` (PR 3's exponential-growth flag) is registered as an
+alias of ``"exponential"`` so existing spec documents keep loading.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Type
+
+from ..core.registry_base import Registry
+from .base import Demography
+from .models import (
+    BottleneckDemography,
+    ConstantDemography,
+    ExponentialDemography,
+    LogisticDemography,
+)
+
+__all__ = [
+    "DEMOGRAPHIES",
+    "DEMOGRAPHY_ALIASES",
+    "make_demography",
+    "register_demography",
+    "available_demographies",
+    "demography_class",
+]
+
+DEMOGRAPHIES = Registry("demography")
+
+#: Alternate spellings accepted anywhere a demography name is: the PR-3
+#: config string "growth" predates the demography layer.
+DEMOGRAPHY_ALIASES = {"growth": "exponential"}
+
+
+def _first_doc_line(cls) -> str:
+    lines = (cls.__doc__ or "").strip().splitlines()
+    return lines[0] if lines else ""
+
+
+def register_demography(
+    name: str, cls: Type[Demography] | None = None, *, description: str = ""
+) -> Type[Demography]:
+    """Register a :class:`Demography` subclass under ``name`` (decorator-friendly)."""
+
+    def _add(model_cls: Type[Demography]) -> Type[Demography]:
+        DEMOGRAPHIES.register(
+            name,
+            model_cls,
+            description=description or _first_doc_line(model_cls),
+        )
+        return model_cls
+
+    if cls is not None:
+        return _add(cls)
+    return _add
+
+
+for _cls in (
+    ConstantDemography,
+    ExponentialDemography,
+    BottleneckDemography,
+    LogisticDemography,
+):
+    register_demography(_cls.name, _cls)
+
+
+def canonical_name(name: str) -> str:
+    """Resolve aliases and case: the registry key a name refers to."""
+    key = str(name).lower()
+    return DEMOGRAPHY_ALIASES.get(key, key)
+
+
+def demography_class(name: str) -> Type[Demography]:
+    """The registered :class:`Demography` subclass for ``name`` (alias-aware)."""
+    return DEMOGRAPHIES.get(canonical_name(name))
+
+
+def make_demography(name: str, params: Mapping[str, float] | None = None, **kwargs) -> Demography:
+    """Build a demography by name from a parameter mapping (or keywords)."""
+    if params and kwargs:
+        raise ValueError("pass parameters either as a mapping or as keywords, not both")
+    return demography_class(name).from_params(params or kwargs)
+
+
+def available_demographies() -> dict[str, str]:
+    """Registered demography names with one-line descriptions."""
+    return DEMOGRAPHIES.describe()
+
+
+__all__.append("canonical_name")

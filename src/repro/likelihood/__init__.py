@@ -17,6 +17,11 @@ from .engines import (
     make_engine,
 )
 from .incremental import CachedEngine
+from .demography_prior import (
+    CombinedDemographyLikelihood,
+    DemographyPooledLikelihood,
+    DemographyRelativeLikelihood,
+)
 from .growth_prior import (
     GrowthEstimate,
     GrowthPooledLikelihood,
@@ -43,6 +48,9 @@ __all__ = [
     "CachedEngine",
     "ConstantEngine",
     "make_engine",
+    "DemographyRelativeLikelihood",
+    "DemographyPooledLikelihood",
+    "CombinedDemographyLikelihood",
     "GrowthEstimate",
     "GrowthPooledLikelihood",
     "GrowthRelativeLikelihood",

@@ -15,6 +15,11 @@ Because the MLE stage evaluates P(G|θ) for *many* genealogies at *many*
 candidate θ values, the module exposes both a single-tree form and a batched
 form operating on interval arrays, plus the sufficient statistics
 (``n − 1``, ``Σ i(i−1) t``) that make the θ sweep a two-term expression.
+
+This density is the constant-size member of the demography-parameterized
+prior family (:meth:`repro.demography.base.Demography.batched_log_prior`);
+``ConstantDemography`` delegates here, so this module stays the single
+source of truth for the paper's Eq. 18.
 """
 
 from __future__ import annotations

@@ -1,0 +1,154 @@
+"""Demography-parameterized likelihood surfaces over sampled genealogies.
+
+The demography-generic counterparts of the θ-only curve of
+:mod:`repro.core.estimator` and the exponential-growth surface of
+:mod:`repro.likelihood.growth_prior` (whose classes are now thin
+specializations of these).  Each surface is a function of ``(θ, params)``
+where ``params`` is the free-parameter vector of a
+:class:`~repro.demography.base.Demography`:
+
+* :class:`DemographyRelativeLikelihood` — the Monte-Carlo average of prior
+  ratios for genealogies sampled under the *driving* (θ₀, params₀): the
+  importance-sampling estimator of Eq. 26 generalized to any demography.
+  This is what the EM M-step maximizes.
+* :class:`DemographyPooledLikelihood` — the direct pooled log-likelihood of
+  independently observed genealogies (e.g. simulator output); consistent,
+  and the validation target for the estimation machinery.
+* :class:`CombinedDemographyLikelihood` — the per-locus sum for unlinked
+  loci sharing one demography (a single locus constrains demography
+  parameters only weakly; curvature accumulates locus by locus).
+
+All three expose ``log_likelihood(theta, params)`` — ``params`` optional,
+defaulting to the driving parameter vector — which is the interface
+:func:`repro.core.estimator.maximize_demography` ascends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..demography.base import Demography
+
+__all__ = [
+    "DemographyRelativeLikelihood",
+    "DemographyPooledLikelihood",
+    "CombinedDemographyLikelihood",
+]
+
+
+def _check_interval_matrix(interval_matrix: np.ndarray) -> np.ndarray:
+    mat = np.asarray(interval_matrix, dtype=float)
+    if mat.ndim != 2 or mat.shape[0] < 1:
+        raise ValueError("interval_matrix must be (n_samples, n_intervals) with n_samples >= 1")
+    if np.any(mat < 0):
+        raise ValueError("interval lengths must be non-negative")
+    return mat
+
+
+def _log_mean_exp(log_values: np.ndarray) -> float:
+    """logmeanexp via :func:`repro.likelihood.logspace.log_mean`, with the
+    all-underflowed batch reported as exactly -inf.
+
+    ``log_mean`` returns the finite ``LOG_ZERO`` sentinel for a zero-mass
+    batch; the estimator's degenerate-surface handling (honest
+    ``converged=False`` at a saturated driving point) keys on ``-inf``, so
+    the sentinel regime is mapped back to it here.
+    """
+    from .logspace import LOG_ZERO, log_mean
+
+    out = float(log_mean(log_values))
+    return -np.inf if out <= LOG_ZERO / 2 else out
+
+
+class DemographyRelativeLikelihood:
+    """Relative likelihood L(θ, params) / L(θ₀, params₀) from driven samples.
+
+    The genealogies were sampled under the driving pair (``driving_theta``,
+    ``demography``'s current parameters); the surface is the Monte-Carlo
+    average of prior ratios — the demography-generic analogue of Eq. 26.
+    """
+
+    def __init__(
+        self,
+        interval_matrix: np.ndarray,
+        demography: Demography,
+        driving_theta: float,
+    ) -> None:
+        if driving_theta <= 0:
+            raise ValueError("driving_theta must be positive")
+        self.interval_matrix = _check_interval_matrix(interval_matrix)
+        self.demography = demography
+        self.driving_theta = float(driving_theta)
+        self._log_at_driving = demography.batched_log_prior(
+            self.interval_matrix, self.driving_theta
+        )
+
+    @property
+    def n_samples(self) -> int:
+        """Number of genealogy samples backing the surface."""
+        return self.interval_matrix.shape[0]
+
+    def log_likelihood(self, theta: float, params=None) -> float:
+        """log L(θ, params) at one point (params default: the driving values)."""
+        dem = self.demography if params is None else self.demography.with_param_values(params)
+        log_ratios = dem.batched_log_prior(self.interval_matrix, theta) - self._log_at_driving
+        return _log_mean_exp(log_ratios)
+
+
+class DemographyPooledLikelihood:
+    """Direct pooled log-likelihood Σᵢ log P(Gᵢ | θ, params) of observed genealogies.
+
+    Treats the genealogies themselves as independent observations of the
+    coalescent process under ``demography`` (no driving point, no
+    reweighting); the mean per-genealogy value is reported so numbers stay
+    comparable across sample counts — the maximizer is unchanged.
+    """
+
+    def __init__(self, interval_matrix: np.ndarray, demography: Demography) -> None:
+        self.interval_matrix = _check_interval_matrix(interval_matrix)
+        self.demography = demography
+
+    @property
+    def n_samples(self) -> int:
+        """Number of genealogies pooled into the likelihood."""
+        return self.interval_matrix.shape[0]
+
+    def log_likelihood(self, theta: float, params=None) -> float:
+        """Mean log P(G | θ, params) at one point (params default: current)."""
+        dem = self.demography if params is None else self.demography.with_param_values(params)
+        return float(np.mean(dem.batched_log_prior(self.interval_matrix, theta)))
+
+
+class CombinedDemographyLikelihood:
+    """Sum of independent per-locus surfaces sharing one demography.
+
+    Components may mix :class:`DemographyRelativeLikelihood` (enters the
+    sum as-is) and :class:`DemographyPooledLikelihood` (its *mean* surface
+    is rescaled by its genealogy count so every observed genealogy carries
+    equal weight regardless of how genealogies are split across
+    components).
+    """
+
+    def __init__(self, components) -> None:
+        components = list(components)
+        if not components:
+            raise ValueError("need at least one component likelihood")
+        self.components = components
+        self._scales = [
+            float(part.n_samples) if isinstance(part, DemographyPooledLikelihood) else 1.0
+            for part in components
+        ]
+
+    @property
+    def n_loci(self) -> int:
+        """Number of component loci."""
+        return len(self.components)
+
+    def log_likelihood(self, theta: float, params=None) -> float:
+        """Summed log-likelihood at a single (θ, params) point."""
+        return float(
+            sum(
+                scale * part.log_likelihood(theta, params)
+                for scale, part in zip(self._scales, self.components)
+            )
+        )

@@ -16,6 +16,13 @@ This module provides that density (single and batched over samples × a
 parameter grid) plus a two-parameter relative-likelihood surface and a
 grid + ascent maximizer, reusing the genealogy samples the existing sampler
 already produces — exactly the extension path the paper sketches.
+
+Growth is now one member of the demography-parameterized prior family
+(:mod:`repro.demography`): ``ExponentialDemography`` delegates its batched
+prior to :func:`batched_log_growth_prior`, and the surface classes below
+are (θ, g)-signature specializations of the generic ones in
+:mod:`repro.likelihood.demography_prior` — this module remains the single
+source of truth for the exponential density and its overflow handling.
 """
 
 from __future__ import annotations
@@ -23,6 +30,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+from .demography_prior import (
+    CombinedDemographyLikelihood,
+    DemographyPooledLikelihood,
+    DemographyRelativeLikelihood,
+)
 
 __all__ = [
     "log_growth_prior",
@@ -124,12 +137,16 @@ def batched_log_growth_prior(
     return out
 
 
-class GrowthRelativeLikelihood:
+class GrowthRelativeLikelihood(DemographyRelativeLikelihood):
     """Two-parameter relative likelihood L(θ, g) / L(θ₀, g₀) from sampled genealogies.
 
     The genealogies were sampled under the driving values (θ₀, g₀); the
     surface is the Monte-Carlo average of prior ratios, the direct
-    two-parameter analogue of Eq. 26.
+    two-parameter analogue of Eq. 26.  A thin (θ, g)-signature
+    specialization of
+    :class:`~repro.likelihood.demography_prior.DemographyRelativeLikelihood`
+    with the exponential demography, plus the dense (θ, g)-grid surface the
+    offline maximizer scans.
     """
 
     def __init__(
@@ -138,28 +155,20 @@ class GrowthRelativeLikelihood:
         driving_theta: float,
         driving_growth: float = 0.0,
     ) -> None:
-        mat = np.asarray(interval_matrix, dtype=float)
-        if mat.ndim != 2 or mat.shape[0] < 1:
-            raise ValueError("interval_matrix must be (n_samples, n_intervals) with n_samples >= 1")
-        if driving_theta <= 0:
-            raise ValueError("driving_theta must be positive")
-        self.interval_matrix = mat
-        self.driving_theta = float(driving_theta)
-        self.driving_growth = float(driving_growth)
-        self._log_prior_at_driving = batched_log_growth_prior(
-            mat, np.asarray([driving_theta]), np.asarray([driving_growth])
-        )[:, 0, 0]
+        from ..demography.models import ExponentialDemography
 
-    @property
-    def n_samples(self) -> int:
-        """Number of genealogy samples backing the surface."""
-        return self.interval_matrix.shape[0]
+        super().__init__(
+            interval_matrix,
+            ExponentialDemography(growth=float(driving_growth)),
+            driving_theta,
+        )
+        self.driving_growth = float(driving_growth)
 
     def log_surface(self, thetas: np.ndarray, growths: np.ndarray) -> np.ndarray:
         """log L(θ, g) on a grid; shape ``(n_thetas, n_growths)``."""
         log_ratios = (
             batched_log_growth_prior(self.interval_matrix, thetas, growths)
-            - self._log_prior_at_driving[:, None, None]
+            - self._log_at_driving[:, None, None]
         )
         peak = log_ratios.max(axis=0)
         return peak + np.log(np.mean(np.exp(log_ratios - peak[None, :, :]), axis=0))
@@ -169,7 +178,7 @@ class GrowthRelativeLikelihood:
         return float(self.log_surface(np.asarray([theta]), np.asarray([growth]))[0, 0])
 
 
-class GrowthPooledLikelihood:
+class GrowthPooledLikelihood(DemographyPooledLikelihood):
     """Direct pooled log-likelihood  Σᵢ log P(Gᵢ | θ, g)  of observed genealogies.
 
     Where :class:`GrowthRelativeLikelihood` re-weights genealogies sampled
@@ -184,17 +193,9 @@ class GrowthPooledLikelihood:
     """
 
     def __init__(self, interval_matrix: np.ndarray) -> None:
-        mat = np.asarray(interval_matrix, dtype=float)
-        if mat.ndim != 2 or mat.shape[0] < 1:
-            raise ValueError("interval_matrix must be (n_samples, n_intervals) with n_samples >= 1")
-        if np.any(mat < 0):
-            raise ValueError("interval lengths must be non-negative")
-        self.interval_matrix = mat
+        from ..demography.models import ExponentialDemography
 
-    @property
-    def n_samples(self) -> int:
-        """Number of genealogies pooled into the likelihood."""
-        return self.interval_matrix.shape[0]
+        super().__init__(interval_matrix, ExponentialDemography())
 
     def log_surface(self, thetas: np.ndarray, growths: np.ndarray) -> np.ndarray:
         """Mean per-genealogy log-likelihood on the (θ, g) grid; shape ``(n_thetas, n_growths)``.
@@ -209,7 +210,7 @@ class GrowthPooledLikelihood:
         return float(self.log_surface(np.asarray([theta]), np.asarray([growth]))[0, 0])
 
 
-class CombinedGrowthLikelihood:
+class CombinedGrowthLikelihood(CombinedDemographyLikelihood):
     """Sum of independent per-locus log-likelihood surfaces in (θ, g).
 
     Unlinked loci share one demography, so their log-likelihoods add.  A
@@ -222,25 +223,9 @@ class CombinedGrowthLikelihood:
     (directly observed genealogies; its *mean* surface is rescaled by its
     genealogy count so every observed genealogy carries equal weight in
     the joint maximization, regardless of how the genealogies are split
-    across components).
+    across components).  The (θ, g)-signature specialization of
+    :class:`~repro.likelihood.demography_prior.CombinedDemographyLikelihood`.
     """
-
-    def __init__(self, components) -> None:
-        components = list(components)
-        if not components:
-            raise ValueError("need at least one component likelihood")
-        self.components = components
-        # GrowthPooledLikelihood reports the per-genealogy mean; the joint
-        # log-likelihood needs the per-component sum (mean x count).
-        self._scales = [
-            float(part.n_samples) if isinstance(part, GrowthPooledLikelihood) else 1.0
-            for part in components
-        ]
-
-    @property
-    def n_loci(self) -> int:
-        """Number of component loci."""
-        return len(self.components)
 
     def log_surface(self, thetas: np.ndarray, growths: np.ndarray) -> np.ndarray:
         """Summed log surface on the (θ, g) grid; shape ``(n_thetas, n_growths)``."""

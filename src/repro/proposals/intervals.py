@@ -26,7 +26,13 @@ import numpy as np
 
 from ..genealogy.tree import Genealogy
 
-__all__ = ["Region", "FeasibleInterval", "extract_region", "build_intervals"]
+__all__ = [
+    "Region",
+    "FeasibleInterval",
+    "extract_region",
+    "build_intervals",
+    "rescaled_interval_spans",
+]
 
 
 @dataclass(frozen=True)
@@ -140,6 +146,37 @@ def inactive_lineage_count(tree: Genealogy, region: Region, time: float) -> int:
     parent_times = np.where(has_parent, tree.times[np.clip(parent, 0, None)], np.inf)
     crossing = fixed & (child_times <= time) & (time < parent_times)
     return int(np.count_nonzero(crossing))
+
+
+def rescaled_interval_spans(intervals, demography) -> tuple[list[float], list[float]]:
+    """Λ-transformed start and span of each feasible interval.
+
+    The demography-conditional kernel works in the *rescaled* time
+    τ = Λ(t) (:mod:`repro.demography`): because ν(t) multiplies every
+    pairwise coalescent hazard — active–active and active–inactive alike —
+    the killed death process of :mod:`repro.proposals.kinetics` has
+    *constant* rates in τ, so the constant-size backward/forward machinery
+    applies unchanged to the transformed spans and sampled τ-offsets map
+    back through Λ⁻¹.  Λ is strictly increasing, so the breakpoints, the
+    inactive-lineage counts, and the activation bookkeeping of the feasible
+    intervals are untouched by the transformation.
+
+    Returns ``(tau_starts, tau_spans)``, one entry per interval.  An
+    unbounded final interval transforms to span ``Λ(∞) − Λ(start)`` — which
+    is *finite* for demographies whose total integrated intensity converges
+    (exponential decline), correctly conditioning the resimulation on the
+    lineages ever coalescing.
+    """
+    tau_starts = [float(demography.cumulative_intensity(iv.start)) for iv in intervals]
+    total = demography.total_intensity()
+    tau_spans = []
+    for iv, tau_start in zip(intervals, tau_starts):
+        if np.isfinite(iv.end):
+            tau_end = float(demography.cumulative_intensity(iv.end))
+        else:
+            tau_end = total
+        tau_spans.append(tau_end - tau_start)
+    return tau_starts, tau_spans
 
 
 def build_intervals(tree: Genealogy, region: Region) -> list[FeasibleInterval]:

@@ -21,6 +21,15 @@ interval conditional on its endpoint states, which the paper performs by
 Everything here sits on the proposal hot path (one call per feasible
 interval per proposal), so the arithmetic uses scalar ``math`` functions and
 closed forms rather than NumPy ufuncs.
+
+The rates above are those of the *constant-size* coalescent — yet this
+module serves every registered demography unchanged.  A demography
+multiplies all pairwise hazards by the same relative intensity ν(t)
+(:mod:`repro.demography`), so in the rescaled time τ = Λ(t) the killed
+death process is exactly this constant-rate process; the resimulator feeds
+Λ-transformed interval spans in and maps the sampled merge offsets back
+through Λ⁻¹ (see
+:func:`repro.proposals.intervals.rescaled_interval_spans`).
 """
 
 from __future__ import annotations
@@ -175,6 +184,95 @@ class IntervalKinetics:
         return out
 
     # ------------------------------------------------------------------ #
+    # Log-space transition weights (demography-rescaled spans)
+    # ------------------------------------------------------------------ #
+    def log_transition_weight(self, a: int, b: int, span: float) -> float:
+        """log S_{a,b}(Δ), exact deep into the underflow regime.
+
+        Demography-rescaled spans can be astronomically large (Λ grows like
+        e^{g t} under strong growth), where every linear-space weight
+        underflows to zero even though their *ratios* — all the conditioned
+        resimulation needs — remain perfectly well defined.  The
+        demography-conditional backward/forward passes therefore run on
+        these log weights; the constant-size path keeps the linear
+        :meth:`transition_weight` bit-for-bit.
+        """
+        if not 1 <= b <= a <= _MAX_ACTIVE:
+            return -math.inf
+        if not math.isfinite(span):
+            if b != 1:
+                return -math.inf
+            total = 0.0
+            for k in range(a, 1, -1):
+                total += math.log(self.merge_rate(k)) - math.log(self.exit_rate(k))
+            return total
+        if span < 0:
+            raise ValueError("interval span must be non-negative")
+        if a == b:
+            return -self.exit_rate(a) * span
+        if b == a - 1:
+            return self._log_single_merge_weight(a, span)
+        if a == 3 and b == 1:
+            return self._log_double_merge_weight(span)
+        return -math.inf
+
+    @staticmethod
+    def _log1mexp(x: float) -> float:
+        """log(1 − e^{−x}) for x ≥ 0 (−inf at x = 0)."""
+        if x <= 0.0:
+            return -math.inf
+        if x < 0.693:
+            return math.log(-math.expm1(-x))
+        return math.log1p(-math.exp(-x))
+
+    def _log_single_merge_weight(self, a: int, span: float) -> float:
+        """log of ∫₀^Δ e^{-ρ_a τ} μ_a e^{-ρ_{a-1}(Δ-τ)} dτ."""
+        if span == 0.0:
+            return -math.inf
+        rho_hi = self.exit_rate(a)
+        rho_lo = self.exit_rate(a - 1)
+        mu = self.merge_rate(a)
+        if _nearly_equal(rho_hi, rho_lo):
+            return math.log(mu * span) - rho_hi * span
+        lam = rho_hi - rho_lo  # exit rates increase with a, so lam > 0
+        return math.log(mu) - rho_lo * span + self._log1mexp(lam * span) - math.log(lam)
+
+    def _log_double_merge_weight(self, span: float) -> float:
+        """log S_{3,1}(Δ) via the log-space closed form."""
+        if span == 0.0:
+            return -math.inf
+        rho3, rho2, rho1 = (self.exit_rate(k) for k in (3, 2, 1))
+        mu3, mu2 = self.merge_rate(3), self.merge_rate(2)
+        if _nearly_equal(rho2, rho1):
+            lam = rho3 - rho2
+            if abs(lam) <= _REL_TOL:
+                inner = 0.5 * span * span
+            else:
+                inner = span * _expint(lam, span) - (
+                    1.0 - (1.0 + lam * span) * math.exp(-lam * span)
+                ) / (lam * lam)
+            if inner <= 0.0:
+                return -math.inf
+            return math.log(mu3 * mu2) - rho2 * span + math.log(inner)
+        # total = coeff1 [ e^{-ρ₁Δ} E(ρ₃−ρ₁, Δ) − e^{-ρ₂Δ} E(ρ₃−ρ₂, Δ) ]
+        # with E(λ, Δ) = (1 − e^{-λΔ})/λ; the first term always dominates
+        # (ρ₁ < ρ₂), so the difference is a stable log1p(-exp) subtraction.
+        coeff = math.log(mu3 * mu2) - math.log(rho2 - rho1)
+        term1 = -rho1 * span + self._log1mexp((rho3 - rho1) * span) - math.log(rho3 - rho1)
+        term2 = -rho2 * span + self._log1mexp((rho3 - rho2) * span) - math.log(rho3 - rho2)
+        if term2 >= term1:
+            return -math.inf
+        return coeff + term1 + self._log1mexp(term1 - term2)
+
+    def log_transition_matrix(self, span: float) -> np.ndarray:
+        """Matrix of log S_{a,b}(Δ) for a, b ∈ {1, 2, 3}."""
+        out = np.full((_MAX_ACTIVE, _MAX_ACTIVE), -math.inf)
+        for a in range(1, _MAX_ACTIVE + 1):
+            for b in range(1, a + 1):
+                out[a - 1, b - 1] = self.log_transition_weight(a, b, span)
+        return out
+
+    # ------------------------------------------------------------------ #
     # Conditional event-time sampling within an interval
     # ------------------------------------------------------------------ #
     def sample_merge_times(
@@ -231,6 +329,15 @@ class IntervalKinetics:
 
         cdf, total = self._double_merge_cdf(span)
         if total <= 0.0:
+            rho1 = self.exit_rate(1)
+            lam = rho3 - rho1
+            if lam * span > 1.0:
+                # The linear-space CDF underflowed on a *large* span (the
+                # demography-rescaled regime): asymptotically the first-merge
+                # density is ∝ e^{-ρ₃τ}·e^{-ρ₁(Δ-τ)}, i.e. a truncated
+                # exponential with rate ρ₃ − ρ₁ on [0, Δ].
+                u = float(rng.random())
+                return -math.log1p(-u * -math.expm1(-lam * span)) / lam
             # Numerically degenerate (span extremely small); place the event
             # uniformly as a fallback.
             return float(rng.random() * span)

@@ -33,7 +33,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..genealogy.tree import Genealogy
-from .intervals import FeasibleInterval, Region, build_intervals, extract_region
+from .intervals import (
+    FeasibleInterval,
+    Region,
+    build_intervals,
+    extract_region,
+    rescaled_interval_spans,
+)
 from .kinetics import IntervalKinetics
 
 __all__ = ["NeighborhoodResimulator", "ResimulationOutcome", "eligible_targets"]
@@ -67,13 +73,32 @@ class NeighborhoodResimulator:
     validate:
         When True every proposed genealogy is structurally validated before
         being returned (useful in tests; too slow for production chains).
+    demography:
+        Optional :class:`~repro.demography.base.Demography`.  When given
+        (and not the constant model) the proposal draws from the
+        *demography-conditional* coalescent P_dem(G | θ, params, rest of
+        tree) by time rescaling: the feasible-interval spans are mapped
+        through the cumulative intensity Λ, the constant-size kinetics run
+        in rescaled time (where every demography is the constant
+        coalescent), and sampled event times map back through Λ⁻¹.  The
+        resulting kernel keeps the prior/proposal cancellation of Eq. 28 /
+        Eq. 31 exact under the demography prior — no importance correction
+        needed — which is what lets the chain mix at large |g| where the
+        constant-kernel-plus-correction approach stalls.
     """
 
-    def __init__(self, theta: float, *, validate: bool = False) -> None:
+    def __init__(
+        self, theta: float, *, validate: bool = False, demography=None
+    ) -> None:
         if theta <= 0:
             raise ValueError("theta must be positive")
         self.theta = float(theta)
         self.validate = bool(validate)
+        # The constant model (including exponential growth at g = 0) takes
+        # the untransformed fast path, bit-identical to the paper's kernel.
+        self.demography = (
+            demography if demography is not None and not demography.is_constant else None
+        )
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -96,9 +121,26 @@ class NeighborhoodResimulator:
         kinetics = [
             IntervalKinetics(n_inactive=iv.n_inactive, theta=self.theta) for iv in intervals
         ]
-
-        goal = self._backward_pass(intervals, kinetics)
-        merge_times = self._forward_pass(intervals, kinetics, goal, rng)
+        if self.demography is None:
+            spans = [iv.length for iv in intervals]
+            goal = self._backward_pass(intervals, kinetics, spans)
+            merge_times = self._forward_pass(intervals, kinetics, goal, rng, spans)
+        else:
+            # Rescaled spans can be so large that linear-space transition
+            # weights underflow while their ratios stay well defined, so the
+            # demography path runs the two passes in log space.
+            tau_starts, spans = rescaled_interval_spans(intervals, self.demography)
+            log_goal = self._backward_pass_log(intervals, kinetics, spans)
+            merge_times = self._forward_pass(
+                intervals,
+                kinetics,
+                log_goal,
+                rng,
+                spans,
+                tau_starts,
+                self.demography,
+                log_space=True,
+            )
         new_tree, new_nodes = self._rebuild(tree, region, merge_times, rng)
 
         if self.validate:
@@ -124,7 +166,9 @@ class NeighborhoodResimulator:
     # ------------------------------------------------------------------ #
     @staticmethod
     def _backward_pass(
-        intervals: list[FeasibleInterval], kinetics: list[IntervalKinetics]
+        intervals: list[FeasibleInterval],
+        kinetics: list[IntervalKinetics],
+        spans: list[float],
     ) -> np.ndarray:
         """Probability of a valid finish given ``a`` active lineages at each interval start.
 
@@ -132,14 +176,17 @@ class NeighborhoodResimulator:
         with ``a`` active lineages (activations at the start of interval
         ``m`` already counted), the process ends the resimulation range with
         exactly one active lineage and suffers no active–inactive
-        coalescence.
+        coalescence.  ``spans`` are the interval lengths in the kinetics'
+        time scale (calendar time for the constant model, Λ-rescaled time
+        for a demography; a demography with finite total intensity makes
+        the final span finite, conditioning on eventual coalescence).
         """
         n_intervals = len(intervals)
         goal = np.zeros((n_intervals + 1, 3))
         # Virtual state beyond the final boundary: success iff one active lineage.
         goal[n_intervals] = np.array([1.0, 0.0, 0.0])
         for m in range(n_intervals - 1, -1, -1):
-            span = intervals[m].length
+            span = spans[m]
             s_matrix = kinetics[m].transition_matrix(span)
             next_activations = intervals[m + 1].activations if m + 1 < n_intervals else 0
             for a in range(1, 4):
@@ -152,6 +199,40 @@ class NeighborhoodResimulator:
                 goal[m, a - 1] = total
         return goal
 
+    @staticmethod
+    def _backward_pass_log(
+        intervals: list[FeasibleInterval],
+        kinetics: list[IntervalKinetics],
+        spans: list[float],
+    ) -> np.ndarray:
+        """The backward pass on log probabilities (demography-rescaled spans).
+
+        Identical recursion to :meth:`_backward_pass` with products turned
+        into sums: rescaled spans grow like e^{g t}, so the linear-space
+        weights underflow to zero long before their *ratios* — which are
+        all the conditioned forward walk needs — become ill defined.
+        """
+        n_intervals = len(intervals)
+        log_goal = np.full((n_intervals + 1, 3), -np.inf)
+        log_goal[n_intervals, 0] = 0.0
+        for m in range(n_intervals - 1, -1, -1):
+            log_s = kinetics[m].log_transition_matrix(spans[m])
+            next_activations = intervals[m + 1].activations if m + 1 < n_intervals else 0
+            for a in range(1, 4):
+                terms = []
+                for b in range(1, a + 1):
+                    carried = b + next_activations
+                    if carried > 3:
+                        continue
+                    terms.append(log_s[a - 1, b - 1] + log_goal[m + 1, carried - 1])
+                if terms:
+                    peak = max(terms)
+                    if np.isfinite(peak):
+                        log_goal[m, a - 1] = peak + np.log(
+                            sum(np.exp(t - peak) for t in terms)
+                        )
+        return log_goal
+
     # ------------------------------------------------------------------ #
     # Forward pass: conditioned sampling of merge times
     # ------------------------------------------------------------------ #
@@ -161,8 +242,20 @@ class NeighborhoodResimulator:
         kinetics: list[IntervalKinetics],
         goal: np.ndarray,
         rng: np.random.Generator,
+        spans: list[float],
+        tau_starts: list[float] | None = None,
+        demography=None,
+        *,
+        log_space: bool = False,
     ) -> list[float]:
-        """Sample the two merge times, conditioned on a valid finish."""
+        """Sample the two merge times, conditioned on a valid finish.
+
+        With a demography, ``goal`` holds *log* probabilities
+        (``log_space=True``), the per-interval kinetics run in rescaled time
+        (``spans`` and offsets are τ-valued), and each sampled offset maps
+        back to calendar time through Λ⁻¹; otherwise offsets are calendar
+        offsets from the interval start.
+        """
         n_intervals = len(intervals)
         merge_times: list[float] = []
         active = 0
@@ -170,16 +263,28 @@ class NeighborhoodResimulator:
             active += interval.activations
             if active < 1 or active > 3:
                 raise RuntimeError("active lineage bookkeeping is inconsistent")
-            span = interval.length
+            span = spans[m]
             next_activations = intervals[m + 1].activations if m + 1 < n_intervals else 0
-            s_matrix = kinetics[m].transition_matrix(span)
+            s_matrix = (
+                kinetics[m].log_transition_matrix(span)
+                if log_space
+                else kinetics[m].transition_matrix(span)
+            )
 
-            weights = np.zeros(active)
+            weights = np.full(active, -np.inf) if log_space else np.zeros(active)
             for b in range(1, active + 1):
                 carried = b + next_activations
                 if carried > 3:
                     continue
-                weights[b - 1] = s_matrix[active - 1, b - 1] * goal[m + 1, carried - 1]
+                if log_space:
+                    weights[b - 1] = s_matrix[active - 1, b - 1] + goal[m + 1, carried - 1]
+                else:
+                    weights[b - 1] = s_matrix[active - 1, b - 1] * goal[m + 1, carried - 1]
+            if log_space:
+                peak = weights.max()
+                if not np.isfinite(peak):
+                    raise RuntimeError("conditioned resimulation reached a dead end")
+                weights = np.exp(weights - peak)
             total = weights.sum()
             if total <= 0.0:
                 # Should not happen: the backward pass guarantees a positive
@@ -193,7 +298,12 @@ class NeighborhoodResimulator:
                     bounded = np.isfinite(span)
                     upper = span * (1.0 - _TIME_EPS) if bounded else off
                     off = min(max(off, span * _TIME_EPS if bounded else _TIME_EPS), upper)
-                    merge_times.append(interval.start + off)
+                    if tau_starts is None:
+                        merge_times.append(interval.start + off)
+                    else:
+                        merge_times.append(
+                            float(demography.inverse_cumulative_intensity(tau_starts[m] + off))
+                        )
             active = end_state
 
         if active != 1 or len(merge_times) != 2:

@@ -7,6 +7,11 @@ from .coalescent_sim import (
     simulate_genealogy,
 )
 from .datasets import SyntheticDataset, synthesize_dataset
+from .demography_sim import (
+    demography_waiting_time,
+    simulate_demography_genealogy,
+    simulate_demography_intervals,
+)
 from .growth_sim import (
     expected_growth_tmrca,
     growth_waiting_time,
@@ -35,4 +40,7 @@ __all__ = [
     "simulate_growth_intervals",
     "simulate_growth_genealogy",
     "expected_growth_tmrca",
+    "demography_waiting_time",
+    "simulate_demography_intervals",
+    "simulate_demography_genealogy",
 ]

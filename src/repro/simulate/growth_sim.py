@@ -19,6 +19,11 @@ finite, so a draw can exceed it — the lineages would never coalesce.  Real
 populations cannot shrink forever into the past, so the simulator rejects
 parameter/draw combinations that exceed a configurable time horizon rather
 than silently producing infinite trees.
+
+The closed forms above are the exponential specialization of the
+Λ-inverse construction that :mod:`repro.simulate.demography_sim` applies
+to *any* registered demography (Λ(t) = (e^{g t} − 1)/g here); this module
+keeps the direct formulas for the growth workload's exact reproducibility.
 """
 
 from __future__ import annotations

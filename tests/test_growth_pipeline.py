@@ -65,8 +65,10 @@ class TestConfigSerialization:
 
     def test_demography_validation_and_canonicalization(self):
         assert MPCGSConfig(demography="GROWTH").demography == "growth"
+        # Since the demography layer, "bottleneck" is a registered model.
+        assert MPCGSConfig(demography="bottleneck").demography == "bottleneck"
         with pytest.raises(ValueError, match="demography"):
-            MPCGSConfig(demography="bottleneck")
+            MPCGSConfig(demography="piecewise-mystery")
 
     def test_growth0_requires_growth_demography(self):
         """A stray growth0 under the constant demography is rejected at
@@ -234,9 +236,17 @@ class TestGrowthEMDriver:
 
     def test_growth_requires_a_growth_aware_sampler(self):
         alignment = growth_dataset(n_tips=6, n_sites=80)
-        config = growth_config(sampler_name="lamarc")
+        config = growth_config(sampler_name="multichain")
         with pytest.raises(ValueError, match="growth-aware"):
             MPCGS(alignment, config).run(theta0=0.5, rng=np.random.default_rng(1))
+
+    def test_lamarc_and_heated_are_growth_aware(self):
+        """The demography layer extends growth beyond gmh (ROADMAP item):
+        the capability check must accept the corrected baselines."""
+        from repro.core.registry import require_demography_support
+
+        for sampler in ("lamarc", "heated"):
+            require_demography_support(growth_config(sampler_name=sampler))
 
     def test_growth_rejects_explicit_sampler_factory(self):
         alignment = growth_dataset(n_tips=6, n_sites=80)

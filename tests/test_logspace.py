@@ -200,12 +200,19 @@ class TestLogSumExpProperties:
     @given(st.lists(finite_logs, min_size=1, max_size=16), finite_logs)
     @settings(max_examples=200, deadline=None)
     def test_monotone_in_elements(self, logs, extra):
-        """Appending any element strictly increases the log-sum (mass only adds)."""
+        """Appending any element increases the log-sum (mass only adds).
+
+        Up to summation rounding: appending an element changes numpy's
+        pairwise-summation grouping, which can legitimately move the sum by
+        an ulp even though the true sum only grew — so the monotonicity
+        assertion carries an ulp-scale tolerance.
+        """
         arr = np.asarray(logs)
         base = log_sum(arr)
         grown = log_sum(np.append(arr, extra))
-        assert grown >= base
-        assert grown >= max(arr.max(), extra)
+        tol = 8 * np.finfo(float).eps * max(1.0, abs(base))
+        assert grown >= base - tol
+        assert grown >= max(arr.max(), extra) - tol
 
     @given(st.lists(finite_logs, min_size=1, max_size=16))
     @settings(max_examples=200, deadline=None)
