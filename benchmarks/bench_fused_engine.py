@@ -1,0 +1,232 @@
+"""Fused sparse-batched proposal-set engine benchmark (the ISSUE 5 tentpole).
+
+Two measurements, identical seeds throughout:
+
+1. **Full GMH chains** with the full-pruning ``BatchedEngine``, the per-tree
+   incremental ``CachedEngine``, and the ``FusedEngine`` that recomputes all
+   N+1 siblings' dirty paths in one stacked kernel.  All three must visit
+   bit-identical chain states; the engine work counters
+   (``n_tree_site_products``, ``n_nodes_pruned``) quantify the pruning the
+   sparsity eliminated.
+
+2. **An engine-isolated proposal-set stream**: the same pre-generated
+   sequence of (generator, sibling-proposals) batches is pushed through a
+   fresh instance of each engine and only the ``prepare`` + ``evaluate_batch``
+   time is measured.  This is the wall-clock-per-proposal-set number the
+   engine itself controls — the full chain also spends most of its time
+   *generating* proposals (interval kinetics), which is identical across
+   engines and would otherwise drown the comparison in shared cost.
+
+The acceptance bars: the fused engine does ≥3× fewer tree-site products than
+``batched``, never more than ``cached`` (the sparsity planning is identical),
+and beats ``cached`` on wall clock per proposal set — the same sparse work
+executed as a handful of stacked array operations instead of a per-node
+Python walk.  The measured padded-workspace occupancy feeds the device cost
+model's ``projected_fused_speedup``.
+
+Emits ``benchmarks/BENCH_fused.json`` (CI uploads it; set
+``MPCGS_BENCH_SMOKE=1`` for the reduced smoke workload).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import SamplerConfig
+from repro.core.sampler import MultiProposalSampler
+from repro.device.perfmodel import DeviceModel
+from repro.genealogy.upgma import upgma_tree
+from repro.likelihood.engines import BatchedEngine
+from repro.likelihood.fused import FusedEngine
+from repro.likelihood.incremental import CachedEngine
+from repro.likelihood.mutation_models import Felsenstein81
+from repro.proposals.neighborhood import NeighborhoodResimulator
+
+from conftest import make_dataset
+
+SMOKE = os.environ.get("MPCGS_BENCH_SMOKE", "") not in ("", "0")
+OUTPUT_PATH = Path(__file__).parent / "BENCH_fused.json"
+
+N_PROPOSALS = 16
+N_SEQUENCES = 24
+
+ENGINE_CLASSES = {
+    "batched": BatchedEngine,
+    "cached": CachedEngine,
+    "fused": FusedEngine,
+}
+
+
+def _generate_batch_stream(dataset, theta: float, n_sets: int, seed: int):
+    """Pre-generate a GMH-like stream of (generator, sibling proposals) sets."""
+    rng = np.random.default_rng(seed)
+    resim = NeighborhoodResimulator(theta)
+    current = upgma_tree(dataset.alignment, theta)
+    stream = []
+    for _ in range(n_sets):
+        target = resim.choose_target(current, rng)
+        proposals = [resim.propose(current, target, rng).tree for _ in range(N_PROPOSALS)]
+        stream.append((current, proposals))
+        current = proposals[int(rng.integers(N_PROPOSALS))]
+    return stream
+
+
+def _measure_engine_stream(dataset, model, stream, repeats: int = 3) -> dict:
+    """Per-engine prepare + evaluate_batch time over the identical stream.
+
+    Each repeat uses a *fresh* engine (cold cache — the cache warm-up is part
+    of what is being measured) and the best of ``repeats`` passes is kept, so
+    a transient load spike on a shared machine cannot masquerade as an
+    engine regression.  Outputs and work counters are deterministic across
+    repeats.
+    """
+    rows = {}
+    values = {}
+    for name, cls in ENGINE_CLASSES.items():
+        best = np.inf
+        for _ in range(repeats):
+            engine = cls(alignment=dataset.alignment, model=model)
+            outputs = []
+            start = time.perf_counter()
+            for generator, proposals in stream:
+                prepare = getattr(engine, "prepare", None)
+                if prepare is not None:
+                    prepare(generator)
+                outputs.append(engine.evaluate_batch(proposals))
+            best = min(best, time.perf_counter() - start)
+        values[name] = np.concatenate(outputs)
+        rows[name] = {
+            "seconds_per_proposal_set": best / len(stream),
+            "n_tree_site_products": engine.n_tree_site_products,
+            "n_nodes_pruned": engine.n_nodes_pruned,
+        }
+        if isinstance(engine, FusedEngine):
+            rows[name]["n_stacked_steps"] = engine.n_stacked_steps
+            rows[name]["workspace_occupancy"] = engine.workspace_occupancy
+            rows[name]["mean_dirty_nodes"] = (
+                engine.n_workspace_items / engine.n_evaluations
+                if engine.n_evaluations
+                else 0.0
+            )
+    rows["max_value_diff"] = float(
+        max(np.max(np.abs(values[name] - values["fused"])) for name in ("batched", "cached"))
+    )
+    return rows
+
+
+def run_fused_benchmark(smoke: bool = SMOKE) -> dict:
+    n_sites = 200 if smoke else 300
+    n_samples = 60 if smoke else 200
+    burn_in = 20 if smoke else 50
+    n_stream_sets = 40 if smoke else 120
+    dataset = make_dataset(N_SEQUENCES, n_sites, true_theta=1.0, seed=42)
+    model = Felsenstein81(dataset.alignment.base_frequencies(pseudocount=1.0))
+    tree = upgma_tree(dataset.alignment, 1.0)
+    cfg = SamplerConfig(n_proposals=N_PROPOSALS, n_samples=n_samples, burn_in=burn_in)
+
+    # ---- full chains: identical states, counter deltas ----
+    chain_rows = {}
+    traces = {}
+    for name, cls in ENGINE_CLASSES.items():
+        engine = cls(alignment=dataset.alignment, model=model)
+        start = time.perf_counter()
+        result = MultiProposalSampler(engine, 1.0, cfg).run(tree, np.random.default_rng(7))
+        elapsed = time.perf_counter() - start
+        traces[name] = result
+        chain_rows[name] = {
+            "wall_seconds": elapsed,
+            "seconds_per_proposal_set": elapsed / result.n_proposal_sets,
+            "n_proposal_sets": result.n_proposal_sets,
+            "n_evaluations": engine.n_evaluations,
+            "n_nodes_pruned": engine.n_nodes_pruned,
+            "n_tree_site_products": engine.n_tree_site_products,
+        }
+
+    # ---- engine-isolated stream: the hot path the engines own ----
+    stream = _generate_batch_stream(dataset, 1.0, n_stream_sets, seed=99)
+    stream_rows = _measure_engine_stream(dataset, model, stream)
+
+    fused_stream = stream_rows["fused"]
+    payload = {
+        "smoke": smoke,
+        "workload": {
+            "n_sequences": N_SEQUENCES,
+            "n_sites": n_sites,
+            "n_proposals": N_PROPOSALS,
+            "n_samples": n_samples,
+            "burn_in": burn_in,
+            "n_stream_sets": n_stream_sets,
+        },
+        "chains": chain_rows,
+        "engine_stream": stream_rows,
+        # The acceptance ratios.
+        "tree_site_product_ratio_vs_batched": chain_rows["batched"]["n_tree_site_products"]
+        / chain_rows["fused"]["n_tree_site_products"],
+        "wall_clock_speedup_vs_cached": stream_rows["cached"]["seconds_per_proposal_set"]
+        / fused_stream["seconds_per_proposal_set"],
+        "wall_clock_speedup_vs_batched": stream_rows["batched"]["seconds_per_proposal_set"]
+        / fused_stream["seconds_per_proposal_set"],
+        "chain_wall_clock_speedup_vs_cached": chain_rows["cached"]["wall_seconds"]
+        / chain_rows["fused"]["wall_seconds"],
+        "chain_wall_clock_speedup_vs_batched": chain_rows["batched"]["wall_seconds"]
+        / chain_rows["fused"]["wall_seconds"],
+        "fused_products_le_cached": bool(
+            chain_rows["fused"]["n_tree_site_products"]
+            <= chain_rows["cached"]["n_tree_site_products"]
+            and fused_stream["n_tree_site_products"]
+            <= stream_rows["cached"]["n_tree_site_products"]
+        ),
+        "measured_mean_dirty_nodes": fused_stream["mean_dirty_nodes"],
+        "measured_workspace_occupancy": fused_stream["workspace_occupancy"],
+        "device_model_projected_fused_speedup": DeviceModel().projected_fused_speedup(
+            N_PROPOSALS, n_sites, N_SEQUENCES
+        ),
+        "chains_identical": bool(
+            np.array_equal(traces["batched"].interval_matrix, traces["fused"].interval_matrix)
+            and np.array_equal(
+                traces["cached"].interval_matrix, traces["fused"].interval_matrix
+            )
+        ),
+        "max_loglik_trace_diff": float(
+            max(
+                np.max(
+                    np.abs(
+                        np.asarray(traces[name].trace.log_likelihoods)
+                        - np.asarray(traces["fused"].trace.log_likelihoods)
+                    )
+                )
+                for name in ("batched", "cached")
+            )
+        ),
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return payload
+
+
+def test_fused_engine_benchmark(record):
+    payload = run_fused_benchmark()
+    record("fused_engine", payload)
+    # The acceptance bar (ISSUE 5): ≥3× fewer tree-site products than full
+    # batched pruning, never more site products than the cached engine, and
+    # faster per-proposal-set wall clock than the per-tree cached walk — all
+    # while visiting exactly the same chain states.  The timing bar is
+    # asserted only on the default (non-smoke) preset: the reduced smoke
+    # workload on a noisy shared CI runner can flip a ratio this close to
+    # 1 with no code change; the work-count bars are deterministic and
+    # always enforced.
+    assert payload["tree_site_product_ratio_vs_batched"] >= 3.0
+    assert payload["fused_products_le_cached"]
+    if not payload["smoke"]:
+        assert payload["wall_clock_speedup_vs_cached"] > 1.0
+    assert payload["chains_identical"]
+    assert payload["max_loglik_trace_diff"] < 1e-8
+    assert payload["engine_stream"]["max_value_diff"] < 1e-8
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_fused_benchmark(), indent=2, sort_keys=True))

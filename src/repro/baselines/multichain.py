@@ -6,13 +6,18 @@ chain must repeat the burn-in, so with B burn-in steps and N total samples
 the per-processor work is ``B + N/P`` and, by Amdahl's law (Eq. 27),
 efficiency collapses toward the burn-in cost as P grows.  This module
 implements that baseline so the scalability argument can be measured rather
-than asserted: it runs the chains (sequentially — we have one core — but
-records per-chain work), pools the traces, and reports both the measured
-work and the idealized parallel-time model the paper uses.
+than asserted: it runs the chains — sequentially by default, or on real OS
+processes with ``n_workers > 1`` so the Amdahl curves of
+:mod:`repro.device.perfmodel` can be *measured* wall-clock instead of only
+modeled — pools the traces in deterministic chain order, and reports both
+the measured work and the idealized parallel-time model the paper uses.
 """
 
 from __future__ import annotations
 
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable
 
@@ -25,6 +30,23 @@ from ..likelihood.engines import LikelihoodEngine
 from .lamarc import LamarcSampler
 
 __all__ = ["MultiChainSampler", "multichain_parallel_time", "gmh_parallel_time"]
+
+
+def _run_single_chain(
+    engine_factory: Callable[[], LikelihoodEngine],
+    theta: float,
+    config: SamplerConfig,
+    initial_tree: Genealogy,
+    rng: np.random.Generator,
+) -> ChainResult:
+    """Run one LAMARC-style chain (module-level so process workers can import it).
+
+    Every chain builds its own engine from the factory, exactly as the
+    in-process path does, so per-chain work counters stay honest regardless
+    of where the chain executes.
+    """
+    engine = engine_factory()
+    return LamarcSampler(engine=engine, theta=theta, config=config).run(initial_tree, rng)
 
 
 def multichain_parallel_time(burn_in: float, total_samples: float, n_processors: int) -> float:
@@ -57,18 +79,31 @@ class MultiChainSampler:
     config:
         Per-run totals: ``n_samples`` is the *pooled* target, split evenly
         across chains; ``burn_in`` is per chain (that is the point).
+    n_workers:
+        Number of OS processes running chains concurrently (default 1 —
+        sequential, the historical behaviour, bit-identical output).  With
+        more workers the chains execute on a :class:`ProcessPoolExecutor`;
+        because every chain owns an independent spawned RNG stream and the
+        pool is drained in chain-index order, the pooled trace is
+        bit-identical to the sequential run — only the wall clock changes
+        (reported as ``extras["parallel_wall_seconds"]``).  Requires a
+        picklable ``engine_factory`` (a module-level function or class
+        instance, not a lambda/closure).
     """
 
     engine_factory: Callable[[], LikelihoodEngine]
     theta: float
     n_chains: int
     config: SamplerConfig
+    n_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.n_chains < 1:
             raise ValueError("n_chains must be positive")
         if self.theta <= 0:
             raise ValueError("theta must be positive")
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be positive")
 
     def chain_quotas(self) -> list[int]:
         """Per-chain sample quotas summing exactly to ``config.n_samples``.
@@ -87,9 +122,19 @@ class MultiChainSampler:
 
         Pools exactly ``config.n_samples`` samples.  When ``n_chains``
         exceeds ``n_samples`` the surplus chains have nothing to contribute
-        and are not run (no phantom burn-in work is counted).
+        and are not run (no phantom burn-in work is counted).  Chains run on
+        ``n_workers`` processes when configured; pooling always happens in
+        chain-index order, so the result is identical either way.
         """
         quotas = self.chain_quotas()
+
+        # Independent per-chain streams via the SeedSequence spawn tree: child
+        # streams are provably non-overlapping, unlike ad-hoc integer reseeding.
+        child_rngs = rng.spawn(self.n_chains)
+        active = [(i, quota) for i, quota in enumerate(quotas) if quota > 0]
+        parallel_start = time.perf_counter()
+        results = self._execute(active, initial_tree, child_rngs)
+        parallel_wall = time.perf_counter() - parallel_start
 
         pooled = ChainTrace(n_intervals=initial_tree.n_tips - 1)
         total_steps = 0
@@ -99,19 +144,13 @@ class MultiChainSampler:
         per_chain_steps: list[int] = []
         boundaries: list[tuple[int, int]] = []
 
-        # Independent per-chain streams via the SeedSequence spawn tree: child
-        # streams are provably non-overlapping, unlike ad-hoc integer reseeding.
-        child_rngs = rng.spawn(self.n_chains)
-        for chain_index, quota in enumerate(quotas):
-            if quota == 0:
+        for chain_index in range(self.n_chains):
+            result = results.get(chain_index)
+            if result is None:
                 # Keep the per-chain extras index-aligned with the quotas.
                 per_chain_steps.append(0)
                 boundaries.append((len(pooled), len(pooled)))
                 continue
-            engine = self.engine_factory()
-            chain_cfg = self.config.scaled(n_samples=quota)
-            sampler = LamarcSampler(engine=engine, theta=self.theta, config=chain_cfg)
-            result = sampler.run(initial_tree, child_rngs[chain_index])
             per_chain_steps.append(result.n_proposal_sets)
 
             start = len(pooled)
@@ -142,6 +181,7 @@ class MultiChainSampler:
             wall_time_seconds=total_time,
             extras={
                 "n_chains": self.n_chains,
+                "n_workers": self.n_workers,
                 "per_chain_steps": per_chain_steps,
                 "per_chain_samples": quotas,
                 # Half-open [start, end) row ranges of each chain's samples in
@@ -150,5 +190,56 @@ class MultiChainSampler:
                 "chain_boundaries": boundaries,
                 "ideal_parallel_steps": ideal_parallel,
                 "serial_steps_equivalent": self.config.burn_in + self.config.n_samples,
+                # Measured wall time of the (possibly process-parallel) chain
+                # phase; wall_time_seconds stays the summed per-chain work so
+                # the serial-equivalent accounting is unchanged.
+                "parallel_wall_seconds": parallel_wall,
             },
         )
+
+    def _execute(
+        self,
+        active: list[tuple[int, int]],
+        initial_tree: Genealogy,
+        child_rngs: list[np.random.Generator],
+    ) -> dict[int, ChainResult]:
+        """Run the non-empty chains, in-process or on worker processes."""
+        jobs = [
+            (index, self.config.scaled(n_samples=quota), child_rngs[index])
+            for index, quota in active
+        ]
+        if self.n_workers <= 1 or len(jobs) <= 1:
+            return {
+                index: _run_single_chain(
+                    self.engine_factory, self.theta, cfg, initial_tree, chain_rng
+                )
+                for index, cfg, chain_rng in jobs
+            }
+        # Probe picklability up front (only the factory is caller-supplied;
+        # everything else we ship is known-picklable), so a genuine worker
+        # exception later propagates unmodified instead of being mistaken
+        # for a marshalling failure.
+        try:
+            pickle.dumps(self.engine_factory)
+        except (pickle.PicklingError, AttributeError, TypeError) as exc:
+            raise ValueError(
+                "n_workers > 1 requires a picklable engine_factory (a "
+                "module-level function or class instance, not a lambda or "
+                "closure); run with n_workers=1 or pass a picklable factory"
+            ) from exc
+        with ProcessPoolExecutor(max_workers=min(self.n_workers, len(jobs))) as pool:
+            futures = [
+                (
+                    index,
+                    pool.submit(
+                        _run_single_chain,
+                        self.engine_factory,
+                        self.theta,
+                        cfg,
+                        initial_tree,
+                        chain_rng,
+                    ),
+                )
+                for index, cfg, chain_rng in jobs
+            ]
+            return {index: future.result() for index, future in futures}

@@ -84,7 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=("serial", "vectorized", "batched", "cached"),
+        choices=sorted(available_engines()),
         default="batched",
         help="likelihood evaluation engine (default: batched)",
     )
@@ -300,6 +300,15 @@ def build_cli() -> argparse.ArgumentParser:
     p_baseline.add_argument(
         "--n-chains", type=int, default=None, help="chain count for multichain/heated samplers"
     )
+    p_baseline.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "run the multichain baseline's chains on this many OS processes "
+            "(measured parallel wall time; output is identical to --workers 1)"
+        ),
+    )
     p_baseline.set_defaults(handler=_cmd_run, default_sampler="lamarc")
 
     p_info = sub.add_parser(
@@ -450,6 +459,15 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
                 f"not {cfg.sampler_name!r}"
             )
         cfg = replace(cfg, sampler_options={**cfg.sampler_options, "n_chains": args.n_chains})
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        if cfg.sampler_name != "multichain":
+            parser.error(
+                f"--workers applies to the multichain sampler, not {cfg.sampler_name!r}"
+            )
+        if workers < 1:
+            parser.error("--workers must be at least 1")
+        cfg = replace(cfg, sampler_options={**cfg.sampler_options, "n_workers": workers})
     if cfg.sampler_name == "bayesian":
         parser.error("the bayesian sampler has no maximization stage; use `mpcgs bayes`")
     # Report sampler/demography incompatibility as a usage error here;

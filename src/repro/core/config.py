@@ -181,6 +181,15 @@ class MPCGSConfig:
     convenience ``MPCGSConfig(sampler="lamarc")`` — a string instead of a
     ``SamplerConfig`` — is accepted and treated as ``sampler_name``.
 
+    ``likelihood_engine`` names any engine from
+    :func:`repro.core.registry.available_engines`; ``"batched"`` (the
+    default) is the paper's literal full-pruning kernel layout, and
+    ``"fused"`` is the fastest GMH hot path (sparse dirty-path work, stacked
+    across the whole proposal set).  The batched/cached/fused trio drives
+    bit-identical fixed-seed chains (regression-pinned), so switching among
+    them only affects speed; serial/vectorized agree to floating-point
+    accumulation order.
+
     ``demography`` selects the coalescent prior the EM loop estimates under,
     by registry name (:func:`repro.demography.available_demographies`):
     ``"constant"`` (the paper's single-parameter θ workload, the default),

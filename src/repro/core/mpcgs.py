@@ -91,6 +91,24 @@ def _interior_topological_order(tree: Genealogy) -> list[int]:
 _SINGLE_ENGINE_SAMPLERS = frozenset({"gmh", "lamarc", "heated", "bayesian"})
 
 
+@dataclass(frozen=True)
+class _EngineBuilder:
+    """Picklable zero-argument engine factory.
+
+    The multi-chain baseline's process-parallel mode (``n_workers > 1``)
+    ships the factory to worker processes, so the driver's default factory
+    must survive pickling — a frozen dataclass holding the engine name and
+    its inputs does, where the previous local closure could not.
+    """
+
+    engine_name: str
+    alignment: Alignment
+    model: object
+
+    def __call__(self) -> LikelihoodEngine:
+        return make_engine(self.engine_name, self.alignment, self.model)
+
+
 def require_growth_sampler(config: MPCGSConfig) -> None:
     """Back-compat alias of :func:`repro.core.registry.require_demography_support`.
 
@@ -209,8 +227,9 @@ class MPCGS:
         keep their warm cache.  Samplers report per-run counter deltas,
         which keeps the shared instance's statistics per-iteration accurate.
         """
-        def build() -> LikelihoodEngine:
-            return make_engine(self.config.likelihood_engine, self.alignment, self.model)
+        # Picklable (unlike a local closure) so the multichain baseline can
+        # ship it to worker processes under n_workers > 1.
+        build = _EngineBuilder(self.config.likelihood_engine, self.alignment, self.model)
 
         if not share_cache:
             return build

@@ -216,7 +216,10 @@ SAMPLERS.register(
 SAMPLERS.register(
     "multichain",
     _build_multichain,
-    description="P independent chains with pooled samples (Fig. 6 baseline); option n_chains",
+    description=(
+        "P independent chains with pooled samples (Fig. 6 baseline); "
+        "options n_chains, n_workers (process-parallel execution)"
+    ),
     metadata={"supports_demography": False},
 )
 SAMPLERS.register(

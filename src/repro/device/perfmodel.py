@@ -312,6 +312,98 @@ class DeviceModel:
         )
         return full / cached
 
+    def fused_set_kernel(
+        self,
+        n_proposals: int,
+        n_sites: int,
+        n_sequences: int,
+        mean_dirty_nodes: float | None = None,
+        max_dirty_nodes: int | None = None,
+    ) -> KernelCost:
+        """One fused proposal-set launch: all N+1 dirty paths in a padded stack.
+
+        The fused engine recomputes the d-th dirty node of every candidate in
+        one stacked operation, so the whole proposal set costs a *single*
+        launch whose lanes span ``(n_proposals + 1) · n_sites`` and whose
+        per-lane depth is the padded ``max_dirty_nodes`` — every lane sweeps
+        the deepest sibling's dirty path, idling once its own (shorter) path
+        is done.  ``mean_dirty_nodes / max_dirty_nodes`` is therefore the
+        padded-batch occupancy; the default pad models the maximum of N+1
+        dirty-path draws as the mean plus a ``log2``-sized extreme-value
+        excess, clamped to the interior-node count.
+        """
+        if n_proposals < 1:
+            raise ValueError("n_proposals must be positive")
+        spec = self.spec
+        n_internal = n_sequences - 1
+        if mean_dirty_nodes is None:
+            mean_dirty_nodes = float(self.expected_dirty_nodes(n_sequences))
+        if max_dirty_nodes is None:
+            max_dirty_nodes = int(
+                min(n_internal, np.ceil(mean_dirty_nodes) + np.ceil(np.log2(n_proposals + 2)))
+            )
+        if not 1 <= mean_dirty_nodes <= max_dirty_nodes:
+            raise ValueError("need 1 <= mean_dirty_nodes <= max_dirty_nodes")
+        n_trees = n_proposals + 1
+        work_per_lane = max_dirty_nodes * (1.0 + spec.memory_access_penalty / 8.0)
+        lane_demand = n_trees * n_sites
+        waves = int(np.ceil(lane_demand / spec.n_processing_elements))
+        parallel = waves * work_per_lane
+        plan = plan_reduction(lane_demand, spec.warp_size)
+        # One launch and one reduction for the whole set — the serialized
+        # per-candidate launch overhead is what the fusion eliminates.
+        serial = (
+            spec.kernel_launch_overhead
+            + plan.parallel_steps * spec.reduction_step_cost
+            + spec.host_sync_overhead / 4.0
+        )
+        return KernelCost(
+            name="fused_set",
+            work_items=lane_demand,
+            work_per_item=work_per_lane,
+            parallel_time=parallel,
+            serial_time=serial,
+        )
+
+    def projected_fused_speedup(
+        self,
+        n_proposals: int,
+        n_sites: int,
+        n_sequences: int,
+        samples_per_set: int | None = None,
+        mean_dirty_nodes: float | None = None,
+        max_dirty_nodes: int | None = None,
+    ) -> float:
+        """Projected speedup of the fused engine over per-candidate dirty launches.
+
+        The cached (incremental, non-fused) engine evaluates the N+1
+        candidates one at a time: each pays its own data-likelihood launch
+        over its ~``mean_dirty_nodes``-node dirty path, and the launches
+        serialize — exactly the Python-loop semantics of
+        :class:`~repro.likelihood.incremental.CachedEngine`.  The fused
+        engine replaces them with one padded stacked launch
+        (:meth:`fused_set_kernel`), trading ``N+1`` launch overheads for
+        padded-batch occupancy ``mean/max``; the ratio of the two iteration
+        times is the projected win, eroded by padding waste and the shared
+        index-sampling cost.
+        """
+        per_set = samples_per_set if samples_per_set is not None else n_proposals
+        if mean_dirty_nodes is None:
+            mean_dirty_nodes = float(self.expected_dirty_nodes(n_sequences))
+        mean_for_launches = int(min(max(round(mean_dirty_nodes), 1), n_sequences - 1))
+        per_candidate = self.data_likelihood_kernel(
+            n_sites, n_sequences, mean_for_launches
+        ).total_time
+        sampling = per_set * (n_proposals + 1) * 0.01
+        cached_time = (n_proposals + 1) * per_candidate + sampling
+        fused_time = (
+            self.fused_set_kernel(
+                n_proposals, n_sites, n_sequences, mean_dirty_nodes, max_dirty_nodes
+            ).total_time
+            + sampling
+        )
+        return cached_time / fused_time
+
     def serial_iteration_time(self, n_sites: int, n_sequences: int) -> float:
         """Projected single-lane time of one classic MH iteration (one proposal)."""
         n_nodes = 2 * n_sequences - 1

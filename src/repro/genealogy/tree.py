@@ -208,8 +208,21 @@ class Genealogy:
         Because parents are strictly older than children, sorting by time
         (with tips, all at time 0, first) is a valid post-order.  Ties among
         tips are broken by index for determinism.
+
+        The order is memoized per node-time vector (the sort's only input),
+        keyed by the raw time bytes so in-place time edits — the proposal
+        machinery mutates copies directly — invalidate it; repeated
+        evaluations of an unchanged genealogy (the generator state, every
+        engine's prior/likelihood passes) stop re-sorting identical orders.
+        The returned array is shared and marked read-only.
         """
+        key = self.times.tobytes()
+        cached = getattr(self, "_postorder_cache", None)
+        if cached is not None and cached[0] == key:
+            return cached[1]
         order = np.lexsort((np.arange(self.n_nodes), self.times))
+        order.setflags(write=False)
+        self._postorder_cache = (key, order)
         return order
 
     def branch_length(self, node: int) -> float:

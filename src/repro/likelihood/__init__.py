@@ -17,6 +17,7 @@ from .engines import (
     make_engine,
 )
 from .incremental import CachedEngine
+from .fused import FusedEngine
 from .demography_prior import (
     CombinedDemographyLikelihood,
     DemographyPooledLikelihood,
@@ -30,7 +31,13 @@ from .growth_prior import (
     log_growth_prior,
     maximize_theta_growth,
 )
-from .felsenstein import batched_log_likelihood, log_likelihood, log_likelihood_reference, site_log_likelihoods
+from .felsenstein import (
+    SiteData,
+    batched_log_likelihood,
+    log_likelihood,
+    log_likelihood_reference,
+    site_log_likelihoods,
+)
 from .logspace import LOG_ZERO, LogAccumulator, log_add, log_mean, log_normalize, log_sum
 from .mutation_models import F84, HKY85, Felsenstein81, JukesCantor69, Kimura80, make_model
 
@@ -46,6 +53,7 @@ __all__ = [
     "VectorizedEngine",
     "BatchedEngine",
     "CachedEngine",
+    "FusedEngine",
     "ConstantEngine",
     "make_engine",
     "DemographyRelativeLikelihood",
@@ -57,6 +65,7 @@ __all__ = [
     "batched_log_growth_prior",
     "log_growth_prior",
     "maximize_theta_growth",
+    "SiteData",
     "log_likelihood",
     "log_likelihood_reference",
     "batched_log_likelihood",

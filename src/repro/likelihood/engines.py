@@ -32,7 +32,12 @@ import numpy as np
 
 from ..genealogy.tree import Genealogy
 from ..sequences.alignment import Alignment
-from .felsenstein import batched_log_likelihood, log_likelihood, log_likelihood_reference
+from .felsenstein import (
+    SiteData,
+    batched_log_likelihood,
+    log_likelihood,
+    log_likelihood_reference,
+)
 from .mutation_models import MutationModel
 
 __all__ = [
@@ -70,6 +75,21 @@ class LikelihoodEngine:
     n_evaluations: int = field(default=0, init=False)
     n_nodes_pruned: int = field(default=0, init=False)
     n_tree_site_products: int = field(default=0, init=False)
+    _site_data: SiteData | None = field(default=None, init=False, repr=False)
+
+    @property
+    def site_data(self) -> SiteData:
+        """Pattern codes, weights, and tip partials, computed once per engine.
+
+        Historically every ``evaluate``/``evaluate_batch`` call re-ran pattern
+        compression and rebuilt the one-hot tip partials; they depend only on
+        the alignment, so they are hoisted here and shared by every call (the
+        incremental engines always worked this way).  Built lazily so engines
+        that never touch them — :class:`ConstantEngine` — pay nothing.
+        """
+        if self._site_data is None:
+            self._site_data = SiteData.from_alignment(self.alignment)
+        return self._site_data
 
     def _count(
         self,
@@ -102,7 +122,13 @@ class LikelihoodEngine:
 
 
 class SerialEngine(LikelihoodEngine):
-    """Scalar per-site evaluation, one proposal at a time (the serial baseline)."""
+    """Scalar per-site evaluation, one proposal at a time (the serial baseline).
+
+    The reference implementation deliberately builds its per-site one-hot tip
+    vectors inline and never pattern-compresses — that is the classic serial
+    cost model the speedup benchmarks measure against — so there is no
+    per-call site machinery left to hoist here.
+    """
 
     def evaluate(self, tree: Genealogy) -> float:
         self._count(1, nodes_pruned=tree.n_internal)
@@ -117,7 +143,7 @@ class VectorizedEngine(LikelihoodEngine):
 
     def evaluate(self, tree: Genealogy) -> float:
         self._count(1, nodes_pruned=tree.n_internal)
-        return log_likelihood(tree, self.alignment, self.model)
+        return log_likelihood(tree, self.alignment, self.model, site_data=self.site_data)
 
     def evaluate_batch(self, trees: list[Genealogy]) -> np.ndarray:
         return np.array([self.evaluate(t) for t in trees])
@@ -128,13 +154,15 @@ class BatchedEngine(LikelihoodEngine):
 
     def evaluate(self, tree: Genealogy) -> float:
         self._count(1, nodes_pruned=tree.n_internal)
-        return log_likelihood(tree, self.alignment, self.model)
+        return log_likelihood(tree, self.alignment, self.model, site_data=self.site_data)
 
     def evaluate_batch(self, trees: list[Genealogy]) -> np.ndarray:
         if not trees:
             return np.zeros(0)
         self._count(len(trees), nodes_pruned=sum(t.n_internal for t in trees))
-        return batched_log_likelihood(list(trees), self.alignment, self.model)
+        return batched_log_likelihood(
+            list(trees), self.alignment, self.model, site_data=self.site_data
+        )
 
 
 class ConstantEngine(LikelihoodEngine):
@@ -156,8 +184,9 @@ class ConstantEngine(LikelihoodEngine):
         return np.zeros(len(trees))
 
 
-# The cached incremental engine (repro.likelihood.incremental) registers
-# itself here on import; the package __init__ imports it, so any normal
+# The incremental engines (repro.likelihood.incremental's CachedEngine and
+# repro.likelihood.fused's FusedEngine) register themselves here on import;
+# the package __init__ imports them, so any normal
 # ``import repro.likelihood.engines`` sees the full table.
 _ENGINES = {
     "serial": SerialEngine,

@@ -36,6 +36,8 @@ are accumulated in log space (Section 5.3).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..genealogy.tree import Genealogy
@@ -43,6 +45,7 @@ from ..sequences.alignment import MISSING, Alignment
 from .mutation_models import MutationModel
 
 __all__ = [
+    "SiteData",
     "tip_partials",
     "log_likelihood_reference",
     "log_likelihood",
@@ -67,6 +70,47 @@ def tip_partials(codes: np.ndarray) -> np.ndarray:
     for base in range(4):
         out[..., base] = (codes == base) | (codes == MISSING)
     return out.astype(float)
+
+
+@dataclass(frozen=True)
+class SiteData:
+    """Precomputed site-level inputs every likelihood evaluation consumes.
+
+    Pattern compression (:meth:`repro.sequences.alignment.Alignment.site_patterns`)
+    and the one-hot tip partials depend only on the alignment, yet historically
+    every ``evaluate``/``evaluate_batch`` call rebuilt them.  Engines construct
+    one :class:`SiteData` up front and pass it into the pruning functions, so
+    the per-call work is the pruning itself and nothing else.
+
+    ``patterned`` records whether ``codes`` holds compressed patterns (weights
+    are multiplicities, summed via a dot product) or raw per-site columns
+    (weights are all ones; the total is a plain sum, preserving the exact
+    accumulation order of the historical ``use_patterns=False`` path).
+    """
+
+    codes: np.ndarray  # (n_tips, n_cols) pattern or per-site codes
+    weights: np.ndarray  # (n_cols,) pattern multiplicities (ones when unpatterned)
+    tips: np.ndarray  # (n_tips, n_cols, 4) one-hot tip partials
+    patterned: bool = True
+
+    @classmethod
+    def from_alignment(cls, alignment: Alignment, *, use_patterns: bool = True) -> "SiteData":
+        """Build the shared site inputs for ``alignment`` (pattern-compressed by default)."""
+        if use_patterns:
+            codes, weights = alignment.site_patterns()
+        else:
+            codes, weights = alignment.codes, np.ones(alignment.n_sites)
+        return cls(
+            codes=codes,
+            weights=np.asarray(weights, dtype=float),
+            tips=tip_partials(codes),
+            patterned=use_patterns,
+        )
+
+    @property
+    def n_cols(self) -> int:
+        """Number of evaluated columns (unique patterns, or sites when unpatterned)."""
+        return int(self.codes.shape[1])
 
 
 # --------------------------------------------------------------------------- #
@@ -148,17 +192,28 @@ def log_likelihood(
     model: MutationModel,
     *,
     use_patterns: bool = True,
+    site_data: SiteData | None = None,
 ) -> float:
-    """log P(D | G) for a single genealogy, vectorized over sites."""
-    if use_patterns:
-        patterns, weights = alignment.site_patterns()
-        per_pattern = _site_vector_pruning(tree, patterns, model)
-        return float(per_pattern @ weights)
-    return float(_site_vector_pruning(tree, alignment.codes, model).sum())
+    """log P(D | G) for a single genealogy, vectorized over sites.
+
+    ``site_data`` supplies the precomputed pattern codes, weights, and tip
+    partials (engines build one at construction); when omitted they are
+    derived from the alignment on the spot, matching the historical
+    per-call behaviour bit for bit.
+    """
+    if site_data is None:
+        site_data = SiteData.from_alignment(alignment, use_patterns=use_patterns)
+    per_col = _site_vector_pruning(tree, site_data.codes, model, tips=site_data.tips)
+    if site_data.patterned:
+        return float(per_col @ site_data.weights)
+    return float(per_col.sum())
 
 
 def _site_vector_pruning(
-    tree: Genealogy, codes: np.ndarray, model: MutationModel
+    tree: Genealogy,
+    codes: np.ndarray,
+    model: MutationModel,
+    tips: np.ndarray | None = None,
 ) -> np.ndarray:
     """Core site-vectorized pruning over an ``(n_tips, n_sites)`` code matrix."""
     n_sites = codes.shape[1]
@@ -167,7 +222,7 @@ def _site_vector_pruning(
     pmats = model.transition_matrices(tree.branch_lengths())
 
     partials = np.empty((tree.n_nodes, n_sites, 4))
-    partials[: tree.n_tips] = tip_partials(codes)
+    partials[: tree.n_tips] = tip_partials(codes) if tips is None else tips
     log_scale = np.zeros(n_sites)
 
     for node in order:
@@ -196,6 +251,7 @@ def batched_log_likelihood(
     model: MutationModel,
     *,
     use_patterns: bool = True,
+    site_data: SiteData | None = None,
 ) -> np.ndarray:
     """log P(D | G) for a batch of genealogies sharing the same tips.
 
@@ -204,7 +260,10 @@ def batched_log_likelihood(
     vectorized across the tree axis and the site axis simultaneously: at
     post-order step ``s`` the ``s``-th oldest interior node of *every* tree
     is processed in one fused NumPy operation, using per-tree gathered child
-    indices.
+    indices.  Transition matrices are computed once per *unique* branch
+    length in the whole batch — sibling proposals share every branch
+    outside their resimulated region, so most of the ``n_trees · n_nodes``
+    matrix exponentials collapse.
 
     Returns
     -------
@@ -222,17 +281,19 @@ def batched_log_likelihood(
     if n_tips != alignment.n_sequences:
         raise ValueError("genealogy tip count does not match the alignment")
 
-    if use_patterns:
-        codes, weights = alignment.site_patterns()
-    else:
-        codes, weights = alignment.codes, np.ones(alignment.n_sites)
+    if site_data is None:
+        site_data = SiteData.from_alignment(alignment, use_patterns=use_patterns)
+    codes, weights = site_data.codes, site_data.weights
     n_sites = codes.shape[1]
     n_trees = len(trees)
     freqs = np.asarray(model.base_frequencies)
 
-    # Per-tree branch lengths and transition matrices: (n_trees, n_nodes, 4, 4)
+    # Per-tree branch lengths and transition matrices: (n_trees, n_nodes, 4, 4),
+    # deduplicated through the unique lengths (identical inputs produce
+    # bitwise-identical matrices, so the dedup is value-preserving).
     branch = np.stack([t.branch_lengths() for t in trees])
-    pmats = model.transition_matrices(branch.reshape(-1)).reshape(n_trees, n_nodes, 4, 4)
+    unique_lengths, inverse = np.unique(branch.reshape(-1), return_inverse=True)
+    pmats = model.transition_matrices(unique_lengths)[inverse.reshape(n_trees, n_nodes)]
 
     # Per-tree post-order of interior nodes (children always precede parents
     # because parents are strictly older).
@@ -241,7 +302,7 @@ def batched_log_likelihood(
     roots = np.array([t.root for t in trees])
 
     partials = np.empty((n_trees, n_nodes, n_sites, 4))
-    partials[:, :n_tips] = tip_partials(codes)[None, :, :, :]
+    partials[:, :n_tips] = site_data.tips[None, :, :, :]
     log_scale = np.zeros((n_trees, n_sites))
 
     tree_idx = np.arange(n_trees)

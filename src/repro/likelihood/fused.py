@@ -1,0 +1,348 @@
+"""Fused sparse-batched proposal-set engine (the stacked GMH hot-path kernel).
+
+The paper's core performance claim (Sections 5.2.1–5.2.2) is that the GMH
+proposal and data-likelihood kernels win by evaluating the *whole proposal
+set* as one data-parallel unit.  The two fast engines each captured half of
+that:
+
+* :class:`~repro.likelihood.engines.BatchedEngine` evaluates all N+1
+  candidates in one stacked kernel — but re-prunes every interior node of
+  every candidate, even though sibling proposals share everything outside
+  their resimulated neighbourhood;
+* :class:`~repro.likelihood.incremental.CachedEngine` re-prunes only each
+  candidate's dirty path — but walks the candidates one at a time through
+  per-node Python dict lookups and scalar-sized matrix products.
+
+:class:`FusedEngine` composes both.  Per proposal set it splits every
+candidate's interior nodes into a **shared frontier** — subtrees whose
+partial likelihoods are already cached under their subtree signatures
+(:meth:`repro.genealogy.tree.Genealogy.subtree_signatures`), computed once
+and reused across candidates *and* across EM iterations exactly like the
+cached engine — and a **per-candidate dirty path**.  The dirty paths of all
+N+1 siblings are then recomputed together: the d-th dirty node of every
+candidate is processed in one stacked batched product (a
+``(k, n_patterns, 4) @ (k, 4, 4)`` matmul — the einsum contraction spelled
+the way NumPy executes fastest) over a padded
+``(n_trees, max_dirty, n_patterns, 4)`` workspace that is preallocated once
+and reused across iterations (a dirty path is sequential in depth — node
+d+1 consumes node d's output — but across siblings depth d is embarrassingly
+parallel, which is exactly the lane layout the paper's dynamic-parallelism
+launch uses).  Transition matrices are deduplicated through
+``np.unique`` of the batch's branch lengths, since siblings share most
+branches bitwise.
+
+The arithmetic per recomputed node is identical to the other engines'
+pruning step (pattern compression and per-node log-scaling included), so
+results agree to floating-point accumulation order and fixed-seed chains
+visit identical states — pinned down by the cross-engine equivalence suite
+and ``benchmarks/bench_fused_engine.py`` (``BENCH_fused.json``).
+
+Work accounting matches :class:`CachedEngine` exactly whenever the cache is
+not recycling entries (the normal regime: the default ``max_entries`` is
+derived from a 64 MiB budget).  Once recycling starts — LRU eviction past
+``max_entries``, or the interner-overflow ``clear_cache`` — the two engines'
+cache timelines diverge, because the fused engine refreshes, clears, and
+evicts once per batch where the cached engine does so per tree, so their
+work counters can drift slightly in either direction while the returned
+values stay exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..genealogy.tree import Genealogy
+from .engines import _ENGINES
+from .felsenstein import _TINY
+from .incremental import CachedEngine
+
+__all__ = ["FusedEngine"]
+
+# Operand source tags for the child-gather stage of the stacked kernel.
+_SRC_TIP = 0  # precomputed tip partials (zero log-scale)
+_SRC_CACHE = 1  # shared-frontier entry fetched from the signature cache
+_SRC_WORK = 2  # earlier dirty node of the same candidate, still in the workspace
+
+
+@dataclass
+class FusedEngine(CachedEngine):
+    """Incremental pruning of all N+1 siblings' dirty paths in one stacked kernel.
+
+    Inherits the signature-keyed frontier cache, LRU/eviction policy, warm-up
+    ``prepare`` hook, and single-tree ``evaluate`` from
+    :class:`~repro.likelihood.incremental.CachedEngine`; ``evaluate_batch``
+    replaces the per-tree Python walk with the stacked dirty-path kernel.
+
+    Extra work counters (all zeroed by :meth:`reset_counters`):
+
+    ``n_stacked_steps``
+        Stacked einsum launches performed (one per dirty depth level per
+        batch) — the fused analogue of kernel-launch count.
+    ``n_workspace_items``
+        Dirty nodes actually computed in the workspace.
+    ``n_padded_items``
+        Workspace slots the padded ``(n_trees, max_dirty)`` layout spanned;
+        ``workspace_occupancy`` is the ratio of the two, the quantity
+        :meth:`repro.device.perfmodel.DeviceModel.projected_fused_speedup`
+        models as padded-batch occupancy.
+    """
+
+    n_stacked_steps: int = field(default=0, init=False)
+    n_workspace_items: int = field(default=0, init=False)
+    n_padded_items: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        # Padded workspace, preallocated and reused across proposal sets and
+        # EM iterations: flat (capacity, n_patterns, 4) partials plus the
+        # matching (capacity, n_patterns) log-scales; slot t*max_dirty + d is
+        # candidate t's d-th dirty node, i.e. the flattened view of the
+        # padded (n_trees, max_dirty, n_patterns, 4) layout.  The operand
+        # staging buffers (left/right child partials and log-scales per work
+        # item) are reused the same way.
+        self._work = np.empty((0, 0, 4))
+        self._work_scale = np.empty((0, 0))
+        self._operands = np.empty((2, 0, 0, 4))
+        self._operand_scales = np.empty((2, 0, 0))
+
+    def reset_counters(self) -> None:
+        """Zero the work, reuse, and stacked-kernel counters (cache kept)."""
+        super().reset_counters()
+        self.n_stacked_steps = 0
+        self.n_workspace_items = 0
+        self.n_padded_items = 0
+
+    @property
+    def workspace_occupancy(self) -> float:
+        """Fraction of padded workspace slots that held real dirty-node work."""
+        return self.n_workspace_items / self.n_padded_items if self.n_padded_items else 0.0
+
+    def _workspace(self, n_slots: int, n_patterns: int) -> tuple[np.ndarray, np.ndarray]:
+        """The reusable flat workspace, regrown geometrically when too small."""
+        if self._work.shape[0] < n_slots or self._work.shape[1] != n_patterns:
+            capacity = max(n_slots, 2 * self._work.shape[0])
+            self._work = np.empty((capacity, n_patterns, 4))
+            self._work_scale = np.empty((capacity, n_patterns))
+        return self._work, self._work_scale
+
+    def _staging(self, n_items: int, n_patterns: int) -> tuple[np.ndarray, np.ndarray]:
+        """Reusable operand staging buffers, zero-scaled over the used slice."""
+        if self._operands.shape[1] < n_items or self._operands.shape[2] != n_patterns:
+            capacity = max(n_items, 2 * self._operands.shape[1])
+            self._operands = np.empty((2, capacity, n_patterns, 4))
+            self._operand_scales = np.empty((2, capacity, n_patterns))
+        operands = self._operands[:, :n_items]
+        scales = self._operand_scales[:, :n_items]
+        scales[:] = 0.0  # tip-sourced operands rely on a zero log-scale
+        return operands, scales
+
+    # ------------------------------------------------------------------ #
+    # The stacked sparse-batched kernel
+    # ------------------------------------------------------------------ #
+    def evaluate_batch(self, trees: list[Genealogy]) -> np.ndarray:
+        if not trees:
+            return np.zeros(0)
+        self._ensure_ready()
+        n_tips = self.alignment.n_sequences
+        if len(self._interner) > self._intern_limit:
+            self.clear_cache()
+        cache = self._cache
+        n_trees = len(trees)
+
+        # ---- plan: per-candidate dirty paths, children before parents ----
+        all_sigs: list[np.ndarray] = []
+        comps: list[list[int]] = []
+        hits_total = 0
+        planned_sigs: set[int] = set()
+        for tree in trees:
+            if tree.n_tips != n_tips:
+                raise ValueError("genealogy tip count does not match the alignment")
+            sigs = tree.subtree_signatures(self._interner)
+            plan, hits = self._plan_dirty(tree, sigs)
+            for node in plan:
+                key = int(sigs[node])
+                if key in planned_sigs:
+                    # Two candidates share an *uncached* subtree (bitwise-equal
+                    # times — e.g. duplicated trees in one batch).  The padded
+                    # stacked schedule orders items by per-candidate depth and
+                    # cannot express a cross-candidate dependency, so take the
+                    # per-tree incremental path instead: it publishes each
+                    # candidate's partials before planning the next, computing
+                    # every shared subtree exactly once — same values, same
+                    # work counters as the cached engine on this batch.
+                    return super().evaluate_batch(trees)
+                planned_sigs.add(key)
+            all_sigs.append(sigs)
+            comps.append(plan[::-1])
+            hits_total += hits
+
+        max_dirty = max(len(comp) for comp in comps)
+        n_items = sum(len(comp) for comp in comps)
+
+        if n_items:
+            values = self._run_stacked(trees, all_sigs, comps, max_dirty, n_items)
+        else:
+            # Every candidate fully cached (e.g. re-evaluating the warmed
+            # generator): read the root entries straight from the frontier.
+            values = self._root_values_from_cache(trees, all_sigs)
+
+        # ---- bookkeeping: identical accounting to the cached engine ----
+        self.n_cache_hits += hits_total
+        self.n_cache_misses += n_items
+        while len(cache) > self.max_entries:
+            cache.pop(next(iter(cache)))
+        total_products = 0
+        for tree, comp in zip(trees, comps):
+            total_products += self._site_products(len(comp), tree.n_internal)
+        self._count(n_trees, nodes_pruned=n_items, tree_site_products=total_products)
+        self.n_workspace_items += n_items
+        if n_items:
+            self.n_stacked_steps += max_dirty
+            self.n_padded_items += n_trees * max_dirty
+        return values
+
+    def _run_stacked(
+        self,
+        trees: list[Genealogy],
+        all_sigs: list[np.ndarray],
+        comps: list[list[int]],
+        max_dirty: int,
+        n_items: int,
+    ) -> np.ndarray:
+        """Recompute every candidate's dirty path in one padded stacked sweep."""
+        cache = self._cache
+        tips = self._tip_entries
+        n_patterns = tips.shape[1]
+        n_trees = len(trees)
+
+        # Flat work-item tables ordered by (depth step, candidate): one
+        # stacked launch processes one contiguous [lo, hi) block below.
+        out_slot = np.empty(n_items, dtype=np.int64)
+        item_sig = np.empty(n_items, dtype=np.int64)
+        child_src = np.empty((n_items, 2), dtype=np.int8)
+        child_idx = np.empty((n_items, 2), dtype=np.int64)
+        lengths = np.empty((n_items, 2))
+        step_bounds = [0]
+        # Distinct frontier entries referenced by this batch, fetched once
+        # and stacked so the per-step gather is one fancy index.
+        cache_rows: dict[int, int] = {}
+        fetched_parts: list[np.ndarray] = []
+        fetched_scales: list[np.ndarray] = []
+
+        positions = [{node: d for d, node in enumerate(comp)} for comp in comps]
+        n_tips = trees[0].n_tips
+        k = 0
+        for step in range(max_dirty):
+            for t, comp in enumerate(comps):
+                if step >= len(comp):
+                    continue
+                tree, sigs, pos = trees[t], all_sigs[t], positions[t]
+                node = comp[step]
+                out_slot[k] = t * max_dirty + step
+                item_sig[k] = sigs[node]
+                for j in (0, 1):
+                    child = int(tree.children[node, j])
+                    lengths[k, j] = tree.times[node] - tree.times[child]
+                    depth = pos.get(child)
+                    if depth is not None:
+                        child_src[k, j] = _SRC_WORK
+                        child_idx[k, j] = t * max_dirty + depth
+                    elif child < n_tips:
+                        child_src[k, j] = _SRC_TIP
+                        child_idx[k, j] = child
+                    else:
+                        key = int(sigs[child])
+                        row = cache_rows.get(key)
+                        if row is None:
+                            row = len(fetched_parts)
+                            cache_rows[key] = row
+                            part, scale = cache[key]
+                            fetched_parts.append(part)
+                            fetched_scales.append(scale)
+                        child_src[k, j] = _SRC_CACHE
+                        child_idx[k, j] = row
+                k += 1
+            step_bounds.append(k)
+
+        # One transition-matrix computation per *unique* branch length in the
+        # batch (siblings share most branches bitwise outside their dirty
+        # regions, so this collapses the 2·n_items matrix builds).  Stored
+        # pre-transposed so the stacked product is a contiguous batched
+        # matmul, the fastest spelling of this contraction for 4-wide states.
+        unique_lengths, inverse = np.unique(lengths.reshape(-1), return_inverse=True)
+        pmats_t = np.ascontiguousarray(
+            self.model.transition_matrices(unique_lengths).transpose(0, 2, 1)
+        )
+        pm_idx = inverse.reshape(n_items, 2)
+
+        # Stage the tip- and frontier-sourced operands for every item up
+        # front; workspace-sourced operands are gathered per step, once their
+        # producing step has run.
+        frontier = np.stack(fetched_parts) if fetched_parts else np.empty((0, n_patterns, 4))
+        frontier_scale = (
+            np.stack(fetched_scales) if fetched_scales else np.empty((0, n_patterns))
+        )
+        operands, scales = self._staging(n_items, n_patterns)
+        for j in (0, 1):
+            src, idx = child_src[:, j], child_idx[:, j]
+            mask = src == _SRC_TIP
+            if mask.any():
+                operands[j, mask] = tips[idx[mask]]
+            mask = src == _SRC_CACHE
+            if mask.any():
+                operands[j, mask] = frontier[idx[mask]]
+                scales[j, mask] = frontier_scale[idx[mask]]
+
+        work, work_scale = self._workspace(n_trees * max_dirty, n_patterns)
+        for step in range(max_dirty):
+            lo, hi = step_bounds[step], step_bounds[step + 1]
+            block = slice(lo, hi)
+            for j in (0, 1):
+                mask = child_src[block, j] == _SRC_WORK
+                if mask.any():
+                    rows = child_idx[block, j][mask]
+                    operands[j, block][mask] = work[rows]
+                    scales[j, block][mask] = work_scale[rows]
+            left = np.matmul(operands[0, block], pmats_t[pm_idx[block, 0]])
+            right = np.matmul(operands[1, block], pmats_t[pm_idx[block, 1]])
+            vec = left * right
+            peak = vec.max(axis=2)
+            peak = np.where(peak > 0.0, peak, _TINY)
+            slots = out_slot[block]
+            work[slots] = vec / peak[:, :, None]
+            work_scale[slots] = scales[0, block] + scales[1, block] + np.log(peak)
+
+        # Publish the fresh partials into the shared frontier cache so the
+        # chosen candidate (and any future evaluation of these states) hits.
+        for i in range(n_items):
+            slot = out_slot[i]
+            cache[int(item_sig[i])] = (work[slot].copy(), work_scale[slot].copy())
+
+        # Root readout for every candidate.
+        root_parts = np.empty((n_trees, n_patterns, 4))
+        root_scales = np.empty((n_trees, n_patterns))
+        for t, (tree, comp) in enumerate(zip(trees, comps)):
+            if comp:
+                slot = t * max_dirty + len(comp) - 1
+                root_parts[t] = work[slot]
+                root_scales[t] = work_scale[slot]
+            else:
+                part, scale = cache[int(all_sigs[t][tree.root])]
+                root_parts[t] = part
+                root_scales[t] = scale
+        return self._readout(root_parts, root_scales)
+
+    def _root_values_from_cache(
+        self, trees: list[Genealogy], all_sigs: list[np.ndarray]
+    ) -> np.ndarray:
+        """Log-likelihoods of fully-cached candidates (no dirty work at all)."""
+        values = np.empty(len(trees))
+        for t, tree in enumerate(trees):
+            part, scale = self._cache[int(all_sigs[t][tree.root])]
+            values[t] = float(self._readout(part, scale))
+        return values
+
+
+_ENGINES["fused"] = FusedEngine

@@ -35,7 +35,7 @@ import numpy as np
 
 from ..genealogy.tree import Genealogy, SignatureInterner
 from .engines import _ENGINES, LikelihoodEngine
-from .felsenstein import _TINY, tip_partials
+from .felsenstein import _TINY
 
 __all__ = ["CachedEngine"]
 
@@ -86,14 +86,14 @@ class CachedEngine(LikelihoodEngine):
     def _ensure_ready(self) -> None:
         if self._ready:
             return
-        patterns, weights = self.alignment.site_patterns()
-        self._pattern_weights = np.asarray(weights, dtype=float)
-        self._tip_entries = tip_partials(patterns)  # (n_tips, n_patterns, 4)
-        self._zero_scale = np.zeros(patterns.shape[1])
+        site_data = self.site_data  # shared hoisted patterns + tip partials
+        self._pattern_weights = site_data.weights
+        self._tip_entries = site_data.tips  # (n_tips, n_patterns, 4)
+        self._zero_scale = np.zeros(site_data.n_cols)
         self._freqs = np.asarray(self.model.base_frequencies)
         if self.max_entries is None:
             # One entry: (n_patterns, 4) partials + (n_patterns,) scales, f64.
-            entry_bytes = 8 * 5 * patterns.shape[1]
+            entry_bytes = 8 * 5 * site_data.n_cols
             self.max_entries = max(1024, self.DEFAULT_CACHE_BYTES // entry_bytes)
         # The interner itself must stay bounded: ids are only issued, never
         # retired, and each key is a small tuple (~150 bytes), so cap it at a
@@ -129,27 +129,20 @@ class CachedEngine(LikelihoodEngine):
     # ------------------------------------------------------------------ #
     # Core incremental evaluation
     # ------------------------------------------------------------------ #
-    def _evaluate_one(self, tree: Genealogy) -> tuple[float, int, int]:
-        """Return ``(log-likelihood, fresh interior nodes, total interior nodes)``."""
-        self._ensure_ready()
-        if tree.n_tips != self.alignment.n_sequences:
-            raise ValueError("genealogy tip count does not match the alignment")
-        if len(self._interner) > self._intern_limit:
-            self.clear_cache()
+    def _plan_dirty(self, tree: Genealogy, sigs: np.ndarray) -> tuple[list[int], int]:
+        """Collect the dirty (uncached) interior nodes of ``tree``.
 
-        sigs = tree.subtree_signatures(self._interner)
+        Walks down from the root, stopping at cached nodes and tips: the
+        nodes collected are exactly the dirty path that must be re-pruned,
+        in pre-order (so reversing the list yields a children-before-parents
+        computation order).  Cache hits along the frontier have their LRU
+        recency refreshed.  Returns ``(plan, n_hits)``.
+        """
         n_tips = tree.n_tips
         cache = self._cache
         children = tree.children
-        times = tree.times
-        root = tree.root
-
-        # Walk down from the root, stopping at cached nodes and tips: the
-        # nodes collected here are exactly the dirty path that must be
-        # re-pruned.  The walk is a pre-order, so reversing it yields a
-        # children-before-parents computation order.
         plan: list[int] = []
-        stack = [root]
+        stack = [tree.root]
         hits = 0
         while stack:
             node = stack.pop()
@@ -164,7 +157,23 @@ class CachedEngine(LikelihoodEngine):
             plan.append(node)
             stack.append(int(children[node, 0]))
             stack.append(int(children[node, 1]))
+        return plan, hits
 
+    def _evaluate_one(self, tree: Genealogy) -> tuple[float, int, int]:
+        """Return ``(log-likelihood, fresh interior nodes, total interior nodes)``."""
+        self._ensure_ready()
+        if tree.n_tips != self.alignment.n_sequences:
+            raise ValueError("genealogy tip count does not match the alignment")
+        if len(self._interner) > self._intern_limit:
+            self.clear_cache()
+
+        sigs = tree.subtree_signatures(self._interner)
+        cache = self._cache
+        children = tree.children
+        times = tree.times
+        root = tree.root
+
+        plan, hits = self._plan_dirty(tree, sigs)
         fresh = len(plan)
         if fresh:
             # One batched transition-matrix call covers both child branches
@@ -190,9 +199,7 @@ class CachedEngine(LikelihoodEngine):
                 )
 
         part, scale = cache[int(sigs[root])]
-        site_like = part @ self._freqs
-        per_pattern = np.log(np.maximum(site_like, _TINY)) + scale
-        value = float(per_pattern @ self._pattern_weights)
+        value = float(self._readout(part, scale))
 
         self.n_cache_hits += hits
         self.n_cache_misses += fresh
@@ -204,6 +211,18 @@ class CachedEngine(LikelihoodEngine):
         if node < self._tip_entries.shape[0]:
             return self._tip_entries[node], self._zero_scale
         return self._cache[int(sigs[node])]
+
+    def _readout(self, part: np.ndarray, scale: np.ndarray) -> np.ndarray:
+        """log P(D | G) from a root partial and its log-scale.
+
+        The one place the root conditional likelihoods meet the base
+        frequencies, the underflow clamp, and the pattern weights — shared
+        by the scalar path and the fused engine's stacked readout (``part``
+        may carry a leading tree axis; the arithmetic broadcasts).
+        """
+        site_like = part @ self._freqs
+        per_pattern = np.log(np.maximum(site_like, _TINY)) + scale
+        return per_pattern @ self._pattern_weights
 
     def _site_products(self, fresh: int, n_internal: int) -> int:
         """Fraction of a full-tree site sweep actually performed.

@@ -1,10 +1,11 @@
-"""Cross-engine golden equivalence suite (satellite of ISSUE 2).
+"""Cross-engine golden equivalence suite (satellite of ISSUEs 2 and 5).
 
 Every likelihood engine — serial scalar, site-vectorized, proposal-batched,
-and the incremental cached engine — implements the *same* function
-log P(D | G).  These tests pin that down over random genealogies, random
-alignments, and every registered mutation model, including the failure mode
-the cache is most at risk of: returning a stale partial after a long
+the incremental cached engine, and the fused sparse-batched engine —
+implements the *same* function log P(D | G).  These tests pin that down over
+random genealogies, random alignments, and every registered mutation model
+(golden seeds plus a hypothesis sweep), including the failure mode the
+caching engines are most at risk of: returning a stale partial after a long
 perturb → evaluate sequence.
 """
 
@@ -12,6 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.likelihood.engines import (
     BatchedEngine,
@@ -19,13 +22,14 @@ from repro.likelihood.engines import (
     VectorizedEngine,
     make_engine,
 )
+from repro.likelihood.fused import FusedEngine
 from repro.likelihood.incremental import CachedEngine
 from repro.likelihood.mutation_models import make_model
 from repro.proposals.neighborhood import NeighborhoodResimulator
 from repro.simulate.datasets import synthesize_dataset
 from repro.simulate.coalescent_sim import simulate_genealogy
 
-ENGINE_CLASSES = (SerialEngine, VectorizedEngine, BatchedEngine, CachedEngine)
+ENGINE_CLASSES = (SerialEngine, VectorizedEngine, BatchedEngine, CachedEngine, FusedEngine)
 MODEL_NAMES = ("F81", "JC69", "K80", "F84", "HKY85")
 
 # The engines differ only in floating-point accumulation order, so their
@@ -161,3 +165,60 @@ class TestCacheStalenessRegression:
         model = make_model("F81", dataset.alignment.base_frequencies(pseudocount=1.0))
         assert isinstance(make_engine("cached", dataset.alignment, model), CachedEngine)
         assert isinstance(make_engine("CACHED", dataset.alignment, model), CachedEngine)
+
+    def test_make_engine_builds_fused(self):
+        dataset, _ = _dataset_and_trees(seed=2, n_trees=1)
+        model = make_model("F81", dataset.alignment.base_frequencies(pseudocount=1.0))
+        assert isinstance(make_engine("fused", dataset.alignment, model), FusedEngine)
+        assert isinstance(make_engine("FUSED", dataset.alignment, model), FusedEngine)
+
+
+class TestHypothesisEquivalence:
+    """Property sweep: all engines agree on arbitrary instances and streams."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n_sequences=st.sampled_from((4, 6, 9)),
+        n_sites=st.integers(min_value=10, max_value=80),
+        model_name=st.sampled_from(MODEL_NAMES),
+    )
+    def test_all_engines_agree(self, seed, n_sequences, n_sites, model_name):
+        dataset, trees = _dataset_and_trees(
+            seed=seed, n_sequences=n_sequences, n_sites=n_sites, n_trees=3
+        )
+        model = make_model(model_name, dataset.alignment.base_frequencies(pseudocount=1.0))
+        engines = _engines(dataset.alignment, model)
+        batch = {name: eng.evaluate_batch(trees) for name, eng in engines.items()}
+        reference = batch["SerialEngine"]
+        assert np.all(np.isfinite(reference))
+        for name, values in batch.items():
+            assert np.allclose(values, reference, rtol=RTOL, atol=ATOL), (
+                f"{name} disagrees with SerialEngine under {model_name} (seed {seed})"
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_fused_matches_cached_through_proposal_streams(self, seed):
+        """A GMH-shaped prepare → sibling-batch stream agrees engine-for-engine."""
+        dataset, (tree, *_) = _dataset_and_trees(seed=seed, n_sequences=7, n_sites=60, n_trees=1)
+        model = make_model("F81", dataset.alignment.base_frequencies(pseudocount=1.0))
+        fused = FusedEngine(alignment=dataset.alignment, model=model)
+        cached = CachedEngine(alignment=dataset.alignment, model=model)
+        oracle = BatchedEngine(alignment=dataset.alignment, model=model)
+        resim = NeighborhoodResimulator(1.0)
+        rng = np.random.default_rng(seed)
+        current = tree
+        for _ in range(4):
+            target = resim.choose_target(current, rng)
+            siblings = [resim.propose(current, target, rng).tree for _ in range(5)]
+            fused.prepare(current)
+            cached.prepare(current)
+            values = fused.evaluate_batch(siblings)
+            assert np.allclose(values, cached.evaluate_batch(siblings), rtol=RTOL, atol=ATOL)
+            assert np.allclose(values, oracle.evaluate_batch(siblings), rtol=RTOL, atol=ATOL)
+            current = siblings[int(rng.integers(len(siblings)))]
+        # Planning is shared with the cached engine, so the sparse work
+        # accounting must match exactly.
+        assert fused.n_nodes_pruned == cached.n_nodes_pruned
+        assert fused.n_tree_site_products == cached.n_tree_site_products

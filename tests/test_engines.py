@@ -83,7 +83,8 @@ class TestFactory:
             make_sampler("gpu", engine_factory=lambda: None)
         # Both messages: unknown <kind> '<name>'; choose from a, b, c
         assert str(engine_err.value) == (
-            "unknown engine 'gpu'; choose from batched, cached, constant, serial, vectorized"
+            "unknown engine 'gpu'; choose from batched, cached, constant, fused, "
+            "serial, vectorized"
         )
         assert str(sampler_err.value).startswith("unknown sampler 'gpu'; choose from ")
         assert "[" not in str(engine_err.value)  # no raw list repr

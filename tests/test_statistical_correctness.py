@@ -1,11 +1,12 @@
-"""Statistical correctness of the cached engine inside real samplers (ISSUE 2).
+"""Statistical correctness of the incremental engines inside real samplers.
 
-The incremental engine must be *invisible* statistically: driving the GMH
-chain and the EM driver with ``CachedEngine`` has to reproduce the
-fixed-seed ``BatchedEngine`` results bit-for-bit (identical proposal-set
-weights up to accumulation order → identical index draws → identical sampled
-genealogies → identical θ estimates), and the resulting chain has to look
-stationary to the formal diagnostics.
+The incremental engines (ISSUE 2's ``CachedEngine``, ISSUE 5's
+``FusedEngine``) must be *invisible* statistically: driving the GMH chain
+and the EM driver with them has to reproduce the fixed-seed
+``BatchedEngine`` results bit-for-bit (identical proposal-set weights up to
+accumulation order → identical index draws → identical sampled genealogies →
+identical θ estimates), and the resulting chain has to look stationary to
+the formal diagnostics.
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ from repro.core.sampler import MultiProposalSampler
 from repro.diagnostics.stationarity import geweke_z_score, heidelberger_welch
 from repro.genealogy.upgma import upgma_tree
 from repro.likelihood.engines import BatchedEngine
+from repro.likelihood.fused import FusedEngine
 from repro.likelihood.incremental import CachedEngine
 from repro.likelihood.mutation_models import Felsenstein81
 from repro.simulate.datasets import synthesize_dataset
@@ -56,27 +58,45 @@ class TestBitForBitReproduction:
             assert np.array_equal(a.chain.interval_matrix, b.chain.interval_matrix)
             assert a.chain.n_accepted == b.chain.n_accepted
 
+    def test_mpcgs_fused_estimate_is_bit_identical_to_cached(self, tiny_instance):
+        """The ISSUE 5 regression: fused vs cached MPCGS, bit for bit."""
+        dataset, _ = tiny_instance
+        cached = _run_mpcgs(dataset, "cached")
+        fused = _run_mpcgs(dataset, "fused")
+        batched = _run_mpcgs(dataset, "batched")
+        assert fused.theta == cached.theta == batched.theta
+        assert np.array_equal(fused.theta_trajectory, cached.theta_trajectory)
+        assert len(fused.iterations) == len(cached.iterations)
+        for a, b in zip(fused.iterations, cached.iterations):
+            assert np.array_equal(a.chain.interval_matrix, b.chain.interval_matrix)
+            assert a.chain.n_accepted == b.chain.n_accepted
+
     def test_single_chain_states_are_identical(self, tiny_instance):
         dataset, model = tiny_instance
         cfg = SamplerConfig(n_proposals=6, n_samples=80, burn_in=20)
         tree = upgma_tree(dataset.alignment, 1.0)
         results = {}
-        for name, engine_cls in (("batched", BatchedEngine), ("cached", CachedEngine)):
+        for name, engine_cls in (
+            ("batched", BatchedEngine),
+            ("cached", CachedEngine),
+            ("fused", FusedEngine),
+        ):
             engine = engine_cls(alignment=dataset.alignment, model=model)
             results[name] = MultiProposalSampler(engine, 1.0, cfg).run(
                 tree, np.random.default_rng(SEED)
             )
-        assert np.array_equal(
-            results["batched"].interval_matrix, results["cached"].interval_matrix
-        )
-        # The recorded log-likelihoods differ only by accumulation order.
-        assert np.allclose(
-            results["batched"].trace.log_likelihoods,
-            results["cached"].trace.log_likelihoods,
-            rtol=1e-12,
-            atol=1e-9,
-        )
-        assert results["batched"].n_accepted == results["cached"].n_accepted
+        for name in ("cached", "fused"):
+            assert np.array_equal(
+                results["batched"].interval_matrix, results[name].interval_matrix
+            )
+            # The recorded log-likelihoods differ only by accumulation order.
+            assert np.allclose(
+                results["batched"].trace.log_likelihoods,
+                results[name].trace.log_likelihoods,
+                rtol=1e-12,
+                atol=1e-9,
+            )
+            assert results["batched"].n_accepted == results[name].n_accepted
 
 
 class TestStationarity:

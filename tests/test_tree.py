@@ -168,3 +168,20 @@ class TestSimulatedTrees:
         tree = simulate_genealogy(15, 2.0, rng)
         order = tree.postorder()
         assert sorted(order) == list(range(tree.n_nodes))
+
+    def test_postorder_is_memoized_and_invalidated_by_time_edits(self, rng):
+        """ISSUE 5 satellite: repeated postorder calls reuse the cached sort,
+        while in-place time mutation (the proposal machinery's edit style)
+        invalidates it."""
+        tree = simulate_genealogy(12, 1.0, rng)
+        first = tree.postorder()
+        assert tree.postorder() is first  # memoized, no re-sort
+        assert not first.flags.writeable  # shared array is protected
+        tree.times[tree.root] += 0.25  # in-place edit must invalidate
+        second = tree.postorder()
+        assert second is not first
+        assert sorted(second) == list(range(tree.n_nodes))
+        # Copies never share the cache with their source.
+        clone = tree.copy()
+        assert clone.postorder() is not tree.postorder()
+        assert np.array_equal(clone.postorder(), tree.postorder())
