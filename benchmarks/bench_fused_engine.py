@@ -61,6 +61,39 @@ ENGINE_CLASSES = {
     "fused": FusedEngine,
 }
 
+#: Engine methods whose wall clock counts as likelihood work.
+_LIKELIHOOD_METHODS = frozenset({"prepare", "evaluate", "evaluate_batch"})
+#: Resimulator methods whose wall clock counts as proposal generation.
+_PROPOSAL_METHODS = frozenset({"choose_target", "propose"})
+
+
+class _Stopwatch:
+    """Transparent attribute proxy that accumulates wall clock per method set.
+
+    Everything except the named methods passes straight through to the
+    target, so counters (``n_evaluations`` …) and return values are
+    untouched — the chains stay bit-identical under timing.
+    """
+
+    def __init__(self, target, methods, totals: dict, key: str) -> None:
+        self._target = target
+        self._methods = methods
+        self._totals = totals
+        self._key = key
+
+    def __getattr__(self, name):
+        attr = getattr(self._target, name)
+        if name in self._methods and callable(attr):
+            def timed(*args, **kwargs):
+                start = time.perf_counter()
+                try:
+                    return attr(*args, **kwargs)
+                finally:
+                    self._totals[self._key] += time.perf_counter() - start
+
+            return timed
+        return attr
+
 
 def _generate_batch_stream(dataset, theta: float, n_sets: int, seed: int):
     """Pre-generate a GMH-like stream of (generator, sibling proposals) sets."""
@@ -134,8 +167,16 @@ def run_fused_benchmark(smoke: bool = SMOKE) -> dict:
     traces = {}
     for name, cls in ENGINE_CLASSES.items():
         engine = cls(alignment=dataset.alignment, model=model)
+        split = {"likelihood": 0.0, "proposal_generation": 0.0}
+        timed_engine = _Stopwatch(engine, _LIKELIHOOD_METHODS, split, "likelihood")
+        sampler = MultiProposalSampler(timed_engine, 1.0, cfg)
+        timed_resim = _Stopwatch(
+            sampler.resimulator, _PROPOSAL_METHODS, split, "proposal_generation"
+        )
+        sampler.resimulator = timed_resim
+        sampler.gmh.resimulator = timed_resim
         start = time.perf_counter()
-        result = MultiProposalSampler(engine, 1.0, cfg).run(tree, np.random.default_rng(7))
+        result = sampler.run(tree, np.random.default_rng(7))
         elapsed = time.perf_counter() - start
         traces[name] = result
         chain_rows[name] = {
@@ -145,6 +186,10 @@ def run_fused_benchmark(smoke: bool = SMOKE) -> dict:
             "n_evaluations": engine.n_evaluations,
             "n_nodes_pruned": engine.n_nodes_pruned,
             "n_tree_site_products": engine.n_tree_site_products,
+            "likelihood_seconds": split["likelihood"],
+            "proposal_generation_seconds": split["proposal_generation"],
+            "likelihood_fraction": split["likelihood"] / elapsed,
+            "proposal_generation_fraction": split["proposal_generation"] / elapsed,
         }
 
     # ---- engine-isolated stream: the hot path the engines own ----
@@ -163,6 +208,24 @@ def run_fused_benchmark(smoke: bool = SMOKE) -> dict:
             "n_stream_sets": n_stream_sets,
         },
         "chains": chain_rows,
+        # Where each full chain actually spends its wall clock: proposal
+        # generation (interval kinetics — shared, engine-independent) vs
+        # likelihood evaluation (the part the engines compete on).  This is
+        # the quantitative form of the "shared cost would drown the
+        # comparison" argument for the engine-isolated stream below.
+        "chain_time_split": {
+            name: {
+                "likelihood_seconds": chain_rows[name]["likelihood_seconds"],
+                "proposal_generation_seconds": chain_rows[name][
+                    "proposal_generation_seconds"
+                ],
+                "likelihood_fraction": chain_rows[name]["likelihood_fraction"],
+                "proposal_generation_fraction": chain_rows[name][
+                    "proposal_generation_fraction"
+                ],
+            }
+            for name in ENGINE_CLASSES
+        },
         "engine_stream": stream_rows,
         # The acceptance ratios.
         "tree_site_product_ratio_vs_batched": chain_rows["batched"]["n_tree_site_products"]

@@ -64,7 +64,10 @@ from .demography import (
 from .core.sampler import MultiProposalSampler
 from .baselines.heated import HeatedChainSampler, default_temperatures
 from .baselines.lamarc import LamarcSampler
-from .baselines.multichain import MultiChainSampler
+from .baselines.multichain import MultiChainSampler, WorkerCrashError
+from .service.checkpoint import EMCheckpoint, load_checkpoint, save_checkpoint
+from .service.events import Event, EventBus, JSONLRecorder, read_events
+from .service.store import ResultStore
 from .genealogy.newick import from_newick, to_newick
 from .genealogy.tree import Genealogy
 from .genealogy.upgma import upgma_tree
@@ -106,6 +109,9 @@ from .simulate.demography_sim import (
     simulate_demography_intervals,
 )
 from .simulate.growth_sim import simulate_growth_genealogy
+
+# Imported last: the runner composes the repro.api facade above.
+from .service.runner import ExperimentService, JobRecord
 
 __version__ = "1.0.0"
 
@@ -189,5 +195,16 @@ __all__ = [
     "run_multilocus_growth",
     "simulate_demography_genealogy",
     "simulate_demography_intervals",
+    "WorkerCrashError",
+    "ExperimentService",
+    "JobRecord",
+    "ResultStore",
+    "EMCheckpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "Event",
+    "EventBus",
+    "JSONLRecorder",
+    "read_events",
     "__version__",
 ]

@@ -46,6 +46,8 @@ from .core.registry import (
 from .genealogy.upgma import upgma_tree
 from .sequences.alignment import Alignment
 from .sequences.phylip import read_phylip
+from .service.hashing import content_hash as _content_hash
+from .service.hashing import digest_file, digest_files
 
 __all__ = ["RunSpec", "RunReport", "Experiment", "run_experiment"]
 
@@ -122,6 +124,46 @@ class RunSpec:
             theta0=theta0,
             seed=seed,
             sequence_files=tuple(sequence_files) if sequence_files is not None else None,
+        )
+
+    def data_digest(self) -> str | None:
+        """SHA-256 digest of the named sequence data *bytes*.
+
+        ``None`` when the spec names no files (in-memory data).  Hashing the
+        bytes rather than the paths means a renamed or relocated copy of the
+        same alignment still content-addresses to the same experiment.
+        """
+        if self.sequence_files is not None:
+            return digest_files(self.sequence_files)
+        if self.sequence_file is not None:
+            return digest_file(self.sequence_file)
+        return None
+
+    def content_hash(self, *, data_digest: str | None = None) -> str:
+        """Canonical content address of this experiment.
+
+        SHA-256 over the canonical (sorted-key, shortest-float-repr) JSON of
+        the full config, θ₀, the seed, and the digest of the data bytes —
+        everything the result is a deterministic function of, and nothing
+        it is not (file *paths* are excluded).  Two specs hash equal exactly
+        when rerunning one would reproduce the other, which is what lets the
+        result store return a cached report instead of recomputing.
+
+        ``data_digest`` short-circuits the file read for callers that have
+        already digested the data (or hold it in memory with no file to
+        digest).  A spec with ``seed=None`` draws OS entropy — the hash
+        still includes the ``None``, so such specs dedupe against each
+        other by design (the spec document is the identity, not the draw).
+        """
+        digest = data_digest if data_digest is not None else self.data_digest()
+        return _content_hash(
+            {
+                "config": self.config.to_dict(),
+                "theta0": self.theta0,
+                "seed": self.seed,
+                "data": digest,
+                "multilocus": self.sequence_files is not None,
+            }
         )
 
     def to_json(self, *, indent: int | None = 2) -> str:
@@ -340,21 +382,69 @@ class Experiment:
             sequence_files=tuple(sequence_files) if sequence_files is not None else None,
         )
 
-    def run(self, rng: np.random.Generator | None = None) -> RunReport:
+    @property
+    def supports_checkpointing(self) -> bool:
+        """True when this experiment runs the checkpointable single-locus EM path.
+
+        The multi-locus and Bayesian paths have no per-iteration resume
+        point yet; passing checkpoint arguments to them is an error rather
+        than a silent full re-run.
+        """
+        return self.loci is None and self.config.sampler_name.lower() != "bayesian"
+
+    def run(
+        self,
+        rng: np.random.Generator | None = None,
+        *,
+        on_event=None,
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every: int = 1,
+        resume_from=None,
+    ) -> RunReport:
         """Execute the experiment and return a :class:`RunReport`.
 
         A caller-supplied ``rng`` overrides the spec's seed (the CLI and the
         reproducibility tests always go through the seed).
+
+        ``on_event``/``checkpoint_path``/``checkpoint_every``/``resume_from``
+        stream per-iteration :class:`~repro.service.events.Event` objects
+        and cut resumable EM checkpoints on the single-locus
+        maximum-likelihood path (see :meth:`repro.core.mpcgs.MPCGS.run`).
+        Checkpoint arguments on a non-checkpointable experiment
+        (:attr:`supports_checkpointing` is False) raise rather than silently
+        recomputing from scratch; ``on_event`` is simply unused there (those
+        paths emit no EM iteration events).
         """
         if rng is None:
             rng = np.random.default_rng(self.seed)
+        if not self.supports_checkpointing and (
+            checkpoint_path is not None or resume_from is not None
+        ):
+            raise ValueError(
+                "checkpoint/resume is only supported on the single-locus "
+                "maximum-likelihood path (not multi-locus or bayesian runs)"
+            )
         if self.loci is not None:
             return self._run_multilocus(rng)
         if self.config.sampler_name.lower() == "bayesian":
             return self._run_bayesian(rng)
-        return self._run_ml(rng)
+        return self._run_ml(
+            rng,
+            on_event=on_event,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            resume_from=resume_from,
+        )
 
-    def _run_ml(self, rng: np.random.Generator) -> RunReport:
+    def _run_ml(
+        self,
+        rng: np.random.Generator,
+        *,
+        on_event=None,
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every: int = 1,
+        resume_from=None,
+    ) -> RunReport:
         """Maximum-likelihood path: the EM driver over any ChainResult sampler.
 
         Covers both demographies: under ``demography="growth"`` each EM
@@ -363,7 +453,14 @@ class Experiment:
         """
         cfg = self.config
         driver = MPCGS(self.alignment, cfg)
-        result = driver.run(theta0=self.theta0, rng=rng)
+        result = driver.run(
+            theta0=self.theta0,
+            rng=rng,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            on_event=on_event,
+            resume_from=resume_from,
+        )
         growth_run = result.growth is not None
         demography_run = result.demography_params is not None
         iterations = [

@@ -18,6 +18,7 @@ from __future__ import annotations
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable
 
@@ -29,7 +30,25 @@ from ..genealogy.tree import Genealogy
 from ..likelihood.engines import LikelihoodEngine
 from .lamarc import LamarcSampler
 
-__all__ = ["MultiChainSampler", "multichain_parallel_time", "gmh_parallel_time"]
+__all__ = [
+    "MultiChainSampler",
+    "WorkerCrashError",
+    "multichain_parallel_time",
+    "gmh_parallel_time",
+]
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died before returning its result.
+
+    Raised in place of the raw :class:`concurrent.futures.process.\
+BrokenProcessPool` (which names the pool's plumbing, not the job): the
+    worker was killed by a signal, the OOM killer, or an interpreter
+    crash — a *transient, job-level* failure.  The experiment service's
+    scheduler catches exactly this type to retry the job on a fresh pool;
+    genuine exceptions raised *by* chain code propagate unmodified (they
+    are deterministic and retrying cannot help).
+    """
 
 
 def _run_single_chain(
@@ -242,4 +261,15 @@ class MultiChainSampler:
                 )
                 for index, cfg, chain_rng in jobs
             ]
-            return {index: future.result() for index, future in futures}
+            try:
+                return {index: future.result() for index, future in futures}
+            except BrokenProcessPool as exc:
+                # A killed worker otherwise surfaces as the pool's own
+                # plumbing error; map it to the typed job-level failure the
+                # scheduler's retry path catches.
+                raise WorkerCrashError(
+                    f"a multichain worker process died while running "
+                    f"{len(jobs)} chains on {self.n_workers} workers "
+                    "(killed by a signal or the OOM killer); the run can be "
+                    "retried on a fresh pool"
+                ) from exc

@@ -18,6 +18,14 @@ engine / model registries of :mod:`repro.core.registry`:
 ``mpcgs info``
     List the registered samplers, likelihood engines, mutation models, and
     demographies (``--json`` for a machine-readable document).
+``mpcgs submit`` / ``mpcgs serve`` / ``mpcgs status``
+    The experiment service: ``submit`` spools a run-spec JSON into a job
+    queue (an identical, already-computed spec is answered from the
+    content-addressed result store without recomputing), ``serve`` claims
+    and executes queued jobs on a persistent worker fleet (streaming their
+    typed events, retrying crashed workers from their last EM checkpoint),
+    and ``status`` reports a job's state and recent events.  All three
+    share ``--spool`` (default ``$MPCGS_SPOOL`` or ``./mpcgs-spool``).
 
 Every run subcommand accepts ``--config spec.json`` — a serialized
 :class:`~repro.api.RunSpec` (or bare :class:`~repro.core.config.MPCGSConfig`
@@ -54,7 +62,7 @@ from .sequences.phylip import read_phylip
 
 __all__ = ["build_parser", "build_cli", "main"]
 
-SUBCOMMANDS = ("run", "bayes", "baseline", "info")
+SUBCOMMANDS = ("run", "bayes", "baseline", "info", "submit", "serve", "status")
 
 
 # ---------------------------------------------------------------------------
@@ -317,6 +325,65 @@ def build_cli() -> argparse.ArgumentParser:
     )
     p_info.add_argument("--json", action="store_true", help="print the registries as JSON")
     p_info.set_defaults(handler=_cmd_info)
+
+    def add_spool(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--spool",
+            default=None,
+            help="job spool directory (default: $MPCGS_SPOOL, else ./mpcgs-spool)",
+        )
+
+    p_submit = sub.add_parser(
+        "submit", help="spool a run-spec JSON for the experiment service"
+    )
+    p_submit.add_argument("spec", help="run-spec JSON document (the --config format)")
+    add_spool(p_submit)
+    p_submit.add_argument("--json", action="store_true", help="print the job record as JSON")
+    p_submit.set_defaults(handler=_cmd_submit)
+
+    p_serve = sub.add_parser(
+        "serve", help="claim and execute queued jobs on a persistent worker fleet"
+    )
+    add_spool(p_serve)
+    p_serve.add_argument(
+        "--workers", type=int, default=1, help="worker-fleet size (default 1: in-process)"
+    )
+    p_serve.add_argument(
+        "--max-jobs", type=int, default=None, help="stop after claiming this many jobs"
+    )
+    p_serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=0.0,
+        help="seconds to keep polling an empty queue (default 0: drain and exit)",
+    )
+    p_serve.add_argument(
+        "--poll", type=float, default=0.1, help="queue poll interval in seconds"
+    )
+    p_serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        help="EM-checkpoint cadence in iterations (default 1)",
+    )
+    p_serve.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retries for jobs whose worker process died (default 2)",
+    )
+    p_serve.add_argument("--quiet", action="store_true", help="suppress the event stream")
+    p_serve.add_argument("--json", action="store_true", help="print the final tally as JSON")
+    p_serve.set_defaults(handler=_cmd_serve)
+
+    p_status = sub.add_parser("status", help="report a job's state and recent events")
+    p_status.add_argument("job_id", help="job id returned by `mpcgs submit`")
+    add_spool(p_status)
+    p_status.add_argument(
+        "--events", type=int, default=5, metavar="N", help="show the last N events (default 5)"
+    )
+    p_status.add_argument("--json", action="store_true", help="print the record as JSON")
+    p_status.set_defaults(handler=_cmd_status)
 
     return parser
 
@@ -600,6 +667,104 @@ def _cmd_info(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         width = max(len(name) for name in entries)
         for name, description in entries.items():
             print(f"  {name:<{width}}  {description}")
+    return 0
+
+
+def _spool_dir(args: argparse.Namespace) -> str:
+    """Resolve the service spool directory: flag > $MPCGS_SPOOL > ./mpcgs-spool."""
+    if args.spool is not None:
+        return args.spool
+    return os.environ.get("MPCGS_SPOOL", "mpcgs-spool")
+
+
+def _cmd_submit(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """``mpcgs submit``: spool one run-spec for the service."""
+    from .service import ExperimentService
+
+    service = ExperimentService(_spool_dir(args))
+    try:
+        record = service.submit(args.spec)
+    except (OSError, ValueError) as exc:
+        print(f"error submitting {args.spec!r}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(record.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"job id: {record.job_id}")
+    print(f"spec hash: {record.spec_hash}")
+    if record.cache_hit:
+        print("state: done (cache hit: identical spec already computed)")
+    else:
+        print(f"state: {record.state}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """``mpcgs serve``: execute queued jobs until the queue drains."""
+    from .service import ExperimentService
+
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
+
+    def printer(event) -> None:
+        payload = ", ".join(f"{k}={v}" for k, v in event.payload.items())
+        print(f"[{event.job_id}] {event.kind}" + (f" ({payload})" if payload else ""))
+
+    service = ExperimentService(
+        _spool_dir(args),
+        n_workers=args.workers,
+        max_retries=args.max_retries,
+        checkpoint_every=args.checkpoint_every,
+        on_event=None if args.quiet else printer,
+    )
+    with service:
+        stats = service.serve(
+            max_jobs=args.max_jobs,
+            idle_timeout=args.idle_timeout,
+            poll_interval=args.poll,
+        )
+    if args.json:
+        print(_json.dumps(stats, indent=2, sort_keys=True))
+    else:
+        print(
+            f"served: {stats['completed']} completed "
+            f"({stats['executed']} executed, {stats['cache_hits']} cache hits), "
+            f"{stats['failed']} failed, {stats['retries']} retries"
+        )
+    return 1 if stats["failed"] else 0
+
+
+def _cmd_status(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """``mpcgs status``: one job's state, result (when done), and recent events."""
+    from .service import ExperimentService
+
+    service = ExperimentService(_spool_dir(args))
+    try:
+        record = service.status(args.job_id)
+    except FileNotFoundError:
+        print(f"unknown job id {args.job_id!r}", file=sys.stderr)
+        return 2
+    report = service.report_for(args.job_id)
+    if args.json:
+        document = dict(record.to_dict())
+        if report is not None:
+            document["report"] = report
+        print(_json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    print(f"job id: {record.job_id}")
+    print(f"state: {record.state}" + (" (cache hit)" if record.cache_hit else ""))
+    print(f"spec hash: {record.spec_hash}")
+    print(f"attempts: {record.attempts}/{record.max_attempts}")
+    if record.error is not None:
+        print(f"error: {record.error}")
+    if report is not None:
+        print(f"theta estimate: {report['theta']:.6f}")
+    events = service.job_events(args.job_id, args.events)
+    if events:
+        print(f"last {len(events)} events:")
+        for event in events:
+            payload = ", ".join(f"{k}={v}" for k, v in event.payload.items())
+            print(f"  {event.kind}" + (f" ({payload})" if payload else ""))
     return 0
 
 

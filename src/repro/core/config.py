@@ -54,6 +54,26 @@ DEMOGRAPHIES = _demography_names()
 _GROWTH_NAMES = ("growth", "exponential")
 
 
+def _canonical_value(value: Any) -> Any:
+    """Reduce a config value to plain JSON types with sorted mapping keys.
+
+    Serialization must be *canonical* so that content addressing (the
+    experiment service keys its result store by a hash of this document)
+    sees one byte stream per logical config: mapping keys are emitted in
+    sorted order regardless of insertion history, tuples become lists, and
+    numpy scalars collapse to their Python values (whose shortest-roundtrip
+    ``repr`` is what ``json`` writes — deterministic for IEEE doubles).
+    """
+    if isinstance(value, Mapping):
+        return {k: _canonical_value(value[k]) for k in sorted(value, key=str)}
+    if isinstance(value, (list, tuple)):
+        return [_canonical_value(v) for v in value]
+    item = getattr(value, "item", None)
+    if callable(item) and not isinstance(value, (str, bytes, int, float, bool)):
+        return _canonical_value(item())
+    return value
+
+
 def _check_known_keys(cls, data: Mapping[str, Any]) -> None:
     """Reject unknown keys so a typo in a spec file fails loudly, not silently."""
     known = {f.name for f in fields(cls)}
@@ -307,10 +327,18 @@ class MPCGSConfig:
         return replace(self, sampler_name=name, sampler_options=new_options)
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-safe dict: ``"sampler"`` is the sampler *name*, ``"chain"`` the lengths."""
+        """JSON-safe dict: ``"sampler"`` is the sampler *name*, ``"chain"`` the lengths.
+
+        The document is canonical — nested option mappings are emitted with
+        sorted keys and values reduced to plain Python types — so two
+        logically-equal configs serialize to byte-identical JSON regardless
+        of how their option dicts were built.  That stability is what the
+        experiment service's content hash (and with it the result-store
+        dedup) rests on.
+        """
         return {
             "sampler": self.sampler_name,
-            "sampler_options": dict(self.sampler_options),
+            "sampler_options": _canonical_value(self.sampler_options),
             "chain": self.sampler.to_dict(),
             "estimator": self.estimator.to_dict(),
             "n_em_iterations": self.n_em_iterations,
@@ -319,7 +347,7 @@ class MPCGSConfig:
             "mutation_model": self.mutation_model,
             "demography": self.demography,
             "growth0": self.growth0,
-            "demography_params": dict(self.demography_params),
+            "demography_params": _canonical_value(self.demography_params),
         }
 
     @classmethod
@@ -356,8 +384,12 @@ class MPCGSConfig:
         return cls(**kwargs)
 
     def to_json(self, *, indent: int | None = 2) -> str:
-        """Serialize to a JSON document (the CLI's ``--config`` format)."""
-        return json.dumps(self.to_dict(), indent=indent)
+        """Serialize to a JSON document (the CLI's ``--config`` format).
+
+        Keys are sorted so the document, like :meth:`to_dict`, is
+        key-order-deterministic.
+        """
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "MPCGSConfig":

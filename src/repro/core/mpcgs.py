@@ -22,12 +22,21 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
 
 from ..demography.base import Demography
 from ..diagnostics.traces import ChainResult
+from ..service.checkpoint import (
+    CheckpointMismatchError,
+    EMCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from ..service.events import CHECKPOINT_WRITTEN, EM_ITERATION_COMPLETED, Event
+from ..service.hashing import content_hash, digest_alignment
 from ..genealogy.tree import Genealogy
 from ..genealogy.upgma import upgma_tree
 from ..likelihood.demography_prior import (
@@ -238,6 +247,84 @@ class MPCGS:
             return build
         return lambda: probe
 
+    def run_key(self, theta0: float) -> str:
+        """Content hash identifying this run's trajectory.
+
+        Covers everything the EM trajectory is a deterministic function of
+        besides the RNG (whose exact state the checkpoint carries): the full
+        config, the starting θ₀, and the alignment itself.  Checkpoints are
+        stamped with this key so one run cannot silently resume from
+        another's state.
+        """
+        return content_hash(
+            {
+                "config": self.config.to_dict(),
+                "theta0": float(theta0),
+                "data": digest_alignment(self.alignment),
+            }
+        )
+
+    @staticmethod
+    def _emit(on_event, kind: str, **payload) -> None:
+        """Publish one typed event to the optional ``on_event`` hook."""
+        if on_event is not None:
+            on_event(Event(kind=kind, payload=payload))
+
+    @staticmethod
+    def _resolve_checkpoint(resume_from, run_key: str) -> EMCheckpoint:
+        """Accept either a checkpoint path or an in-memory :class:`EMCheckpoint`."""
+        if isinstance(resume_from, EMCheckpoint):
+            if resume_from.run_key != run_key:
+                raise CheckpointMismatchError(
+                    "checkpoint belongs to a different run "
+                    f"(checkpoint key {resume_from.run_key[:12]}…, "
+                    f"expected {run_key[:12]}…); refusing to resume"
+                )
+            return resume_from
+        return load_checkpoint(resume_from, expected_run_key=run_key)
+
+    def _write_checkpoint(
+        self,
+        checkpoint_path,
+        on_event,
+        *,
+        run_key: str,
+        completed: int,
+        theta: float,
+        demography: Demography | None,
+        tree: Genealogy,
+        rng: np.random.Generator,
+        iterations: list[EMIteration],
+        share_cache: bool,
+        converged: bool,
+    ) -> None:
+        """Cut one atomic checkpoint and announce it on the event hook.
+
+        The RNG state is captured *after* the completed iteration's last
+        draw and the tree is the already-reseeded next seed, so restoring
+        the checkpoint replays the remaining trajectory bit-identically.
+        """
+        checkpoint = EMCheckpoint(
+            run_key=run_key,
+            completed_iterations=completed,
+            theta=float(theta),
+            demography=demography,
+            tree=tree.copy(),
+            rng_state=rng.bit_generator.state,
+            iterations=list(iterations),
+            engine_name=self.config.likelihood_engine,
+            engine_cache_warm=share_cache,
+            converged=converged,
+        )
+        save_checkpoint(checkpoint_path, checkpoint)
+        self._emit(
+            on_event,
+            CHECKPOINT_WRITTEN,
+            iteration=completed,
+            path=str(checkpoint_path),
+            converged=converged,
+        )
+
     def run(
         self,
         theta0: float,
@@ -245,6 +332,10 @@ class MPCGS:
         *,
         initial_tree: Genealogy | None = None,
         sampler_factory: SamplerFactory | None = None,
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every: int = 1,
+        on_event: Callable[[Event], None] | None = None,
+        resume_from: str | Path | EMCheckpoint | None = None,
     ) -> MPCGSResult:
         """Estimate θ from the alignment starting from the driving value ``theta0``.
 
@@ -265,6 +356,24 @@ class MPCGS:
             the config names another one);
             :func:`repro.core.registry.sampler_factory` constructs suitable
             factories for any registered sampler.
+        checkpoint_path:
+            When set, an :class:`~repro.service.checkpoint.EMCheckpoint` is
+            written (atomically) here after every ``checkpoint_every``-th EM
+            iteration, so a killed run can be resumed bit-identically.
+        checkpoint_every:
+            Checkpoint cadence in EM iterations (default 1: every
+            iteration).
+        on_event:
+            Optional hook receiving typed
+            :class:`~repro.service.events.Event` objects
+            (``em.iteration_completed``, ``checkpoint.written``) as the run
+            progresses.
+        resume_from:
+            A checkpoint path (or in-memory checkpoint) to continue from.
+            The checkpoint's ``run_key`` must match this run's (same config,
+            θ₀, and alignment); the restored RNG state, seed tree, and
+            history make the continued trajectory bit-identical to the
+            uninterrupted run.
         """
         if theta0 <= 0:
             raise ValueError("theta0 must be positive")
@@ -280,7 +389,13 @@ class MPCGS:
                 demography,
                 initial_tree=initial_tree,
                 sampler_factory=sampler_factory,
+                checkpoint_path=checkpoint_path,
+                checkpoint_every=checkpoint_every,
+                on_event=on_event,
+                resume_from=resume_from,
             )
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be positive")
         # Cache sharing is safe only for samplers known to hold a single
         # engine.  Everything else — the multi-chain baseline (which must
         # pay and count every chain's full pruning work independently),
@@ -292,11 +407,28 @@ class MPCGS:
                 cfg.sampler_name, cfg.sampler, **cfg.sampler_options
             )
         engine_factory = self._engine_factory(share_cache=share_cache)
+        run_key = (
+            self.run_key(theta0)
+            if checkpoint_path is not None or resume_from is not None
+            else ""
+        )
         theta = float(theta0)
-        tree = initial_tree if initial_tree is not None else self.initial_tree(theta)
         result = MPCGSResult(theta=theta)
+        start_iteration = 0
+        if resume_from is not None:
+            checkpoint = self._resolve_checkpoint(resume_from, run_key)
+            start_iteration = checkpoint.completed_iterations
+            theta = float(checkpoint.theta)
+            result.theta = theta
+            result.iterations = list(checkpoint.iterations)
+            tree = checkpoint.tree.copy()
+            rng.bit_generator.state = checkpoint.rng_state
+            if checkpoint.converged:
+                return result
+        else:
+            tree = initial_tree if initial_tree is not None else self.initial_tree(theta)
 
-        for iteration in range(cfg.n_em_iterations):
+        for iteration in range(start_iteration, cfg.n_em_iterations):
             sampler = sampler_factory(engine_factory, theta)
             chain = sampler.run(tree, rng)
 
@@ -314,12 +446,44 @@ class MPCGS:
 
             new_theta = estimate.theta
             moved = abs(new_theta - theta)
+            driving_theta = theta
             theta = new_theta
             result.theta = theta
             # Carry the last sampled genealogy forward as the next seed, so
             # successive EM iterations do not restart from the UPGMA tree.
             tree = self._reseed_tree(tree, chain)
-            if moved < cfg.theta_convergence_tol * max(theta, 1.0):
+            converged = moved < cfg.theta_convergence_tol * max(theta, 1.0)
+            completed = iteration + 1
+            self._emit(
+                on_event,
+                EM_ITERATION_COMPLETED,
+                iteration=iteration,
+                driving_theta=driving_theta,
+                theta_estimate=theta,
+                converged=converged,
+                n_samples=chain.n_samples,
+                n_likelihood_evaluations=chain.n_likelihood_evaluations,
+                wall_time_seconds=chain.wall_time_seconds,
+            )
+            if checkpoint_path is not None and (
+                converged
+                or completed % checkpoint_every == 0
+                or completed == cfg.n_em_iterations
+            ):
+                self._write_checkpoint(
+                    checkpoint_path,
+                    on_event,
+                    run_key=run_key,
+                    completed=completed,
+                    theta=theta,
+                    demography=None,
+                    tree=tree,
+                    rng=rng,
+                    iterations=result.iterations,
+                    share_cache=share_cache,
+                    converged=converged,
+                )
+            if converged:
                 break
 
         return result
@@ -332,6 +496,10 @@ class MPCGS:
         *,
         initial_tree: Genealogy | None,
         sampler_factory: SamplerFactory | None,
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every: int = 1,
+        on_event: Callable[[Event], None] | None = None,
+        resume_from: str | Path | EMCheckpoint | None = None,
     ) -> MPCGSResult:
         """The joint (θ, demography-parameters) EM loop.
 
@@ -341,6 +509,9 @@ class MPCGS:
         (demography-conditional proposal kernel by default), and the
         Maximization stage ascends the (θ, params) relative-likelihood
         surface and adopts all maximizers as the next driving values.
+        Checkpointing and event streaming mirror :meth:`run`; the checkpoint
+        additionally carries the driving demography (a plain dataclass, so
+        it pickles alongside the tree).
         """
         cfg = self.config
         if sampler_factory is not None:
@@ -349,17 +520,38 @@ class MPCGS:
                 "demography params); an explicit sampler_factory only rebinds "
                 "theta — select a demography-capable sampler via the config instead"
             )
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be positive")
         require_demography_support(cfg)
-        engine_factory = self._engine_factory(
-            share_cache=cfg.sampler_name in _SINGLE_ENGINE_SAMPLERS
+        share_cache = cfg.sampler_name in _SINGLE_ENGINE_SAMPLERS
+        engine_factory = self._engine_factory(share_cache=share_cache)
+        run_key = (
+            self.run_key(theta0)
+            if checkpoint_path is not None or resume_from is not None
+            else ""
         )
         theta = float(theta0)
-        tree = initial_tree if initial_tree is not None else self.initial_tree(theta)
         result = MPCGSResult(theta=theta, demography=demography.name)
         result.demography_params = demography.params
         result.growth = demography.params.get("growth")
+        start_iteration = 0
+        if resume_from is not None:
+            checkpoint = self._resolve_checkpoint(resume_from, run_key)
+            start_iteration = checkpoint.completed_iterations
+            theta = float(checkpoint.theta)
+            demography = checkpoint.demography
+            result.theta = theta
+            result.demography_params = demography.params
+            result.growth = demography.params.get("growth")
+            result.iterations = list(checkpoint.iterations)
+            tree = checkpoint.tree.copy()
+            rng.bit_generator.state = checkpoint.rng_state
+            if checkpoint.converged:
+                return result
+        else:
+            tree = initial_tree if initial_tree is not None else self.initial_tree(theta)
 
-        for iteration in range(cfg.n_em_iterations):
+        for iteration in range(start_iteration, cfg.n_em_iterations):
             sampler = self.demography_iteration_sampler(theta, demography, engine_factory)
             chain = sampler.run(tree, rng)
 
@@ -385,13 +577,46 @@ class MPCGS:
                 abs(new - old) < tol * max(abs(new), 1.0)
                 for new, old in zip(estimate.params, demography.param_values())
             )
+            driving_theta = theta
             theta = estimate.theta
             demography = demography.with_param_values(estimate.params)
             result.theta = theta
             result.demography_params = demography.params
             result.growth = demography.params.get("growth")
             tree = self._reseed_tree(tree, chain)
-            if theta_settled and params_settled:
+            converged = theta_settled and params_settled
+            completed = iteration + 1
+            self._emit(
+                on_event,
+                EM_ITERATION_COMPLETED,
+                iteration=iteration,
+                driving_theta=driving_theta,
+                theta_estimate=theta,
+                demography_params=dict(demography.params),
+                converged=converged,
+                n_samples=chain.n_samples,
+                n_likelihood_evaluations=chain.n_likelihood_evaluations,
+                wall_time_seconds=chain.wall_time_seconds,
+            )
+            if checkpoint_path is not None and (
+                converged
+                or completed % checkpoint_every == 0
+                or completed == cfg.n_em_iterations
+            ):
+                self._write_checkpoint(
+                    checkpoint_path,
+                    on_event,
+                    run_key=run_key,
+                    completed=completed,
+                    theta=theta,
+                    demography=demography,
+                    tree=tree,
+                    rng=rng,
+                    iterations=result.iterations,
+                    share_cache=share_cache,
+                    converged=converged,
+                )
+            if converged:
                 break
 
         return result

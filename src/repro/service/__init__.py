@@ -1,0 +1,94 @@
+"""repro.service — the serving layer over the sampler engines.
+
+Composes four pieces, none of which touch the numerics:
+
+* :mod:`repro.service.hashing` — canonical spec serialization and the
+  content hash that keys everything;
+* :mod:`repro.service.store` — the content-addressed result store
+  (``store/<hash>/{spec.json,report.json,events.jsonl}``);
+* :mod:`repro.service.checkpoint` — crash-safe, bit-identical EM
+  checkpoints the driver writes and the scheduler resumes from;
+* :mod:`repro.service.events` — the typed streaming event bus and its
+  JSONL recorder;
+* :mod:`repro.service.runner` — the queue-backed job scheduler
+  (:class:`~repro.service.runner.ExperimentService`) that shards queued
+  :class:`~repro.api.RunSpec` documents over a persistent worker fleet,
+  surfaced on the CLI as ``mpcgs serve`` / ``mpcgs submit`` /
+  ``mpcgs status``.
+
+The runner is imported lazily: it depends on the :mod:`repro.api` facade,
+which itself (via the EM driver's checkpoint hooks) imports this package's
+leaf modules — eager import here would be circular.
+"""
+
+from __future__ import annotations
+
+from .checkpoint import (
+    CheckpointMismatchError,
+    EMCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .events import (
+    CHECKPOINT_WRITTEN,
+    EM_ITERATION_COMPLETED,
+    JOB_CACHE_HIT,
+    JOB_RETRYING,
+    JOB_STATE_CHANGED,
+    JOB_SUBMITTED,
+    RUN_COMPLETED,
+    RUN_STARTED,
+    Event,
+    EventBus,
+    JSONLRecorder,
+    read_events,
+    tail_events,
+)
+from .hashing import (
+    canonical_json,
+    content_hash,
+    digest_alignment,
+    digest_file,
+    digest_files,
+)
+from .store import ResultStore
+
+__all__ = [
+    "CheckpointMismatchError",
+    "EMCheckpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+    "Event",
+    "EventBus",
+    "JSONLRecorder",
+    "read_events",
+    "tail_events",
+    "canonical_json",
+    "content_hash",
+    "digest_alignment",
+    "digest_file",
+    "digest_files",
+    "ResultStore",
+    # lazily resolved (see __getattr__):
+    "ExperimentService",
+    "JobRecord",
+    "WorkerCrashError",
+    "JOB_SUBMITTED",
+    "JOB_STATE_CHANGED",
+    "JOB_CACHE_HIT",
+    "JOB_RETRYING",
+    "RUN_STARTED",
+    "RUN_COMPLETED",
+    "EM_ITERATION_COMPLETED",
+    "CHECKPOINT_WRITTEN",
+]
+
+_LAZY = {"ExperimentService", "JobRecord", "WorkerCrashError"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,106 @@
+"""Canonical serialization and content addressing for experiment specs.
+
+The experiment service stores results keyed by *what was asked for*, not by
+who asked or where the files lived: the key is a SHA-256 over (a) the
+canonical JSON form of the run configuration and (b) a digest of the
+sequence data *bytes*.  Two submissions that would compute the same thing —
+same config, same data content, same seed — therefore collapse onto one
+store entry even if their spec files spell dictionary keys in a different
+order or name the data by different paths.
+
+Canonical JSON means: keys sorted lexicographically at every nesting level,
+no insignificant whitespace, tuples flattened to lists, numpy scalars
+reduced to their Python values, and floats rendered by Python's
+shortest-round-trip ``repr`` (deterministic for IEEE-754 doubles since
+Python 3.1).  NaN/Infinity are rejected — they have no canonical JSON
+spelling and no business in a run spec.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "canonical_json",
+    "content_hash",
+    "sha256_hex",
+    "digest_file",
+    "digest_files",
+    "digest_alignment",
+]
+
+
+def _canonicalize(value: Any) -> Any:
+    """Reduce ``value`` to plain JSON types with deterministic ordering."""
+    if isinstance(value, Mapping):
+        items = sorted((str(k), v) for k, v in value.items())
+        return {k: _canonicalize(v) for k, v in items}
+    if isinstance(value, (list, tuple)):
+        return [_canonicalize(v) for v in value]
+    if isinstance(value, (str, bool, int, type(None))):
+        return value
+    if isinstance(value, float):
+        return value
+    # numpy scalars (and anything else exposing .item()) reduce to Python.
+    item = getattr(value, "item", None)
+    if callable(item):
+        return _canonicalize(item())
+    raise TypeError(f"value of type {type(value).__name__} is not canonically serializable")
+
+
+def canonical_json(document: Any) -> str:
+    """The canonical JSON text of ``document`` (sorted keys, compact, finite floats)."""
+    return json.dumps(
+        _canonicalize(document),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def sha256_hex(data: bytes) -> str:
+    """Hex SHA-256 of raw bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def content_hash(document: Any) -> str:
+    """Hex SHA-256 of the canonical JSON form of ``document``."""
+    return sha256_hex(canonical_json(document).encode("ascii"))
+
+
+def digest_file(path: str | Path) -> str:
+    """Hex SHA-256 of a file's bytes (streamed, so large alignments are fine)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def digest_files(paths: Iterable[str | Path]) -> str:
+    """One digest over several files' contents, order-sensitive (loci are positional)."""
+    digest = hashlib.sha256()
+    for path in paths:
+        digest.update(digest_file(path).encode("ascii"))
+    return digest.hexdigest()
+
+
+def digest_alignment(alignment: Any) -> str:
+    """Digest of an in-memory alignment: its sequence names and encoded sites.
+
+    Formatting-independent, unlike :func:`digest_file` — two on-disk
+    encodings of the same sequences digest identically here, so in-memory
+    submissions and format-agnostic deduplication should prefer this.
+    """
+    digest = hashlib.sha256()
+    for name in alignment.names:
+        digest.update(str(name).encode("utf-8"))
+        digest.update(b"\x00")
+    codes = alignment.codes
+    digest.update(str(codes.shape).encode("ascii"))
+    digest.update(codes.astype("int8", copy=False).tobytes())
+    return digest.hexdigest()

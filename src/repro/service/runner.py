@@ -1,0 +1,564 @@
+"""Queue-backed experiment scheduler over a persistent worker fleet.
+
+:class:`ExperimentService` generalizes the multichain baseline's
+per-call ``ProcessPoolExecutor`` into a durable job runner: specs are
+*submitted* into a filesystem spool, *claimed* by a serve loop, executed on
+a pool of persistent worker processes, and *committed* into the
+content-addressed :class:`~repro.service.store.ResultStore` — after which
+any identical submission is a cache hit that never touches a sampler.
+
+Spool layout (all state is plain files, so every transition survives a
+crash of the service itself)::
+
+    spool/
+      jobs/<job-id>/
+        job.json         # JobRecord: state machine + bookkeeping
+        spec.json        # the submitted RunSpec, verbatim
+        events.jsonl     # streaming event log (lifecycle + run events)
+        checkpoint.pkl   # resumable EM checkpoint (while running)
+      queue/<job-id>     # empty marker; claiming = atomic rename into active/
+      active/<job-id>    # markers of claimed jobs (requeued on shutdown)
+      store/<hash>/      # the content-addressed result store
+
+Job states are ``queued → running → done | failed``.  Exactly one failure
+class is *transient*: a worker process dying mid-job
+(:class:`~repro.baselines.multichain.WorkerCrashError`, or the service's
+own pool breaking with ``BrokenProcessPool``).  Those are retried up to
+``max_retries`` times on a fresh pool, resuming from the dead worker's last
+EM checkpoint.  Exceptions raised *by* experiment code are deterministic —
+retrying cannot help — and fail the job immediately.
+
+Duplicate submissions whose spec hash is already *executing* are held back
+as followers and resolved from the store the moment the computing job
+commits, so a burst of identical specs costs exactly one computation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..api import Experiment, RunSpec
+from ..baselines.multichain import WorkerCrashError
+from .checkpoint import load_checkpoint
+from .events import (
+    JOB_CACHE_HIT,
+    JOB_RETRYING,
+    JOB_STATE_CHANGED,
+    JOB_SUBMITTED,
+    RUN_COMPLETED,
+    RUN_STARTED,
+    Event,
+    EventBus,
+    JSONLRecorder,
+    tail_events,
+)
+from .store import ResultStore
+
+__all__ = ["ExperimentService", "JobRecord", "WorkerCrashError"]
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+JOB_FILENAME = "job.json"
+SPEC_FILENAME = "spec.json"
+EVENTS_FILENAME = "events.jsonl"
+CHECKPOINT_FILENAME = "checkpoint.pkl"
+
+
+@dataclass
+class JobRecord:
+    """One submitted experiment's durable state-machine record."""
+
+    job_id: str
+    spec_hash: str
+    state: str = QUEUED
+    attempts: int = 0
+    max_attempts: int = 3
+    error: str | None = None
+    cache_hit: bool = False
+    created_at: float = field(default_factory=time.time)
+    updated_at: float = field(default_factory=time.time)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "spec_hash": self.spec_hash,
+            "state": self.state,
+            "attempts": self.attempts,
+            "max_attempts": self.max_attempts,
+            "error": self.error,
+            "cache_hit": self.cache_hit,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobRecord":
+        return cls(**dict(data))
+
+    def save(self, path: str | Path) -> None:
+        """Durably write the record (atomic replace, like every spool write)."""
+        path = Path(path)
+        tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
+        tmp.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "JobRecord":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def _execute_job(spool: str, job_id: str, checkpoint_every: int) -> dict[str, Any]:
+    """Run one spooled job to completion; module-level so pool workers can import it.
+
+    Streams run events into the job's ``events.jsonl``, cuts an EM
+    checkpoint every ``checkpoint_every`` iterations, and — when a previous
+    attempt left a checkpoint behind — resumes from it, which is what makes
+    a retried job's trajectory bit-identical to an uninterrupted run.
+    Returns the completed :class:`~repro.api.RunReport` as a dict.
+    """
+    job_dir = Path(spool) / "jobs" / job_id
+    spec = RunSpec.load(job_dir / SPEC_FILENAME)
+    recorder = JSONLRecorder(job_dir / EVENTS_FILENAME, job_id=job_id)
+    experiment = Experiment.from_spec(spec)
+
+    checkpoint_path = job_dir / CHECKPOINT_FILENAME
+    run_kwargs: dict[str, Any] = {"on_event": recorder}
+    resumed_from = 0
+    if experiment.supports_checkpointing:
+        run_kwargs["checkpoint_path"] = checkpoint_path
+        run_kwargs["checkpoint_every"] = checkpoint_every
+        if checkpoint_path.exists():
+            checkpoint = load_checkpoint(checkpoint_path)
+            resumed_from = checkpoint.completed_iterations
+            run_kwargs["resume_from"] = checkpoint
+
+    recorder(
+        Event(kind=RUN_STARTED, payload={"resumed_from_iteration": resumed_from})
+    )
+    report = experiment.run(**run_kwargs)
+    recorder(
+        Event(
+            kind=RUN_COMPLETED,
+            payload={"theta": report.theta, "n_samples": report.n_samples},
+        )
+    )
+    return report.to_dict()
+
+
+class ExperimentService:
+    """The queue-backed job runner behind ``mpcgs serve|submit|status``.
+
+    Parameters
+    ----------
+    spool:
+        Root directory of the job spool (created if absent).
+    n_workers:
+        Size of the persistent worker fleet.  ``1`` (the default) executes
+        jobs in-process — the same semantics, no pool, the fast path for
+        tests and small batches — mirroring the multichain baseline's
+        ``n_workers`` contract.
+    max_retries:
+        How many times a job whose *worker died* (not whose code raised) is
+        retried on a fresh pool before being marked failed.
+    checkpoint_every:
+        EM-checkpoint cadence passed to every job (iterations).
+    on_event:
+        Optional subscriber attached to the service's :class:`EventBus`
+        (every job's lifecycle and run events flow through it).
+    """
+
+    def __init__(
+        self,
+        spool: str | Path,
+        *,
+        n_workers: int = 1,
+        max_retries: int = 2,
+        checkpoint_every: int = 1,
+        on_event=None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.spool = Path(spool)
+        self.n_workers = n_workers
+        self.max_retries = max_retries
+        self.checkpoint_every = checkpoint_every
+        for sub in ("jobs", "queue", "active"):
+            (self.spool / sub).mkdir(parents=True, exist_ok=True)
+        self.store = ResultStore(self.spool / "store")
+        self.bus = EventBus()
+        if on_event is not None:
+            self.bus.subscribe(on_event)
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_generation = 0
+
+    # -- paths --------------------------------------------------------------
+
+    def job_dir(self, job_id: str) -> Path:
+        return self.spool / "jobs" / job_id
+
+    def _job_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / JOB_FILENAME
+
+    def events_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / EVENTS_FILENAME
+
+    # -- events -------------------------------------------------------------
+
+    def _emit(self, record: JobRecord, kind: str, **payload: Any) -> None:
+        """Publish one job event on the bus and append it to the job's log."""
+        event = Event(kind=kind, payload=payload, job_id=record.job_id)
+        self.bus.publish(event)
+        JSONLRecorder(self.events_path(record.job_id))(event)
+
+    def _set_state(self, record: JobRecord, state: str, **payload: Any) -> None:
+        record.state = state
+        record.updated_at = time.time()
+        record.save(self._job_path(record.job_id))
+        self._emit(record, JOB_STATE_CHANGED, state=state, attempt=record.attempts, **payload)
+
+    # -- submission ---------------------------------------------------------
+
+    def _new_job_id(self) -> str:
+        """Sortable, collision-safe id: zero-padded sequence + random suffix.
+
+        The zero-padded prefix makes lexicographic queue order FIFO; the
+        suffix keeps concurrently-allocated ids distinct.
+        """
+        jobs = self.spool / "jobs"
+        highest = 0
+        for child in jobs.iterdir():
+            head = child.name.split("-")[1] if child.name.startswith("job-") else ""
+            if head.isdigit():
+                highest = max(highest, int(head))
+        return f"job-{highest + 1:06d}-{uuid.uuid4().hex[:6]}"
+
+    def submit(self, spec: RunSpec | Mapping[str, Any] | str | Path) -> JobRecord:
+        """Spool one experiment; returns its :class:`JobRecord`.
+
+        A spec whose content hash is already committed in the store is
+        resolved *immediately*: the returned record is ``done`` with
+        ``cache_hit=True`` and no computation is queued.  Everything else
+        enters the queue for :meth:`serve` to claim.
+        """
+        if isinstance(spec, (str, Path)):
+            spec = RunSpec.load(spec)
+        elif isinstance(spec, Mapping):
+            spec = RunSpec.from_dict(spec)
+        spec_hash = spec.content_hash()
+        job_id = self._new_job_id()
+        job_dir = self.job_dir(job_id)
+        job_dir.mkdir(parents=True, exist_ok=True)
+        spec.save(job_dir / SPEC_FILENAME)
+        record = JobRecord(
+            job_id=job_id, spec_hash=spec_hash, max_attempts=self.max_retries + 1
+        )
+        record.save(self._job_path(job_id))
+        self._emit(record, JOB_SUBMITTED, spec_hash=spec_hash, state=record.state)
+        if self.store.contains(spec_hash):
+            record.cache_hit = True
+            self._emit(record, JOB_CACHE_HIT, spec_hash=spec_hash)
+            self._set_state(record, DONE)
+            return record
+        (self.spool / "queue" / job_id).touch()
+        return record
+
+    # -- inspection ---------------------------------------------------------
+
+    def status(self, job_id: str) -> JobRecord:
+        """The current record of ``job_id`` (raises ``FileNotFoundError`` if unknown)."""
+        return JobRecord.load(self._job_path(job_id))
+
+    def jobs(self) -> list[JobRecord]:
+        """All known job records, in id (= submission) order."""
+        jobs_dir = self.spool / "jobs"
+        return [
+            JobRecord.load(child / JOB_FILENAME)
+            for child in sorted(jobs_dir.iterdir())
+            if (child / JOB_FILENAME).exists()
+        ]
+
+    def job_events(self, job_id: str, n: int = -1) -> list[Event]:
+        """The last ``n`` events of a job's log (all of them when ``n < 0``)."""
+        return tail_events(self.events_path(job_id), n)
+
+    def report_for(self, job_id: str) -> dict[str, Any] | None:
+        """The stored report of a ``done`` job (cache hits included), else ``None``."""
+        record = self.status(job_id)
+        if record.state != DONE:
+            return None
+        return self.store.get_report(record.spec_hash)
+
+    # -- the serve loop -----------------------------------------------------
+
+    def _claim_next(self) -> JobRecord | None:
+        """Atomically claim the oldest queued job (rename into ``active/``)."""
+        queue_dir = self.spool / "queue"
+        for marker in sorted(queue_dir.iterdir()):
+            try:
+                os.replace(marker, self.spool / "active" / marker.name)
+            except FileNotFoundError:
+                continue  # another server claimed it first
+            return self.status(marker.name)
+        return None
+
+    def _release(self, record: JobRecord) -> None:
+        """Drop a job's ``active/`` marker once it reaches a terminal state."""
+        try:
+            os.unlink(self.spool / "active" / record.job_id)
+        except FileNotFoundError:
+            pass
+
+    def _requeue(self, record: JobRecord) -> None:
+        """Push a claimed-but-unfinished job back onto the queue (shutdown path)."""
+        self._set_state(record, QUEUED)
+        try:
+            os.replace(
+                self.spool / "active" / record.job_id,
+                self.spool / "queue" / record.job_id,
+            )
+        except FileNotFoundError:
+            (self.spool / "queue" / record.job_id).touch()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
+        return self._pool
+
+    def _recreate_pool(self, generation: int) -> None:
+        """Replace a broken pool — but only once per breakage.
+
+        Several in-flight futures fail together when one worker dies; the
+        ``generation`` stamp ensures only the first handled failure rebuilds
+        the pool, so jobs already resubmitted onto the fresh pool are not
+        cancelled by a second rebuild.
+        """
+        if generation != self._pool_generation:
+            return
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
+        self._pool_generation += 1
+
+    def _commit(self, record: JobRecord, report: Mapping[str, Any], stats: dict) -> None:
+        """A computed job succeeded: commit its result into the store."""
+        job_dir = self.job_dir(record.job_id)
+        spec_doc = json.loads((job_dir / SPEC_FILENAME).read_text())
+        self.store.put(
+            record.spec_hash,
+            spec=spec_doc,
+            report=report,
+            events_file=job_dir / EVENTS_FILENAME,
+        )
+        checkpoint = job_dir / CHECKPOINT_FILENAME
+        if checkpoint.exists():
+            checkpoint.unlink()  # the committed report supersedes it
+        self._set_state(record, DONE)
+        self._release(record)
+        stats["executed"] += 1
+        stats["completed"] += 1
+
+    def _fail(self, record: JobRecord, error: BaseException, stats: dict) -> None:
+        record.error = f"{type(error).__name__}: {error}"
+        self._set_state(record, FAILED, error=record.error)
+        self._release(record)
+        stats["failed"] += 1
+
+    def _finish_cache_hit(self, record: JobRecord, stats: dict) -> None:
+        record.cache_hit = True
+        self._emit(record, JOB_CACHE_HIT, spec_hash=record.spec_hash)
+        self._set_state(record, DONE)
+        self._release(record)
+        stats["cache_hits"] += 1
+        stats["completed"] += 1
+
+    def _resolve_followers(
+        self,
+        spec_hash: str,
+        followers: dict[str, list[JobRecord]],
+        stats: dict,
+        *,
+        error: BaseException | None = None,
+    ) -> None:
+        """Settle duplicate jobs that waited on an in-flight computation.
+
+        On success every follower becomes a store cache hit; on a
+        *deterministic* failure they inherit it (recomputing the same spec
+        would raise the same exception).
+        """
+        for follower in followers.pop(spec_hash, []):
+            if error is None:
+                self._finish_cache_hit(follower, stats)
+            else:
+                self._fail(follower, error, stats)
+
+    def _start_attempt(self, record: JobRecord) -> None:
+        record.attempts += 1
+        self._set_state(record, RUNNING)
+
+    def _run_inline(
+        self,
+        record: JobRecord,
+        stats: dict,
+        followers: dict[str, list[JobRecord]],
+    ) -> None:
+        """Execute a job in-process (``n_workers == 1``), with the same retry rules."""
+        while True:
+            try:
+                report = _execute_job(str(self.spool), record.job_id, self.checkpoint_every)
+            except (WorkerCrashError, BrokenProcessPool) as exc:
+                if record.attempts >= record.max_attempts:
+                    self._fail(record, exc, stats)
+                    self._resolve_followers(record.spec_hash, followers, stats, error=exc)
+                    return
+                stats["retries"] += 1
+                self._emit(record, JOB_RETRYING, attempt=record.attempts, error=str(exc))
+                self._start_attempt(record)
+            except Exception as exc:
+                self._fail(record, exc, stats)
+                self._resolve_followers(record.spec_hash, followers, stats, error=exc)
+                return
+            else:
+                self._commit(record, report, stats)
+                self._resolve_followers(record.spec_hash, followers, stats)
+                return
+
+    def serve(
+        self,
+        *,
+        max_jobs: int | None = None,
+        idle_timeout: float = 0.0,
+        poll_interval: float = 0.1,
+    ) -> dict[str, int]:
+        """Claim and execute queued jobs until the queue drains.
+
+        ``idle_timeout`` is how long to keep polling an empty queue before
+        returning (``0.0``, the default, returns as soon as everything
+        claimed is settled — the batch mode the tests and CI use);
+        ``max_jobs`` caps how many jobs this call will claim.  Returns the
+        tally ``{completed, failed, cache_hits, executed, retries}``.
+        KeyboardInterrupt shuts down gracefully: in-flight jobs are
+        requeued, not lost.
+        """
+        stats = {"completed": 0, "failed": 0, "cache_hits": 0, "executed": 0, "retries": 0}
+        futures: dict[Future, tuple[JobRecord, int]] = {}
+        executing: dict[str, str] = {}  # spec_hash -> computing job_id
+        followers: dict[str, list[JobRecord]] = {}
+        claimed = 0
+        idle_since: float | None = None
+        use_pool = self.n_workers > 1
+
+        def submit_to_pool(record: JobRecord) -> None:
+            pool = self._ensure_pool()
+            future = pool.submit(
+                _execute_job, str(self.spool), record.job_id, self.checkpoint_every
+            )
+            futures[future] = (record, self._pool_generation)
+
+        try:
+            while True:
+                # Fill the fleet from the queue.
+                while (max_jobs is None or claimed < max_jobs) and (
+                    len(futures) < self.n_workers
+                ):
+                    record = self._claim_next()
+                    if record is None:
+                        break
+                    claimed += 1
+                    idle_since = None
+                    if self.store.contains(record.spec_hash):
+                        self._finish_cache_hit(record, stats)
+                    elif record.spec_hash in executing:
+                        # An identical spec is already computing: hold this
+                        # one back and settle it from the store afterwards.
+                        followers.setdefault(record.spec_hash, []).append(record)
+                    else:
+                        executing[record.spec_hash] = record.job_id
+                        self._start_attempt(record)
+                        if use_pool:
+                            submit_to_pool(record)
+                        else:
+                            self._run_inline(record, stats, followers)
+                            executing.pop(record.spec_hash, None)
+
+                if futures:
+                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        record, generation = futures.pop(future)
+                        try:
+                            report = future.result()
+                        except (WorkerCrashError, BrokenProcessPool) as exc:
+                            if isinstance(exc, BrokenProcessPool):
+                                self._recreate_pool(generation)
+                            if record.attempts >= record.max_attempts:
+                                self._fail(record, exc, stats)
+                                executing.pop(record.spec_hash, None)
+                                self._resolve_followers(
+                                    record.spec_hash, followers, stats, error=exc
+                                )
+                            else:
+                                stats["retries"] += 1
+                                self._emit(
+                                    record,
+                                    JOB_RETRYING,
+                                    attempt=record.attempts,
+                                    error=str(exc),
+                                )
+                                self._start_attempt(record)
+                                submit_to_pool(record)
+                        except Exception as exc:
+                            self._fail(record, exc, stats)
+                            executing.pop(record.spec_hash, None)
+                            self._resolve_followers(
+                                record.spec_hash, followers, stats, error=exc
+                            )
+                        else:
+                            self._commit(record, report, stats)
+                            executing.pop(record.spec_hash, None)
+                            self._resolve_followers(record.spec_hash, followers, stats)
+                    continue
+
+                # Nothing in flight; queue was empty on the last fill pass.
+                if max_jobs is not None and claimed >= max_jobs:
+                    break
+                if idle_timeout <= 0:
+                    break
+                if idle_since is None:
+                    idle_since = time.monotonic()
+                if time.monotonic() - idle_since >= idle_timeout:
+                    break
+                time.sleep(poll_interval)
+        except KeyboardInterrupt:
+            for future, (record, _) in futures.items():
+                future.cancel()
+                self._requeue(record)
+            for waiting in followers.values():
+                for record in waiting:
+                    self._requeue(record)
+        return stats
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker fleet down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ExperimentService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

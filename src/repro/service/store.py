@@ -1,0 +1,134 @@
+"""Content-addressed result store.
+
+One directory per spec hash, holding the three artifacts of a completed
+experiment::
+
+    store/<hash>/spec.json      # the canonical spec that was computed
+    store/<hash>/report.json    # RunReport.to_dict() of the result
+    store/<hash>/events.jsonl   # the streaming event log of the run
+
+The hash is :meth:`repro.api.RunSpec.content_hash` — config + data digest +
+seed — so resubmitting an identical experiment finds ``report.json``
+already present and skips the computation entirely.  ``report.json`` is
+written last and atomically (temp + ``os.replace``): its presence is the
+commit point, so a reader can never observe a half-written entry as a
+cache hit.
+
+The store speaks plain dicts and paths (no imports from the API layer), so
+it can be used from workers, the scheduler, and offline tooling alike.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+__all__ = ["ResultStore"]
+
+_HASH_RE = re.compile(r"^[0-9a-f]{6,64}$")
+
+SPEC_FILENAME = "spec.json"
+REPORT_FILENAME = "report.json"
+EVENTS_FILENAME = "events.jsonl"
+
+
+def _write_json_atomic(path: Path, document: Mapping[str, Any]) -> None:
+    """Write JSON durably: temp file in the same directory, then atomic replace."""
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class ResultStore:
+    """Filesystem store of completed experiment results, keyed by spec hash."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _check_key(self, key: str) -> str:
+        if not _HASH_RE.match(key):
+            raise ValueError(f"not a spec content hash: {key!r}")
+        return key
+
+    def path(self, key: str) -> Path:
+        """The entry directory for ``key`` (existing or not)."""
+        return self.root / self._check_key(key)
+
+    def report_path(self, key: str) -> Path:
+        """Where the stored report lives (its existence is the commit point)."""
+        return self.path(key) / REPORT_FILENAME
+
+    def events_path(self, key: str) -> Path:
+        """Where the stored event log lives."""
+        return self.path(key) / EVENTS_FILENAME
+
+    def contains(self, key: str) -> bool:
+        """True when a committed result for ``key`` is present."""
+        return self.report_path(key).exists()
+
+    __contains__ = contains
+
+    def get_report(self, key: str) -> dict[str, Any] | None:
+        """The stored report dict, or ``None`` when absent."""
+        path = self.report_path(key)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    def get_spec(self, key: str) -> dict[str, Any] | None:
+        """The stored spec dict, or ``None`` when absent."""
+        path = self.path(key) / SPEC_FILENAME
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    def put(
+        self,
+        key: str,
+        *,
+        spec: Mapping[str, Any],
+        report: Mapping[str, Any],
+        events_file: str | Path | None = None,
+    ) -> Path:
+        """Commit one completed experiment under ``key``.
+
+        ``events_file`` (the run's JSONL log) is copied in *before* the
+        report so that once the entry reads as committed, its artifacts are
+        complete.  Re-putting an existing key overwrites it (results are
+        deterministic functions of the key, so this is idempotent).
+        """
+        entry = self.path(key)
+        entry.mkdir(parents=True, exist_ok=True)
+        _write_json_atomic(entry / SPEC_FILENAME, dict(spec))
+        if events_file is not None and Path(events_file).exists():
+            shutil.copyfile(events_file, entry / EVENTS_FILENAME)
+        _write_json_atomic(entry / REPORT_FILENAME, dict(report))
+        return entry
+
+    def keys(self) -> Iterator[str]:
+        """All committed entry hashes."""
+        if not self.root.exists():
+            return
+        for child in sorted(self.root.iterdir()):
+            if child.is_dir() and _HASH_RE.match(child.name) and (child / REPORT_FILENAME).exists():
+                yield child.name
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())

@@ -1,0 +1,251 @@
+"""Checkpoint/resume tests: a killed EM run resumes bit-identically."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Experiment
+from repro.core.config import MPCGSConfig, SamplerConfig
+from repro.core.mpcgs import MPCGS
+from repro.service.checkpoint import (
+    CheckpointMismatchError,
+    EMCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+FAST = MPCGSConfig(
+    n_em_iterations=4,
+    theta_convergence_tol=1e-12,  # effectively never converge: all iterations run
+    sampler=SamplerConfig(n_samples=15, burn_in=5, n_proposals=4),
+)
+
+
+class _Killed(Exception):
+    """Stand-in for SIGKILL: aborts the run right after a checkpoint lands."""
+
+
+def _kill_after(iteration: int):
+    def on_event(event):
+        if event.kind == "checkpoint.written" and event.payload["iteration"] == iteration:
+            raise _Killed
+
+    return on_event
+
+
+def _assert_bit_identical(full, resumed):
+    assert np.array_equal(full.theta_trajectory, resumed.theta_trajectory)
+    assert len(full.iterations) == len(resumed.iterations)
+    for a, b in zip(full.iterations, resumed.iterations):
+        assert a.iteration == b.iteration
+        assert a.driving_theta == b.driving_theta
+        assert a.estimate.theta == b.estimate.theta
+        assert np.array_equal(a.chain.interval_matrix, b.chain.interval_matrix)
+        assert np.array_equal(
+            np.asarray(a.chain.trace.log_likelihoods),
+            np.asarray(b.chain.trace.log_likelihoods),
+        )
+
+
+class TestResumeBitIdentity:
+    @pytest.mark.parametrize("kill_at", [1, 2, 3])
+    def test_constant_demography(self, small_dataset, tmp_path, kill_at):
+        aln = small_dataset.alignment
+        ckpt = tmp_path / "ckpt.pkl"
+
+        full = MPCGS(aln, FAST).run(1.0, np.random.default_rng(42))
+
+        with pytest.raises(_Killed):
+            MPCGS(aln, FAST).run(
+                1.0,
+                np.random.default_rng(42),
+                checkpoint_path=ckpt,
+                on_event=_kill_after(kill_at),
+            )
+        assert load_checkpoint(ckpt).completed_iterations == kill_at
+
+        resumed = MPCGS(aln, FAST).run(
+            1.0,
+            np.random.default_rng(42),
+            checkpoint_path=ckpt,
+            resume_from=ckpt,
+        )
+        _assert_bit_identical(full, resumed)
+
+    def test_growth_demography(self, small_dataset, tmp_path):
+        cfg = MPCGSConfig(
+            n_em_iterations=3,
+            theta_convergence_tol=1e-12,
+            sampler=SamplerConfig(n_samples=15, burn_in=5, n_proposals=4),
+            demography="growth",
+        )
+        aln = small_dataset.alignment
+        ckpt = tmp_path / "ckpt.pkl"
+
+        full = MPCGS(aln, cfg).run(1.0, np.random.default_rng(9))
+        with pytest.raises(_Killed):
+            MPCGS(aln, cfg).run(
+                1.0,
+                np.random.default_rng(9),
+                checkpoint_path=ckpt,
+                on_event=_kill_after(1),
+            )
+        resumed = MPCGS(aln, cfg).run(
+            1.0, np.random.default_rng(9), checkpoint_path=ckpt, resume_from=ckpt
+        )
+        _assert_bit_identical(full, resumed)
+        assert np.array_equal(full.growth_trajectory, resumed.growth_trajectory)
+        assert full.demography_params == resumed.demography_params
+
+    def test_resume_of_converged_run_stops_where_the_original_did(
+        self, small_dataset, tmp_path
+    ):
+        cfg = MPCGSConfig(
+            n_em_iterations=8,
+            theta_convergence_tol=1e9,  # converges after the first iteration
+            sampler=SamplerConfig(n_samples=10, burn_in=5, n_proposals=2),
+        )
+        aln = small_dataset.alignment
+        ckpt = tmp_path / "ckpt.pkl"
+        full = MPCGS(aln, cfg).run(1.0, np.random.default_rng(5), checkpoint_path=ckpt)
+        assert len(full.iterations) == 1
+        assert load_checkpoint(ckpt).converged
+
+        resumed = MPCGS(aln, cfg).run(1.0, np.random.default_rng(5), resume_from=ckpt)
+        assert len(resumed.iterations) == 1  # no phantom extra iterations
+        assert resumed.theta == full.theta
+
+    def test_checkpoint_cadence(self, small_dataset, tmp_path):
+        cfg = MPCGSConfig(
+            n_em_iterations=3,
+            theta_convergence_tol=1e-12,
+            sampler=SamplerConfig(n_samples=10, burn_in=5, n_proposals=2),
+        )
+        ckpt = tmp_path / "ckpt.pkl"
+        seen: list[int] = []
+
+        def watch(event):
+            if event.kind == "checkpoint.written":
+                seen.append(event.payload["iteration"])
+
+        MPCGS(small_dataset.alignment, cfg).run(
+            1.0,
+            np.random.default_rng(3),
+            checkpoint_path=ckpt,
+            checkpoint_every=2,
+            on_event=watch,
+        )
+        # Every 2nd iteration, plus the final one so completed runs always
+        # leave a terminal checkpoint.
+        assert seen == [2, 3]
+
+
+class TestCheckpointSafety:
+    def test_mismatched_config_refused(self, small_dataset, tmp_path):
+        aln = small_dataset.alignment
+        ckpt = tmp_path / "ckpt.pkl"
+        with pytest.raises(_Killed):
+            MPCGS(aln, FAST).run(
+                1.0,
+                np.random.default_rng(1),
+                checkpoint_path=ckpt,
+                on_event=_kill_after(1),
+            )
+        other = MPCGSConfig(
+            n_em_iterations=4,
+            theta_convergence_tol=1e-12,
+            sampler=SamplerConfig(n_samples=30, burn_in=5, n_proposals=4),
+        )
+        with pytest.raises(CheckpointMismatchError):
+            MPCGS(aln, other).run(1.0, np.random.default_rng(1), resume_from=ckpt)
+
+    def test_mismatched_theta0_refused(self, small_dataset, tmp_path):
+        aln = small_dataset.alignment
+        ckpt = tmp_path / "ckpt.pkl"
+        with pytest.raises(_Killed):
+            MPCGS(aln, FAST).run(
+                1.0,
+                np.random.default_rng(1),
+                checkpoint_path=ckpt,
+                on_event=_kill_after(1),
+            )
+        with pytest.raises(CheckpointMismatchError):
+            MPCGS(aln, FAST).run(2.0, np.random.default_rng(1), resume_from=ckpt)
+
+    def test_save_is_atomic_overwrite(self, tmp_path, tiny_tree):
+        path = tmp_path / "ckpt.pkl"
+        first = EMCheckpoint(
+            run_key="k",
+            completed_iterations=1,
+            theta=1.0,
+            demography=None,
+            tree=tiny_tree,
+            rng_state={"state": 1},
+        )
+        save_checkpoint(path, first)
+        second = EMCheckpoint(
+            run_key="k",
+            completed_iterations=2,
+            theta=2.0,
+            demography=None,
+            tree=tiny_tree,
+            rng_state={"state": 2},
+        )
+        save_checkpoint(path, second)
+        loaded = load_checkpoint(path, expected_run_key="k")
+        assert loaded.completed_iterations == 2 and loaded.theta == 2.0
+        assert not list(tmp_path.glob("*.tmp"))  # no temp litter
+
+    def test_wrong_run_key_on_load(self, tmp_path, tiny_tree):
+        path = tmp_path / "ckpt.pkl"
+        save_checkpoint(
+            path,
+            EMCheckpoint(
+                run_key="abc",
+                completed_iterations=1,
+                theta=1.0,
+                demography=None,
+                tree=tiny_tree,
+                rng_state={},
+            ),
+        )
+        with pytest.raises(CheckpointMismatchError):
+            load_checkpoint(path, expected_run_key="other")
+
+    def test_invalid_checkpoint_every(self, small_dataset):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            MPCGS(small_dataset.alignment, FAST).run(
+                1.0, np.random.default_rng(0), checkpoint_every=0
+            )
+
+
+class TestExperimentCheckpointSurface:
+    def test_facade_threads_checkpoints(self, small_dataset, tmp_path):
+        cfg = MPCGSConfig(
+            n_em_iterations=2,
+            sampler=SamplerConfig(n_samples=10, burn_in=5, n_proposals=2),
+        )
+        ckpt = tmp_path / "ckpt.pkl"
+        experiment = Experiment(small_dataset.alignment, cfg, theta0=1.0, seed=7)
+        assert experiment.supports_checkpointing
+        kinds: list[str] = []
+        report = experiment.run(
+            on_event=lambda e: kinds.append(e.kind), checkpoint_path=ckpt
+        )
+        assert ckpt.exists()
+        assert "em.iteration_completed" in kinds and "checkpoint.written" in kinds
+        resumed = Experiment(small_dataset.alignment, cfg, theta0=1.0, seed=7).run(
+            resume_from=ckpt
+        )
+        assert resumed.theta == report.theta
+
+    def test_bayesian_rejects_checkpoint_args(self, small_dataset, tmp_path):
+        cfg = MPCGSConfig(
+            sampler_name="bayesian",
+            sampler=SamplerConfig(n_samples=10, burn_in=5),
+        )
+        experiment = Experiment(small_dataset.alignment, cfg, theta0=1.0, seed=7)
+        assert not experiment.supports_checkpointing
+        with pytest.raises(ValueError, match="checkpoint"):
+            experiment.run(checkpoint_path=tmp_path / "ckpt.pkl")

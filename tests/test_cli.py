@@ -280,3 +280,99 @@ class TestSamplerSwitchHygiene:
         spec_path.write_text(json.dumps({"sequence_file": phylip_file, "sampler": "Bayesian"}))
         with pytest.raises(SystemExit):
             main(["run", "--config", str(spec_path)])
+
+
+class TestServiceCLI:
+    """``mpcgs submit`` / ``serve`` / ``status``: the experiment service."""
+
+    @pytest.fixture
+    def spec_file(self, phylip_file, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "sequence_file": phylip_file,
+                    "theta0": 1.0,
+                    "seed": 7,
+                    "config": {
+                        "n_em_iterations": 2,
+                        "sampler": {"n_samples": 20, "burn_in": 5, "n_proposals": 4},
+                    },
+                }
+            )
+        )
+        return str(path)
+
+    def test_submit_serve_status_flow(self, spec_file, tmp_path, capsys):
+        spool = str(tmp_path / "spool")
+        assert main(["submit", spec_file, "--spool", spool]) == 0
+        out = capsys.readouterr().out
+        assert "state: queued" in out
+        job_id = out.splitlines()[0].split(": ")[1]
+
+        assert main(["serve", "--spool", spool, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "1 completed (1 executed, 0 cache hits)" in out
+
+        assert main(["status", job_id, "--spool", spool]) == 0
+        out = capsys.readouterr().out
+        assert "state: done" in out
+        assert "theta estimate:" in out
+        assert "em.iteration_completed" in out or "run.completed" in out
+
+    def test_duplicate_submit_is_cache_hit(self, spec_file, tmp_path, capsys):
+        spool = str(tmp_path / "spool")
+        assert main(["submit", spec_file, "--spool", spool]) == 0
+        capsys.readouterr()
+        assert main(["serve", "--spool", spool, "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["submit", spec_file, "--spool", spool]) == 0
+        out = capsys.readouterr().out
+        assert "cache hit" in out
+
+    def test_submit_json_output(self, spec_file, tmp_path, capsys):
+        spool = str(tmp_path / "spool")
+        assert main(["submit", spec_file, "--spool", spool, "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["state"] == "queued"
+        assert len(record["spec_hash"]) == 64
+
+    def test_status_unknown_job(self, tmp_path, capsys):
+        spool = str(tmp_path / "spool")
+        assert main(["status", "job-000042-nope", "--spool", spool]) == 2
+        assert "unknown job id" in capsys.readouterr().err
+
+    def test_submit_missing_spec(self, tmp_path, capsys):
+        spool = str(tmp_path / "spool")
+        assert main(["submit", str(tmp_path / "absent.json"), "--spool", spool]) == 2
+        assert "error submitting" in capsys.readouterr().err
+
+    def test_serve_reports_failure_exit_code(self, phylip_file, tmp_path, capsys):
+        # A spec naming a data file that vanishes after submit fails the job
+        # deterministically (no retries) and serve exits non-zero.
+        data = tmp_path / "gone.phy"
+        data.write_text((tmp_path / "spec_src.phy").name)  # placeholder content
+        import shutil
+
+        shutil.copyfile(phylip_file, data)
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "sequence_file": str(data),
+                    "theta0": 1.0,
+                    "seed": 7,
+                    "config": {
+                        "n_em_iterations": 1,
+                        "sampler": {"n_samples": 10, "burn_in": 5, "n_proposals": 2},
+                    },
+                }
+            )
+        )
+        spool = str(tmp_path / "spool")
+        assert main(["submit", str(spec), "--spool", spool]) == 0
+        capsys.readouterr()
+        data.unlink()
+        assert main(["serve", "--spool", spool, "--quiet"]) == 1
+        out = capsys.readouterr().out
+        assert "1 failed" in out
