@@ -64,7 +64,16 @@ ENGINE_CLASSES = {
 #: Engine methods whose wall clock counts as likelihood work.
 _LIKELIHOOD_METHODS = frozenset({"prepare", "evaluate", "evaluate_batch"})
 #: Resimulator methods whose wall clock counts as proposal generation.
-_PROPOSAL_METHODS = frozenset({"choose_target", "propose"})
+_PROPOSAL_METHODS = frozenset({"choose_target", "propose", "propose_set", "propose_random"})
+
+#: Recorded full-chain time split at the pre-batching seed (ISSUE 7): the
+#: share of wall clock the chains spent *generating* proposals before
+#: propose_set shared the per-set work across siblings.  The batched kernel
+#: must pull the measured fraction below these.
+_SEED_PROPOSAL_FRACTION = {
+    "fused": 0.7682730324237221,
+    "cached": 0.7779908038609565,
+}
 
 
 class _Stopwatch:
@@ -103,10 +112,52 @@ def _generate_batch_stream(dataset, theta: float, n_sets: int, seed: int):
     stream = []
     for _ in range(n_sets):
         target = resim.choose_target(current, rng)
-        proposals = [resim.propose(current, target, rng).tree for _ in range(N_PROPOSALS)]
+        proposals = [
+            outcome.tree
+            for outcome in resim.propose_set(current, target, N_PROPOSALS, rng)
+        ]
         stream.append((current, proposals))
         current = proposals[int(rng.integers(N_PROPOSALS))]
     return stream
+
+
+def _measure_proposal_batching(dataset, theta: float, n_sets: int, seed: int) -> dict:
+    """Wall clock of propose_set: batched kernel vs per-proposal reference.
+
+    Both kernels generate the same-sized proposal sets over the identical
+    stream of (tree, target) states (pre-walked with a third resimulator so
+    neither measured kernel pays for the state walk), so the ratio isolates
+    exactly the sibling-shared work: one region/interval/backward pass per
+    set instead of one per proposal, plus the vectorized forward pass and
+    buffer-shared rebuild.
+    """
+    walker_rng = np.random.default_rng(seed)
+    walker = NeighborhoodResimulator(theta)
+    current = upgma_tree(dataset.alignment, theta)
+    states = []
+    for _ in range(n_sets):
+        target = walker.choose_target(current, walker_rng)
+        states.append((current, target))
+        outcomes = walker.propose_set(current, target, N_PROPOSALS, walker_rng)
+        current = outcomes[int(walker_rng.integers(N_PROPOSALS))].tree
+
+    rows = {}
+    for name, batch in (("batched", True), ("reference", False)):
+        resim = NeighborhoodResimulator(theta, batch_proposals=batch)
+        rng = np.random.default_rng(seed + 1)
+        start = time.perf_counter()
+        for tree, target in states:
+            resim.propose_set(tree, target, N_PROPOSALS, rng)
+        elapsed = time.perf_counter() - start
+        rows[name] = {
+            "seconds_per_proposal_set": elapsed / n_sets,
+            "counters": resim.counters(),
+        }
+    rows["speedup"] = (
+        rows["reference"]["seconds_per_proposal_set"]
+        / rows["batched"]["seconds_per_proposal_set"]
+    )
+    return rows
 
 
 def _measure_engine_stream(dataset, model, stream, repeats: int = 3) -> dict:
@@ -196,6 +247,9 @@ def run_fused_benchmark(smoke: bool = SMOKE) -> dict:
     stream = _generate_batch_stream(dataset, 1.0, n_stream_sets, seed=99)
     stream_rows = _measure_engine_stream(dataset, model, stream)
 
+    # ---- kernel-isolated proposal generation: batched vs reference ----
+    proposal_rows = _measure_proposal_batching(dataset, 1.0, n_stream_sets, seed=123)
+
     fused_stream = stream_rows["fused"]
     payload = {
         "smoke": smoke,
@@ -227,6 +281,15 @@ def run_fused_benchmark(smoke: bool = SMOKE) -> dict:
             for name in ENGINE_CLASSES
         },
         "engine_stream": stream_rows,
+        # ISSUE 7: propose_set wall clock, batched kernel vs per-proposal
+        # reference over the identical (tree, target) stream, plus the work
+        # counters proving the sharing (batched: one interval build + one
+        # backward pass per *set*; reference: one of each per *proposal*).
+        "proposal_batching": proposal_rows,
+        # The full-chain proposal-generation fractions recorded at the
+        # pre-batching seed; the chains above (which default to the batched
+        # kernel) must land below these.
+        "seed_chain_proposal_fraction": _SEED_PROPOSAL_FRACTION,
         # The acceptance ratios.
         "tree_site_product_ratio_vs_batched": chain_rows["batched"]["n_tree_site_products"]
         / chain_rows["fused"]["n_tree_site_products"],
@@ -289,6 +352,24 @@ def test_fused_engine_benchmark(record):
     assert payload["chains_identical"]
     assert payload["max_loglik_trace_diff"] < 1e-8
     assert payload["engine_stream"]["max_value_diff"] < 1e-8
+    # ISSUE 7 bars.  The counter shape is deterministic: the batched kernel
+    # builds the per-set context exactly once per proposal set, the reference
+    # kernel once per proposal.
+    batching = payload["proposal_batching"]
+    n_sets = batching["batched"]["counters"]["n_proposal_sets"]
+    assert batching["batched"]["counters"]["n_interval_builds"] == n_sets
+    assert batching["batched"]["counters"]["n_backward_passes"] == n_sets
+    assert (
+        batching["reference"]["counters"]["n_interval_builds"]
+        == n_sets * payload["workload"]["n_proposals"]
+    )
+    if not payload["smoke"]:
+        # Timing bars only on the default preset (see comment above).
+        assert batching["speedup"] >= 2.0
+        for name, seed_fraction in payload["seed_chain_proposal_fraction"].items():
+            assert (
+                payload["chains"][name]["proposal_generation_fraction"] < seed_fraction
+            )
 
 
 if __name__ == "__main__":

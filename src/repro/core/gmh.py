@@ -168,9 +168,14 @@ class GeneralizedMetropolisHastings:
         if prepare is not None:
             prepare(current)
 
+        # One propose_set call shares the sibling-invariant work (region,
+        # intervals, backward pass, Λ rescaling) across the whole set — the
+        # Eq. 31 structure made executable: all N+1 candidates share one φ.
         proposals = [
-            self.resimulator.propose(current, target, rng).tree
-            for _ in range(self.n_proposals)
+            outcome.tree
+            for outcome in self.resimulator.propose_set(
+                current, target, self.n_proposals, rng
+            )
         ]
         trees: list[Genealogy] = proposals + [current]
         generator_index = len(trees) - 1

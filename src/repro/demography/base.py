@@ -161,14 +161,55 @@ class Demography:
     def inverse_cumulative_intensity(self, y):
         """Λ⁻¹(y): the time at which the integrated intensity reaches ``y``.
 
-        Generic monotone bisection via ``scipy.optimize.brentq``; models
-        with closed-form inverses override this.  ``y`` beyond Λ(∞) raises.
+        Generic monotone inversion; models with closed-form inverses
+        override this.  Scalars go through ``scipy.optimize.brentq``; array
+        inputs run one vectorized bracketing-plus-bisection over the whole
+        batch (the batched proposal kernel maps every sampled τ of a
+        proposal set back to calendar time in a single call).  ``y`` beyond
+        Λ(∞) raises.
         """
-        y_arr = np.atleast_1d(np.asarray(y, dtype=float))
-        out = np.empty_like(y_arr)
-        for i, target in enumerate(y_arr):
-            out[i] = self._invert_scalar(float(target))
-        return out if np.ndim(y) else float(out[0])
+        if np.ndim(y) == 0:
+            return self._invert_scalar(float(y))
+        return self._invert_array(np.asarray(y, dtype=float))
+
+    def _invert_array(self, targets: np.ndarray) -> np.ndarray:
+        """Vectorized Λ⁻¹ by doubling bracket + bisection (monotone Λ)."""
+        flat = targets.reshape(-1)
+        out = np.zeros_like(flat)
+        if np.any(flat < 0):
+            raise ValueError("cumulative intensity is non-negative")
+        out[~np.isfinite(flat)] = math.inf
+        live = np.isfinite(flat) & (flat > 0.0)
+        if not np.any(live):
+            return out.reshape(targets.shape)
+        total = self.total_intensity()
+        if np.any(flat[live] >= total):
+            worst = float(np.max(flat[live]))
+            raise ValueError(
+                f"cumulative intensity {worst} exceeds the demography's total "
+                f"integrated intensity {total}"
+            )
+        y = flat[live]
+        hi = np.maximum(y, 1.0)
+        for _ in range(200):
+            short = np.asarray(self.cumulative_intensity(hi), dtype=float) < y
+            if not np.any(short):
+                break
+            hi = np.where(short, hi * 2.0, hi)
+        else:  # pragma: no cover - total_intensity() guard prevents this
+            raise ValueError("failed to bracket the inverse cumulative intensity")
+        lo = np.zeros_like(hi)
+        # 100 halvings shrink the widest bracket below any representable
+        # spacing (matches the scalar brentq xtol of 1e-12·max(hi, 1)).
+        for _ in range(100):
+            mid = 0.5 * (lo + hi)
+            below = np.asarray(self.cumulative_intensity(mid), dtype=float) < y
+            lo = np.where(below, mid, lo)
+            hi = np.where(below, hi, mid)
+            if np.all(hi - lo <= 1e-12 * np.maximum(hi, 1.0)):
+                break
+        out[live] = 0.5 * (lo + hi)
+        return out.reshape(targets.shape)
 
     def _invert_scalar(self, target: float) -> float:
         from scipy.optimize import brentq

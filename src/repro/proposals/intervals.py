@@ -167,16 +167,16 @@ def rescaled_interval_spans(intervals, demography) -> tuple[list[float], list[fl
     (exponential decline), correctly conditioning the resimulation on the
     lineages ever coalescing.
     """
-    tau_starts = [float(demography.cumulative_intensity(iv.start)) for iv in intervals]
-    total = demography.total_intensity()
-    tau_spans = []
-    for iv, tau_start in zip(intervals, tau_starts):
-        if np.isfinite(iv.end):
-            tau_end = float(demography.cumulative_intensity(iv.end))
-        else:
-            tau_end = total
-        tau_spans.append(tau_end - tau_start)
-    return tau_starts, tau_spans
+    starts = np.asarray([iv.start for iv in intervals], dtype=float)
+    ends = np.asarray([iv.end for iv in intervals], dtype=float)
+    tau_starts = np.asarray(demography.cumulative_intensity(starts), dtype=float)
+    finite = np.isfinite(ends)
+    tau_ends = np.full(ends.shape, demography.total_intensity())
+    if np.any(finite):
+        tau_ends[finite] = np.asarray(
+            demography.cumulative_intensity(ends[finite]), dtype=float
+        )
+    return [float(t) for t in tau_starts], [float(s) for s in tau_ends - tau_starts]
 
 
 def build_intervals(tree: Genealogy, region: Region) -> list[FeasibleInterval]:

@@ -19,8 +19,10 @@ interval conditional on its endpoint states, which the paper performs by
 "treating S_{i,j}(t) as a cumulative distribution function".
 
 Everything here sits on the proposal hot path (one call per feasible
-interval per proposal), so the arithmetic uses scalar ``math`` functions and
-closed forms rather than NumPy ufuncs.
+interval per proposal), so the scalar reference path uses ``math`` functions
+and closed forms rather than NumPy ufuncs; the ``*_batch`` samplers invert
+the same closed forms as NumPy ufuncs over all siblings of a proposal set at
+once (one RNG draw per interval instead of one per sibling).
 
 The rates above are those of the *constant-size* coalescent — yet this
 module serves every registered demography unchanged.  A demography
@@ -137,6 +139,15 @@ class IntervalKinetics:
         cdf, total = self._double_merge_cdf(span)
         del cdf
         return total
+
+    def double_merge_cdf(self, span: float):
+        """Public handle on the 3 → 1 first-merge CDF, for per-set caching.
+
+        Returns ``(cdf, total)`` exactly as the internal closed form; the
+        batched forward pass computes this once per interval per proposal
+        set and shares it across all siblings drawing a double merge there.
+        """
+        return self._double_merge_cdf(span)
 
     def _double_merge_cdf(self, span: float):
         """Unnormalized CDF of the first-merge time for a 3 → 1 interval, and its total mass.
@@ -338,11 +349,94 @@ class IntervalKinetics:
                 # exponential with rate ρ₃ − ρ₁ on [0, Δ].
                 u = float(rng.random())
                 return -math.log1p(-u * -math.expm1(-lam * span)) / lam
-            # Numerically degenerate (span extremely small); place the event
-            # uniformly as a fallback.
-            return float(rng.random() * span)
+            # Numerically degenerate (span extremely small): as every
+            # rate·Δ → 0 the conditioned density g(τ) ∝ e^{-ρ₃τ}S₂₁(Δ−τ)
+            # tends to μ₃μ₂(Δ − τ), a triangular density on [0, Δ] — NOT
+            # uniform.  Its CDF is 1 − ((Δ−τ)/Δ)², inverted in closed form.
+            u = float(rng.random())
+            return span * (1.0 - math.sqrt(1.0 - u))
 
         u = float(rng.random()) * total
         if cdf(span) <= u:
             return span * (1.0 - 1e-12)
         return float(brentq(lambda t: cdf(t) - u, 0.0, span, xtol=1e-14 * max(span, 1.0)))
+
+    # ------------------------------------------------------------------ #
+    # Batched sampling (the propose_set forward pass)
+    # ------------------------------------------------------------------ #
+    def sample_single_merge_batch(
+        self, a: np.ndarray, spans: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Vectorized :meth:`_sample_single_merge` over many siblings.
+
+        ``a`` and ``spans`` are same-length arrays (one entry per sibling
+        drawing a single merge here); one element-wise uniform draw replaces
+        one Python-level draw per sibling, and the truncated-exponential
+        inversion runs as ufuncs.  Each element follows exactly the same
+        conditional law as the scalar reference sampler.
+        """
+        a = np.asarray(a, dtype=np.int64)
+        spans = np.asarray(spans, dtype=float)
+        rho_hi = a * (a - 1 + 2 * self.n_inactive) / self.theta
+        rho_lo = (a - 1) * (a - 2 + 2 * self.n_inactive) / self.theta
+        lam = rho_hi - rho_lo
+        u = rng.random(a.shape[0])
+        out = np.empty(a.shape[0])
+
+        unbounded = ~np.isfinite(spans)
+        if np.any(unbounded):
+            # Exp(ρ_a) via inversion (the scalar path draws rng.exponential;
+            # same distribution, one stream draw either way).
+            out[unbounded] = -np.log1p(-u[unbounded]) / rho_hi[unbounded]
+
+        bounded = ~unbounded
+        degenerate = bounded & (np.abs(lam) <= _REL_TOL)
+        out[degenerate] = u[degenerate] * spans[degenerate]
+        normal = bounded & ~degenerate
+        if np.any(normal):
+            lam_n = lam[normal]
+            denom = -np.expm1(-lam_n * spans[normal])
+            out[normal] = -np.log1p(-u[normal] * denom) / lam_n
+        return out
+
+    def sample_first_of_double_batch(
+        self,
+        span: float,
+        size: int,
+        rng: np.random.Generator,
+        cdf_total=None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`_sample_first_of_double` for one shared span.
+
+        All siblings drawing a 3 → 1 double merge in the same interval share
+        the same span, so the closed-form CDF (``cdf_total``, as returned by
+        :meth:`double_merge_cdf`) is built once per proposal set; only the
+        final root-find runs per element, on a per-element uniform batch.
+        """
+        rho3 = self.exit_rate(3)
+        u = rng.random(size)
+        if not math.isfinite(span):
+            return -np.log1p(-u) / rho3
+
+        if cdf_total is None:
+            cdf_total = self._double_merge_cdf(span)
+        cdf, total = cdf_total
+        if total <= 0.0:
+            rho1 = self.exit_rate(1)
+            lam = rho3 - rho1
+            if lam * span > 1.0:
+                return -np.log1p(-u * -math.expm1(-lam * span)) / lam
+            # λ → 0 limit: triangular density ∝ (Δ − τ) (see the scalar path).
+            return span * (1.0 - np.sqrt(1.0 - u))
+
+        targets = u * total
+        out = np.empty(size)
+        ceiling = cdf(span)
+        for i, t_u in enumerate(targets):
+            if ceiling <= t_u:
+                out[i] = span * (1.0 - 1e-12)
+            else:
+                out[i] = brentq(
+                    lambda t: cdf(t) - t_u, 0.0, span, xtol=1e-14 * max(span, 1.0)
+                )
+        return out

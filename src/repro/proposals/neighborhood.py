@@ -24,11 +24,21 @@ The simulation proceeds over the feasible intervals computed by
 
 The proposal may re-pair the three child subtrees arbitrarily, so both node
 times and tree topology change (Fig. 9).
+
+A generalized-MH proposal *set* shares one neighbourhood φ across all N+1
+candidates (Eq. 31), so everything that depends only on (tree, target) —
+the region, the feasible intervals, the kinetics, the per-interval
+transition matrices, the backward-pass table, and the demography Λ
+rescaling — is identical for every sibling.  :meth:`propose_set` computes
+each of those exactly once per set and runs the forward pass and the tree
+surgery vectorized across all siblings; :meth:`propose` remains the
+per-proposal reference kernel the batched path is tested against.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -42,9 +52,21 @@ from .intervals import (
 )
 from .kinetics import IntervalKinetics
 
-__all__ = ["NeighborhoodResimulator", "ResimulationOutcome", "eligible_targets"]
+__all__ = [
+    "NeighborhoodResimulator",
+    "ResimulationError",
+    "ResimulationOutcome",
+    "eligible_targets",
+]
 
 _TIME_EPS = 1e-12
+
+#: The three unordered pairs of a 3-element active list, indexed by ⌊3u⌋.
+_PAIRS_OF_THREE = ((0, 1), (0, 2), (1, 2))
+
+
+class ResimulationError(RuntimeError):
+    """A resimulated neighbourhood could not be stitched into a valid tree."""
 
 
 def eligible_targets(tree: Genealogy) -> np.ndarray:
@@ -61,6 +83,30 @@ class ResimulationOutcome:
     region: Region
     new_times: tuple[float, float]
     topology_changed: bool
+
+
+@dataclass
+class _SetContext:
+    """Everything about one proposal set that is identical across siblings.
+
+    Built once per (tree, target) by :meth:`NeighborhoodResimulator._build_set_context`
+    and shared by every candidate of the set: the deleted region, the
+    feasible intervals, the per-interval kinetics and (log-)transition
+    matrices, the backward-pass goal table, and — on the demography path —
+    the Λ-rescaled interval starts.  ``double_cdfs`` lazily caches the
+    closed-form 3 → 1 first-merge CDF per interval so sibling double merges
+    share one construction.
+    """
+
+    region: Region
+    intervals: list[FeasibleInterval]
+    kinetics: list[IntervalKinetics]
+    spans: list[float]
+    tau_starts: list[float] | None
+    matrices: list[np.ndarray]
+    goal: np.ndarray
+    log_space: bool
+    double_cdfs: dict = field(default_factory=dict)
 
 
 class NeighborhoodResimulator:
@@ -85,20 +131,51 @@ class NeighborhoodResimulator:
         Eq. 31 exact under the demography prior — no importance correction
         needed — which is what lets the chain mix at large |g| where the
         constant-kernel-plus-correction approach stalls.
+    batch_proposals:
+        When True (the default) :meth:`propose_set` shares the per-set work
+        across all siblings and vectorizes the forward pass and rebuild;
+        when False it falls back to N independent :meth:`propose` calls —
+        the reference kernel, same distribution, different RNG-stream
+        consumption order.
+
+    Work counters (``n_proposal_sets``, ``n_interval_builds``,
+    ``n_backward_passes``, ``n_proposals_generated``) accumulate across
+    calls; the batched path performs exactly one interval build and one
+    backward pass per proposal set, the reference path one of each per
+    proposal.
     """
 
     def __init__(
-        self, theta: float, *, validate: bool = False, demography=None
+        self,
+        theta: float,
+        *,
+        validate: bool = False,
+        demography=None,
+        batch_proposals: bool = True,
     ) -> None:
         if theta <= 0:
             raise ValueError("theta must be positive")
         self.theta = float(theta)
         self.validate = bool(validate)
+        self.batch_proposals = bool(batch_proposals)
         # The constant model (including exponential growth at g = 0) takes
         # the untransformed fast path, bit-identical to the paper's kernel.
         self.demography = (
             demography if demography is not None and not demography.is_constant else None
         )
+        self.n_proposal_sets = 0
+        self.n_interval_builds = 0
+        self.n_backward_passes = 0
+        self.n_proposals_generated = 0
+
+    def counters(self) -> dict[str, int]:
+        """Snapshot of the shared-work counters (diagnostics / tests)."""
+        return {
+            "n_proposal_sets": self.n_proposal_sets,
+            "n_interval_builds": self.n_interval_builds,
+            "n_backward_passes": self.n_backward_passes,
+            "n_proposals_generated": self.n_proposals_generated,
+        }
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -116,50 +193,102 @@ class NeighborhoodResimulator:
         self, tree: Genealogy, target: int, rng: np.random.Generator
     ) -> ResimulationOutcome:
         """Resimulate the neighbourhood around ``target`` and return the new genealogy."""
-        region = extract_region(tree, target)
-        intervals = build_intervals(tree, region)
-        kinetics = [
-            IntervalKinetics(n_inactive=iv.n_inactive, theta=self.theta) for iv in intervals
-        ]
-        if self.demography is None:
-            spans = [iv.length for iv in intervals]
-            goal = self._backward_pass(intervals, kinetics, spans)
-            merge_times = self._forward_pass(intervals, kinetics, goal, rng, spans)
-        else:
-            # Rescaled spans can be so large that linear-space transition
-            # weights underflow while their ratios stay well defined, so the
-            # demography path runs the two passes in log space.
-            tau_starts, spans = rescaled_interval_spans(intervals, self.demography)
-            log_goal = self._backward_pass_log(intervals, kinetics, spans)
-            merge_times = self._forward_pass(
-                intervals,
-                kinetics,
-                log_goal,
-                rng,
-                spans,
-                tau_starts,
-                self.demography,
-                log_space=True,
-            )
-        new_tree, new_nodes = self._rebuild(tree, region, merge_times, rng)
+        ctx = self._build_set_context(tree, target)
+        merge_times = self._forward_pass(ctx, rng)
+        new_tree, new_nodes, first_pair = self._rebuild(tree, ctx.region, merge_times, rng)
 
         if self.validate:
             new_tree.validate()
 
-        old_key = tree.topology_key()
-        new_key = new_tree.topology_key()
+        self.n_proposals_generated += 1
         return ResimulationOutcome(
             tree=new_tree,
-            region=region,
+            region=ctx.region,
             new_times=(float(new_tree.times[new_nodes[0]]), float(new_tree.times[new_nodes[1]])),
-            topology_changed=old_key != new_key,
+            topology_changed=self._topology_changed(tree, ctx.region, first_pair),
         )
+
+    def propose_set(
+        self, tree: Genealogy, target: int, n: int, rng: np.random.Generator
+    ) -> list[ResimulationOutcome]:
+        """Generate the ``n`` sibling proposals of one GMH set around ``target``.
+
+        All siblings share the per-set context (region, intervals, kinetics,
+        transition matrices, backward pass, Λ rescaling), computed exactly
+        once; the forward pass then samples all ``n`` conditioned interval
+        walks as stacked array operations — one categorical end-state draw
+        per interval for the whole set, vectorized truncated-exponential
+        inversion for the merge offsets, and (on the demography path) a
+        single batched Λ⁻¹ call over every sampled τ — and the rebuild
+        writes all sibling trees from shared preallocated buffers.
+
+        With ``batch_proposals=False`` this is exactly ``n`` independent
+        :meth:`propose` calls (the reference kernel).  The two paths draw
+        from the same distribution but consume the RNG stream in different
+        orders, so fixed-seed trajectories differ between them.
+        """
+        if n < 1:
+            raise ValueError("a proposal set needs at least one proposal")
+        self.n_proposal_sets += 1
+        if not self.batch_proposals:
+            return [self.propose(tree, target, rng) for _ in range(n)]
+
+        ctx = self._build_set_context(tree, target)
+        merge_times = self._forward_pass_batch(ctx, n, rng)
+        outcomes = self._rebuild_batch(tree, ctx, merge_times, rng)
+        self.n_proposals_generated += n
+        return outcomes
 
     def propose_random(
         self, tree: Genealogy, rng: np.random.Generator
     ) -> ResimulationOutcome:
         """Choose a target uniformly at random and resimulate it."""
-        return self.propose(tree, self.choose_target(tree, rng), rng)
+        target = self.choose_target(tree, rng)
+        if self.batch_proposals:
+            self.n_proposal_sets += 1
+            ctx = self._build_set_context(tree, target)
+            merge_times = self._forward_pass_batch(ctx, 1, rng)
+            outcome = self._rebuild_batch(tree, ctx, merge_times, rng)[0]
+            self.n_proposals_generated += 1
+            return outcome
+        return self.propose(tree, target, rng)
+
+    # ------------------------------------------------------------------ #
+    # Shared per-set context
+    # ------------------------------------------------------------------ #
+    def _build_set_context(self, tree: Genealogy, target: int) -> _SetContext:
+        """All the sibling-invariant work: done once per proposal set."""
+        region = extract_region(tree, target)
+        intervals = build_intervals(tree, region)
+        self.n_interval_builds += 1
+        kinetics = [
+            IntervalKinetics(n_inactive=iv.n_inactive, theta=self.theta) for iv in intervals
+        ]
+        if self.demography is None:
+            tau_starts = None
+            spans = [iv.length for iv in intervals]
+            matrices = [k.transition_matrix(s) for k, s in zip(kinetics, spans)]
+            goal = self._backward_pass(intervals, matrices)
+            log_space = False
+        else:
+            # Rescaled spans can be so large that linear-space transition
+            # weights underflow while their ratios stay well defined, so the
+            # demography path runs the two passes in log space.
+            tau_starts, spans = rescaled_interval_spans(intervals, self.demography)
+            matrices = [k.log_transition_matrix(s) for k, s in zip(kinetics, spans)]
+            goal = self._backward_pass_log(intervals, matrices)
+            log_space = True
+        self.n_backward_passes += 1
+        return _SetContext(
+            region=region,
+            intervals=intervals,
+            kinetics=kinetics,
+            spans=spans,
+            tau_starts=tau_starts,
+            matrices=matrices,
+            goal=goal,
+            log_space=log_space,
+        )
 
     # ------------------------------------------------------------------ #
     # Backward pass: P_i(n) of the paper
@@ -167,8 +296,7 @@ class NeighborhoodResimulator:
     @staticmethod
     def _backward_pass(
         intervals: list[FeasibleInterval],
-        kinetics: list[IntervalKinetics],
-        spans: list[float],
+        matrices: list[np.ndarray],
     ) -> np.ndarray:
         """Probability of a valid finish given ``a`` active lineages at each interval start.
 
@@ -176,18 +304,18 @@ class NeighborhoodResimulator:
         with ``a`` active lineages (activations at the start of interval
         ``m`` already counted), the process ends the resimulation range with
         exactly one active lineage and suffers no active–inactive
-        coalescence.  ``spans`` are the interval lengths in the kinetics'
-        time scale (calendar time for the constant model, Λ-rescaled time
-        for a demography; a demography with finite total intensity makes
-        the final span finite, conditioning on eventual coalescence).
+        coalescence.  ``matrices[m]`` is the interval's transition matrix
+        S_{a,b} over its span in the kinetics' time scale (calendar time for
+        the constant model, Λ-rescaled time for a demography; a demography
+        with finite total intensity makes the final span finite,
+        conditioning on eventual coalescence).
         """
         n_intervals = len(intervals)
         goal = np.zeros((n_intervals + 1, 3))
         # Virtual state beyond the final boundary: success iff one active lineage.
         goal[n_intervals] = np.array([1.0, 0.0, 0.0])
         for m in range(n_intervals - 1, -1, -1):
-            span = spans[m]
-            s_matrix = kinetics[m].transition_matrix(span)
+            s_matrix = matrices[m]
             next_activations = intervals[m + 1].activations if m + 1 < n_intervals else 0
             for a in range(1, 4):
                 total = 0.0
@@ -202,8 +330,7 @@ class NeighborhoodResimulator:
     @staticmethod
     def _backward_pass_log(
         intervals: list[FeasibleInterval],
-        kinetics: list[IntervalKinetics],
-        spans: list[float],
+        matrices: list[np.ndarray],
     ) -> np.ndarray:
         """The backward pass on log probabilities (demography-rescaled spans).
 
@@ -216,7 +343,7 @@ class NeighborhoodResimulator:
         log_goal = np.full((n_intervals + 1, 3), -np.inf)
         log_goal[n_intervals, 0] = 0.0
         for m in range(n_intervals - 1, -1, -1):
-            log_s = kinetics[m].log_transition_matrix(spans[m])
+            log_s = matrices[m]
             next_activations = intervals[m + 1].activations if m + 1 < n_intervals else 0
             for a in range(1, 4):
                 terms = []
@@ -236,26 +363,16 @@ class NeighborhoodResimulator:
     # ------------------------------------------------------------------ #
     # Forward pass: conditioned sampling of merge times
     # ------------------------------------------------------------------ #
-    @staticmethod
-    def _forward_pass(
-        intervals: list[FeasibleInterval],
-        kinetics: list[IntervalKinetics],
-        goal: np.ndarray,
-        rng: np.random.Generator,
-        spans: list[float],
-        tau_starts: list[float] | None = None,
-        demography=None,
-        *,
-        log_space: bool = False,
-    ) -> list[float]:
+    def _forward_pass(self, ctx: _SetContext, rng: np.random.Generator) -> list[float]:
         """Sample the two merge times, conditioned on a valid finish.
 
-        With a demography, ``goal`` holds *log* probabilities
+        With a demography, ``ctx.goal`` holds *log* probabilities
         (``log_space=True``), the per-interval kinetics run in rescaled time
-        (``spans`` and offsets are τ-valued), and each sampled offset maps
-        back to calendar time through Λ⁻¹; otherwise offsets are calendar
-        offsets from the interval start.
+        (spans and offsets are τ-valued), and each sampled offset maps back
+        to calendar time through Λ⁻¹; otherwise offsets are calendar offsets
+        from the interval start.
         """
+        intervals, kinetics, goal = ctx.intervals, ctx.kinetics, ctx.goal
         n_intervals = len(intervals)
         merge_times: list[float] = []
         active = 0
@@ -263,24 +380,20 @@ class NeighborhoodResimulator:
             active += interval.activations
             if active < 1 or active > 3:
                 raise RuntimeError("active lineage bookkeeping is inconsistent")
-            span = spans[m]
+            span = ctx.spans[m]
             next_activations = intervals[m + 1].activations if m + 1 < n_intervals else 0
-            s_matrix = (
-                kinetics[m].log_transition_matrix(span)
-                if log_space
-                else kinetics[m].transition_matrix(span)
-            )
+            s_matrix = ctx.matrices[m]
 
-            weights = np.full(active, -np.inf) if log_space else np.zeros(active)
+            weights = np.full(active, -np.inf) if ctx.log_space else np.zeros(active)
             for b in range(1, active + 1):
                 carried = b + next_activations
                 if carried > 3:
                     continue
-                if log_space:
+                if ctx.log_space:
                     weights[b - 1] = s_matrix[active - 1, b - 1] + goal[m + 1, carried - 1]
                 else:
                     weights[b - 1] = s_matrix[active - 1, b - 1] * goal[m + 1, carried - 1]
-            if log_space:
+            if ctx.log_space:
                 peak = weights.max()
                 if not np.isfinite(peak):
                     raise RuntimeError("conditioned resimulation reached a dead end")
@@ -298,12 +411,19 @@ class NeighborhoodResimulator:
                     bounded = np.isfinite(span)
                     upper = span * (1.0 - _TIME_EPS) if bounded else off
                     off = min(max(off, span * _TIME_EPS if bounded else _TIME_EPS), upper)
-                    if tau_starts is None:
+                    if ctx.tau_starts is None:
                         merge_times.append(interval.start + off)
                     else:
-                        merge_times.append(
-                            float(demography.inverse_cumulative_intensity(tau_starts[m] + off))
+                        t = float(
+                            self.demography.inverse_cumulative_intensity(
+                                ctx.tau_starts[m] + off
+                            )
                         )
+                        # The Λ → Λ⁻¹ roundtrip can land epsilon outside the
+                        # interval (below a child-root activation time),
+                        # violating the activation invariant the rebuild
+                        # relies on — clamp back into [start, end].
+                        merge_times.append(min(max(t, interval.start), interval.end))
             active = end_state
 
         if active != 1 or len(merge_times) != 2:
@@ -313,46 +433,192 @@ class NeighborhoodResimulator:
             )
         return sorted(merge_times)
 
+    def _forward_pass_batch(
+        self, ctx: _SetContext, n: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """The forward pass for all ``n`` siblings at once.
+
+        Walks the intervals once; at each interval the conditioned end-state
+        weights of every sibling form one ``(n, 3)`` array resolved by a
+        single batched categorical draw (per-row cumulative-sum inversion),
+        and the merge offsets of all siblings drawing the same move are
+        sampled by the vectorized kinetics.  Returns an ``(n, 2)`` array of
+        sorted calendar merge times; the demography path maps every sampled
+        τ back through one batched Λ⁻¹ call at the end.
+        """
+        intervals, spans = ctx.intervals, ctx.spans
+        n_intervals = len(intervals)
+        active = np.zeros(n, dtype=np.int64)
+        offsets = np.zeros((n, 2))
+        owner = np.zeros((n, 2), dtype=np.int64)
+        n_found = np.zeros(n, dtype=np.int64)
+        b_range = np.arange(1, 4)
+
+        for m in range(n_intervals):
+            active = active + intervals[m].activations
+            if np.any((active < 1) | (active > 3)):
+                raise RuntimeError("active lineage bookkeeping is inconsistent")
+            span = spans[m]
+            next_activations = intervals[m + 1].activations if m + 1 < n_intervals else 0
+            carried = b_range + next_activations
+            allowed = (b_range[None, :] <= active[:, None]) & (carried[None, :] <= 3)
+            tail = ctx.goal[m + 1, np.minimum(carried, 3) - 1]
+            rows = ctx.matrices[m][active - 1]
+            if ctx.log_space:
+                w = np.where(allowed, rows + tail[None, :], -np.inf)
+                peak = w.max(axis=1)
+                if not np.all(np.isfinite(peak)):
+                    raise RuntimeError("conditioned resimulation reached a dead end")
+                w = np.exp(w - peak[:, None])
+            else:
+                w = np.where(allowed, rows * tail[None, :], 0.0)
+            cum = np.cumsum(w, axis=1)
+            total = cum[:, -1]
+            if np.any(total <= 0.0):
+                raise RuntimeError("conditioned resimulation reached a dead end")
+            u = rng.random(n) * total
+            end_state = 1 + np.minimum((cum <= u[:, None]).sum(axis=1), 2)
+            n_events = active - end_state
+
+            kin = ctx.kinetics[m]
+            singles = np.flatnonzero(n_events == 1)
+            if singles.size:
+                offs = kin.sample_single_merge_batch(
+                    active[singles], np.full(singles.size, span), rng
+                )
+                self._record_merges(
+                    offsets, owner, n_found, singles, m, self._clip_offsets(offs, span)
+                )
+            doubles = np.flatnonzero(n_events == 2)
+            if doubles.size:
+                cdf_total = ctx.double_cdfs.get(m)
+                if cdf_total is None and math.isfinite(span):
+                    cdf_total = kin.double_merge_cdf(span)
+                    ctx.double_cdfs[m] = cdf_total
+                tau1 = kin.sample_first_of_double_batch(
+                    span, doubles.size, rng, cdf_total=cdf_total
+                )
+                if math.isfinite(span):
+                    remaining = span - tau1
+                else:
+                    remaining = np.full(doubles.size, math.inf)
+                tau2 = tau1 + kin.sample_single_merge_batch(
+                    np.full(doubles.size, 2), remaining, rng
+                )
+                self._record_merges(
+                    offsets, owner, n_found, doubles, m, self._clip_offsets(tau1, span)
+                )
+                self._record_merges(
+                    offsets, owner, n_found, doubles, m, self._clip_offsets(tau2, span)
+                )
+            active = end_state
+
+        if np.any(active != 1) or np.any(n_found != 2):
+            raise RuntimeError(
+                "batched resimulation finished with inconsistent active-lineage "
+                f"or merge counts (active={active.tolist()}, found={n_found.tolist()})"
+            )
+        return self._offsets_to_calendar(ctx, offsets, owner)
+
+    @staticmethod
+    def _clip_offsets(offsets: np.ndarray, span: float) -> np.ndarray:
+        """Keep sampled offsets strictly inside the interval (matches the scalar clamp)."""
+        if math.isfinite(span):
+            return np.clip(offsets, span * _TIME_EPS, span * (1.0 - _TIME_EPS))
+        return np.maximum(offsets, _TIME_EPS)
+
+    @staticmethod
+    def _record_merges(offsets, owner, n_found, rows, m, values) -> None:
+        """File one sampled merge per listed sibling into its next free slot."""
+        slots = n_found[rows]
+        offsets[rows, slots] = values
+        owner[rows, slots] = m
+        n_found[rows] += 1
+
+    def _offsets_to_calendar(
+        self, ctx: _SetContext, offsets: np.ndarray, owner: np.ndarray
+    ) -> np.ndarray:
+        """Map all (interval, offset) samples to sorted calendar merge times."""
+        starts = np.asarray([iv.start for iv in ctx.intervals])
+        if ctx.tau_starts is None:
+            times = starts[owner] + offsets
+        else:
+            tau = np.asarray(ctx.tau_starts)[owner] + offsets
+            mapped = np.asarray(
+                self.demography.inverse_cumulative_intensity(tau.ravel()), dtype=float
+            )
+            times = mapped.reshape(tau.shape)
+            # Same clamp as the scalar path: the Λ → Λ⁻¹ roundtrip must not
+            # push a merge outside its owning interval.
+            ends = np.asarray([iv.end for iv in ctx.intervals])
+            times = np.minimum(np.maximum(times, starts[owner]), ends[owner])
+        return np.sort(times, axis=1)
+
     # ------------------------------------------------------------------ #
     # Tree surgery
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _rebuild(
-        tree: Genealogy,
-        region: Region,
-        merge_times: list[float],
-        rng: np.random.Generator,
-    ) -> tuple[Genealogy, tuple[int, int]]:
-        """Stitch the resimulated neighbourhood back into a copy of the tree."""
-        new = tree.copy()
+    def _topology_changed(tree: Genealogy, region: Region, first_pair) -> bool:
+        """Whether the resimulated pairing differs from the original topology.
+
+        The rebuild only re-pairs the three child subtree roots, so the
+        topology is unchanged exactly when the *first* merge re-joins the
+        target's original two children (the second merge then necessarily
+        re-creates the original parent pairing).  This is equivalent to
+        comparing full ``topology_key()`` strings but costs O(1) per
+        proposal instead of two tree traversals.
+        """
+        original = {int(c) for c in tree.children[region.target]}
+        return set(first_pair) != original
+
+    @staticmethod
+    def _stitch(times, parent, children, region: Region, merge_times, choose_pair):
+        """Write the resimulated neighbourhood into raw tree arrays, in place.
+
+        ``choose_pair(event_index, n_active)`` returns the two (sorted,
+        distinct) positions of the active list to merge — the reference path
+        draws them from the RNG, the batched path from prefetched uniforms.
+        Returns ``(new_nodes, first_pair)`` where ``first_pair`` is the pair
+        of subtree roots joined by the first merge (for the cheap topology
+        comparison).
+        """
         node_a, node_b = region.target, region.parent  # indices reused for the new events
 
         # Active handles: the three dangling subtree roots, ordered by time so
         # that whoever is active at each merge is well defined.
-        children = list(region.child_roots)
-        child_times = {c: float(tree.times[c]) for c in children}
+        child_times = dict(zip(region.child_roots, region.child_times))
 
         new_nodes = (node_a, node_b)
         active: list[int] = []
-        pending = sorted(children, key=lambda c: child_times[c])
+        pending = sorted(region.child_roots, key=lambda c: child_times[c])
+        first_pair: tuple[int, int] | None = None
         for event_index, t_merge in enumerate(merge_times):
             # Activate every child whose time is at or below the merge time.
             while pending and child_times[pending[0]] <= t_merge:
                 active.append(pending.pop(0))
-            if len(active) < 2:
+            while len(active) < 2:
                 # Guard against floating-point ordering issues: activate the
                 # next pending child (its time can only be epsilon above).
+                if not pending:
+                    raise ResimulationError(
+                        f"cannot place merge {event_index} at t={t_merge!r} for "
+                        f"target {region.target}: fewer than two lineages can be "
+                        f"active (child times {region.child_times}, merge times "
+                        f"{[float(t) for t in merge_times]})"
+                    )
                 active.append(pending.pop(0))
-            pair_idx = rng.choice(len(active), size=2, replace=False)
-            first, second = (active[int(i)] for i in sorted(pair_idx))
+            i, j = choose_pair(event_index, len(active))
+            first, second = active[i], active[j]
+            if first_pair is None:
+                first_pair = (first, second)
             new_node = new_nodes[event_index]
             # Ensure the merge is strictly older than both children.
-            t_min = max(float(new.times[first]), float(new.times[second]))
-            t_node = max(t_merge, t_min + _TIME_EPS)
-            new.times[new_node] = t_node
-            new.children[new_node] = (first, second)
-            new.parent[first] = new_node
-            new.parent[second] = new_node
+            t_min = max(float(times[first]), float(times[second]))
+            t_node = max(float(t_merge), t_min + _TIME_EPS)
+            times[new_node] = t_node
+            children[new_node] = (first, second)
+            parent[first] = new_node
+            parent[second] = new_node
             active = [x for x in active if x not in (first, second)]
             active.append(new_node)
 
@@ -361,17 +627,108 @@ class NeighborhoodResimulator:
 
         if region.bounded:
             ancestor = region.ancestor
-            new.parent[top] = ancestor
-            slots = new.children[ancestor]
+            parent[top] = ancestor
             for k in range(2):
-                if slots[k] == region.parent:
-                    new.children[ancestor, k] = top
-            # The second merge must stay strictly below the ancestor.
-            if new.times[top] >= new.times[ancestor]:
-                new.times[top] = new.times[ancestor] - _TIME_EPS * max(
-                    1.0, float(new.times[ancestor])
-                )
+                if children[ancestor, k] == region.parent:
+                    children[ancestor, k] = top
+            # The second merge must stay strictly below the ancestor *and*
+            # strictly above its own children: squeezing it under the
+            # ancestor without rechecking the lower bound can emit an
+            # invalid genealogy that validate=False chains silently accept.
+            upper = float(times[ancestor])
+            if times[top] >= upper:
+                c0, c1 = (int(c) for c in children[top])
+                child_max = max(float(times[c0]), float(times[c1]))
+                squeezed = upper - _TIME_EPS * max(1.0, upper)
+                if squeezed <= child_max:
+                    squeezed = 0.5 * (child_max + upper)
+                if not child_max < squeezed < upper:
+                    raise ResimulationError(
+                        f"no valid time for the top merge of target {region.target}: "
+                        f"ancestor at {upper!r}, children at {child_max!r} leave an "
+                        f"empty window"
+                    )
+                times[top] = squeezed
         else:
-            new.parent[top] = -1
+            parent[top] = -1
 
-        return new, new_nodes
+        return new_nodes, first_pair
+
+    @classmethod
+    def _rebuild(
+        cls,
+        tree: Genealogy,
+        region: Region,
+        merge_times,
+        rng: np.random.Generator,
+    ) -> tuple[Genealogy, tuple[int, int], tuple[int, int]]:
+        """Stitch the resimulated neighbourhood back into a copy of the tree."""
+        new = tree.copy()
+
+        def choose_pair(event_index: int, n_active: int) -> tuple[int, int]:
+            pair_idx = rng.choice(n_active, size=2, replace=False)
+            i, j = sorted(int(x) for x in pair_idx)
+            return i, j
+
+        new_nodes, first_pair = cls._stitch(
+            new.times, new.parent, new.children, region, merge_times, choose_pair
+        )
+        return new, new_nodes, first_pair
+
+    def _rebuild_batch(
+        self,
+        tree: Genealogy,
+        ctx: _SetContext,
+        merge_times: np.ndarray,
+        rng: np.random.Generator,
+    ) -> list[ResimulationOutcome]:
+        """Stitch all siblings from shared preallocated buffers.
+
+        One ``(n, …)`` copy of the base arrays replaces n ``tree.copy()``
+        calls; per-sibling surgery touches only the handful of resimulated
+        entries.  Pair choices come from one prefetched ``(n, 2)`` uniform
+        block: with two active lineages the pair is forced, with three the
+        uniform picks one of the three unordered pairs — the same marginal
+        law as the reference ``rng.choice(3, size=2, replace=False)``.
+        """
+        region = ctx.region
+        n = merge_times.shape[0]
+        times_buf = np.repeat(tree.times[None, :], n, axis=0)
+        parent_buf = np.repeat(tree.parent[None, :], n, axis=0)
+        children_buf = np.repeat(tree.children[None, :, :], n, axis=0)
+        pair_u = rng.random((n, 2))
+        original_pair = {int(c) for c in tree.children[region.target]}
+
+        outcomes = []
+        for i in range(n):
+            u_row = pair_u[i]
+
+            def choose_pair(event_index: int, n_active: int) -> tuple[int, int]:
+                if n_active == 2:
+                    return 0, 1
+                return _PAIRS_OF_THREE[min(int(u_row[event_index] * 3.0), 2)]
+
+            new_nodes, first_pair = self._stitch(
+                times_buf[i], parent_buf[i], children_buf[i], region,
+                merge_times[i], choose_pair,
+            )
+            new = Genealogy(
+                times=times_buf[i],
+                parent=parent_buf[i],
+                children=children_buf[i],
+                tip_names=tree.tip_names,
+            )
+            if self.validate:
+                new.validate()
+            outcomes.append(
+                ResimulationOutcome(
+                    tree=new,
+                    region=region,
+                    new_times=(
+                        float(new.times[new_nodes[0]]),
+                        float(new.times[new_nodes[1]]),
+                    ),
+                    topology_changed=set(first_pair) != original_pair,
+                )
+            )
+        return outcomes

@@ -5,9 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.demography.models import ExponentialDemography
 from repro.proposals.intervals import build_intervals, extract_region, inactive_lineage_count
 from repro.proposals.kinetics import IntervalKinetics
-from repro.proposals.neighborhood import NeighborhoodResimulator, eligible_targets
+from repro.proposals.neighborhood import (
+    NeighborhoodResimulator,
+    ResimulationError,
+    eligible_targets,
+)
 from repro.simulate.coalescent_sim import (
     expected_tmrca,
     expected_total_branch_length,
@@ -224,6 +229,189 @@ class TestResimulation:
         assert np.mean(heights) == pytest.approx(expected_tmrca(n_tips, theta), rel=0.08)
         assert np.mean(lengths) == pytest.approx(
             expected_total_branch_length(n_tips, theta), rel=0.08
+        )
+
+    def test_propose_set_counter_accounting(self, rng):
+        """The batched path shares one interval build + one backward pass per
+        set; the reference path pays one of each per proposal."""
+        tree = simulate_genealogy(8, 1.0, rng)
+        target = int(eligible_targets(tree)[0])
+
+        batched = NeighborhoodResimulator(1.0, batch_proposals=True)
+        batched.propose_set(tree, target, 8, rng)
+        assert batched.counters() == {
+            "n_proposal_sets": 1,
+            "n_interval_builds": 1,
+            "n_backward_passes": 1,
+            "n_proposals_generated": 8,
+        }
+
+        reference = NeighborhoodResimulator(1.0, batch_proposals=False)
+        reference.propose_set(tree, target, 8, rng)
+        assert reference.counters() == {
+            "n_proposal_sets": 1,
+            "n_interval_builds": 8,
+            "n_backward_passes": 8,
+            "n_proposals_generated": 8,
+        }
+
+    @pytest.mark.parametrize(
+        "demography",
+        [None, ExponentialDemography(growth=50.0)],
+        ids=["constant", "growth50"],
+    )
+    def test_batched_matches_reference_distribution(self, rng, demography):
+        """Batched and reference kernels draw from the same distribution.
+
+        Compared on a fixed (tree, target): the two merge-time marginals and
+        the topology-change rate, with z-score tolerances sized for the
+        sample counts (5-sigma, so the test is stable across seeds while
+        still catching any systematic discrepancy).
+        """
+        tree = simulate_genealogy(7, 1.0, rng)
+        target = int(eligible_targets(tree)[1])
+        n_sets, per_set = 120, 25
+
+        stats = {}
+        for name, batch, seed in (("batched", True, 7), ("reference", False, 8)):
+            resim = NeighborhoodResimulator(
+                1.0, demography=demography, batch_proposals=batch
+            )
+            local = np.random.default_rng(seed)
+            t1, t2, topo = [], [], []
+            for _ in range(n_sets):
+                for outcome in resim.propose_set(tree, target, per_set, local):
+                    a, b = sorted(outcome.new_times)
+                    t1.append(a)
+                    t2.append(b)
+                    topo.append(outcome.topology_changed)
+            stats[name] = (np.asarray(t1), np.asarray(t2), np.asarray(topo, dtype=float))
+
+        for idx, label in ((0, "first merge"), (1, "second merge"), (2, "topology")):
+            xb, xr = stats["batched"][idx], stats["reference"][idx]
+            se = np.sqrt(xb.var() / xb.size + xr.var() / xr.size)
+            z = abs(xb.mean() - xr.mean()) / max(se, 1e-12)
+            assert z < 5.0, f"{label}: batched {xb.mean()} vs reference {xr.mean()} (z={z:.1f})"
+
+    def test_demography_merge_times_stay_inside_region(self, rng):
+        """Bugfix: the Lambda -> Lambda-inverse roundtrip must never push a
+        merge outside the feasible range (below an activation time)."""
+        demography = ExponentialDemography(growth=50.0)
+        tree = simulate_genealogy(8, 1.0, rng)
+        for batch in (False, True):
+            resim = NeighborhoodResimulator(
+                1.0, validate=True, demography=demography, batch_proposals=batch
+            )
+            for target in (int(t) for t in eligible_targets(tree)):
+                region = extract_region(tree, target)
+                lo = min(region.child_times)
+                for outcome in resim.propose_set(tree, target, 6, rng):
+                    t1, t2 = sorted(outcome.new_times)
+                    assert t1 >= lo
+                    if region.bounded:
+                        assert t2 < region.ancestor_time
+
+    def test_stitch_raises_diagnostic_when_lineages_exhausted(self, rng):
+        """Bugfix: running out of activatable lineages must raise a
+        diagnostic ResimulationError, not an opaque IndexError."""
+        tree = simulate_genealogy(6, 1.0, rng)
+        target = int(eligible_targets(tree)[0])
+        region = extract_region(tree, target)
+        new = tree.copy()
+        # Three merge events against three child roots: the third merge has
+        # a single active lineage left and nothing pending to activate.
+        bogus = [float(max(region.child_times)) + dt for dt in (0.01, 0.02, 0.03)]
+        with pytest.raises(ResimulationError, match="fewer than two lineages"):
+            NeighborhoodResimulator._stitch(
+                new.times, new.parent, new.children, region, bogus,
+                lambda event_index, n_active: (0, 1),
+            )
+
+    def test_bounded_squeeze_rechecks_child_bound(self, rng):
+        """Bugfix: squeezing the top merge under the ancestor must keep it
+        strictly above its own children — and raise when no window exists."""
+        tree = simulate_genealogy(8, 1.0, rng)
+        bounded_target = None
+        for target in (int(t) for t in eligible_targets(tree)):
+            if extract_region(tree, target).bounded:
+                bounded_target = target
+                break
+        assert bounded_target is not None
+        region = extract_region(tree, bounded_target)
+        upper = region.ancestor_time
+
+        # A top merge past the ancestor but with room below: squeezed into
+        # the open window (child_max, upper).
+        new = tree.copy()
+        t1 = min(region.child_times) + 0.9 * (upper - min(region.child_times))
+        (na, nb), _ = NeighborhoodResimulator._stitch(
+            new.times, new.parent, new.children, region,
+            [t1, upper + 1.0],
+            lambda event_index, n_active: (0, 1),
+        )
+        top = na if new.parent[na] == region.ancestor else nb
+        assert t1 < new.times[top] < upper
+
+        # First merge exactly at the ancestor time: the squeeze window is
+        # empty and the stitch must refuse with a diagnostic error.
+        new = tree.copy()
+        with pytest.raises(ResimulationError, match="empty window"):
+            NeighborhoodResimulator._stitch(
+                new.times, new.parent, new.children, region,
+                [upper, upper + 1.0],
+                lambda event_index, n_active: (0, 1),
+            )
+
+    def test_degenerate_double_merge_uses_triangular_limit(self):
+        """Bugfix: when the closed-form CDF underflows on a tiny span, the
+        first-of-double fallback must follow the triangular lambda -> 0
+        limit g(tau) proportional to (span - tau), not a uniform draw."""
+        kin = IntervalKinetics(n_inactive=0, theta=1.0)
+        span = 1e-9
+
+        class _ZeroCdf(IntervalKinetics):
+            def _double_merge_cdf(self, s):
+                return (lambda t: 0.0), 0.0
+
+        forced = _ZeroCdf(n_inactive=0, theta=1.0)
+        rng = np.random.default_rng(12)
+        scalar = np.array(
+            [forced._sample_first_of_double(span, rng) for _ in range(20000)]
+        )
+        batch = forced.sample_first_of_double_batch(
+            span, 20000, np.random.default_rng(13), cdf_total=((lambda t: 0.0), 0.0)
+        )
+        for samples in (scalar, batch):
+            # Triangular on [0, span]: mean span/3, P(tau < span/2) = 3/4.
+            assert np.all((samples >= 0) & (samples <= span))
+            assert np.mean(samples) == pytest.approx(span / 3.0, rel=0.03)
+            assert np.mean(samples < span / 2.0) == pytest.approx(0.75, abs=0.02)
+        del kin
+
+    def test_batched_gmh_recovers_coalescent_prior(self):
+        """Uniform-weight GMH with batched proposal sets samples the prior.
+
+        With every index weight equal, the GMH chain's stationary
+        distribution is exactly P(G | theta); the expected tree height for n
+        tips is theta * sum 1/(k(k-1)).  This exercises the full batched
+        propose_set -> set selection composition, not just per-proposal
+        marginals.
+        """
+        n_tips, theta = 6, 1.0
+        rng = np.random.default_rng(303)
+        tree = simulate_genealogy(n_tips, theta, rng)
+        resim = NeighborhoodResimulator(theta, batch_proposals=True)
+        heights = []
+        for i in range(6000):
+            target = resim.choose_target(tree, rng)
+            outcomes = resim.propose_set(tree, target, 4, rng)
+            idx = int(rng.integers(len(outcomes) + 1))
+            if idx < len(outcomes):
+                tree = outcomes[idx].tree
+            if i >= 500:
+                heights.append(tree.tree_height())
+        assert np.mean(heights) == pytest.approx(
+            expected_tmrca(n_tips, theta), rel=0.08
         )
 
     def test_unbounded_region_can_raise_root(self, rng):

@@ -1,0 +1,156 @@
+"""Property-based tests for the neighbourhood-resimulation kernels.
+
+Every property is checked against *both* proposal paths — the scalar
+reference kernel (``batch_proposals=False``) and the batched proposal-set
+kernel — because the two must draw from exactly the same distribution even
+though they consume the RNG stream differently.  The generators deliberately
+include the hard cases the batched rewrite fixed: tied and near-tied child
+activation times (UPGMA starts), bounded regions with narrow squeeze
+windows, and demography rescaling at extreme |g| where the Λ → Λ⁻¹
+roundtrip can land epsilon outside its interval.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.demography.models import ExponentialDemography
+from repro.genealogy.tree import Genealogy
+from repro.proposals.intervals import build_intervals, extract_region
+from repro.proposals.neighborhood import NeighborhoodResimulator, eligible_targets
+from repro.simulate.coalescent_sim import simulate_genealogy
+
+
+def _tied_tree(tie_gap: float) -> Genealogy:
+    """A 5-tip genealogy whose two cherries coalesce ``tie_gap`` apart.
+
+    ``tie_gap=0`` gives exactly tied node times — the UPGMA shape that used
+    to trip the forced-activation loop in the rebuild.  Built from raw
+    arrays because :meth:`Genealogy.from_times_and_topology` (rightly)
+    rejects non-strictly-increasing merge times, while UPGMA-derived trees
+    contain ties as a matter of course.
+    """
+    times = np.array([0.0, 0.0, 0.0, 0.0, 0.0, 0.1, 0.1 + tie_gap, 0.3, 0.55])
+    parent = np.array([5, 5, 6, 6, 8, 7, 7, 8, -1], dtype=np.int64)
+    children = np.array(
+        [[-1, -1]] * 5 + [[0, 1], [2, 3], [5, 6], [7, 4]], dtype=np.int64
+    )
+    return Genealogy(
+        times=times, parent=parent, children=children, tip_names=("a", "b", "c", "d", "e")
+    )
+
+
+def _check_outcome(tree: Genealogy, target: int, outcome) -> None:
+    """The structural invariants every proposal must satisfy."""
+    new = outcome.tree
+    new.validate()
+    region = outcome.region
+
+    # Strictly child-older times along every lineage.
+    for node in range(new.times.size):
+        p = int(new.parent[node])
+        if p >= 0:
+            assert new.times[p] > new.times[node], (
+                f"node {node} at {new.times[node]!r} not strictly below its "
+                f"parent {p} at {new.times[p]!r}"
+            )
+
+    # Merge times inside the feasible range of the region.
+    lo = min(region.child_times)
+    t1, t2 = sorted(outcome.new_times)
+    assert t1 >= lo
+    assert t2 >= t1
+    if region.bounded:
+        assert t2 < region.ancestor_time
+
+    # Only the resimulated nodes moved.
+    resimulated = {region.target, region.parent}
+    for node in np.flatnonzero(~np.asarray([new.is_tip(i) for i in range(new.times.size)])):
+        if int(node) not in resimulated:
+            assert new.times[node] == tree.times[node]
+
+    # The cheap topology flag agrees with the full topology comparison.
+    assert outcome.topology_changed == (new.topology_key() != tree.topology_key())
+
+
+@pytest.mark.parametrize("batch", [False, True], ids=["reference", "batched"])
+class TestProposalInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n_tips=st.integers(4, 9),
+        target_pick=st.integers(0, 10**6),
+    )
+    def test_random_trees_all_targets(self, batch, seed, n_tips, target_pick):
+        rng = np.random.default_rng(seed)
+        tree = simulate_genealogy(n_tips, 1.0, rng)
+        targets = eligible_targets(tree)
+        target = int(targets[target_pick % targets.size])
+        resim = NeighborhoodResimulator(1.0, validate=True, batch_proposals=batch)
+        for outcome in resim.propose_set(tree, target, 4, rng):
+            _check_outcome(tree, target, outcome)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        tie_gap=st.sampled_from([0.0, 1e-15, 1e-12, 1e-9]),
+        target_pick=st.integers(0, 10**6),
+    )
+    def test_tied_and_near_tied_child_times(self, batch, seed, tie_gap, target_pick):
+        """Activation bookkeeping survives exactly- and epsilon-tied times."""
+        tree = _tied_tree(tie_gap)
+        rng = np.random.default_rng(seed)
+        targets = eligible_targets(tree)
+        target = int(targets[target_pick % targets.size])
+        resim = NeighborhoodResimulator(1.0, validate=True, batch_proposals=batch)
+        for outcome in resim.propose_set(tree, target, 4, rng):
+            _check_outcome(tree, target, outcome)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        growth=st.sampled_from([-50.0, -5.0, 5.0, 50.0]),
+        target_pick=st.integers(0, 10**6),
+    )
+    def test_extreme_growth_rescaling(self, batch, seed, growth, target_pick):
+        """|g| = 50 rescaling: spans blow up like e^{|g| t}, the passes run in
+        log space, and every Λ → Λ⁻¹ roundtrip must stay inside its interval."""
+        rng = np.random.default_rng(seed)
+        tree = simulate_genealogy(6, 1.0, rng)
+        targets = eligible_targets(tree)
+        target = int(targets[target_pick % targets.size])
+        resim = NeighborhoodResimulator(
+            1.0,
+            validate=True,
+            demography=ExponentialDemography(growth=growth),
+            batch_proposals=batch,
+        )
+        for outcome in resim.propose_set(tree, target, 3, rng):
+            _check_outcome(tree, target, outcome)
+            assert all(np.isfinite(t) for t in outcome.new_times)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_merge_times_respect_interval_activations(self, batch, seed):
+        """Each sampled merge lies in a feasible interval where enough
+        lineages are active — the invariant the demography clamp protects."""
+        rng = np.random.default_rng(seed)
+        tree = simulate_genealogy(7, 1.0, rng)
+        target = int(eligible_targets(tree)[0])
+        region = extract_region(tree, target)
+        intervals = build_intervals(tree, region)
+        starts = [iv.start for iv in intervals]
+        resim = NeighborhoodResimulator(1.0, batch_proposals=batch)
+        for outcome in resim.propose_set(tree, target, 4, rng):
+            for t in outcome.new_times:
+                # Number of child roots activated at or before t: the merge
+                # consuming the k-th activation needs at least two lineages
+                # present, counting earlier merges.
+                assert t >= starts[0]
+            t1, t2 = sorted(outcome.new_times)
+            # First merge needs >= 2 activations at its time.
+            active_at = sum(1 for ct in region.child_times if ct <= t1)
+            assert active_at >= 2 or t1 - max(region.child_times) < 1e-9
