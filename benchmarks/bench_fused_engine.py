@@ -37,7 +37,9 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.backend import backend_available
 from repro.core.config import SamplerConfig
+from repro.core.registry import available_backends
 from repro.core.sampler import MultiProposalSampler
 from repro.device.perfmodel import DeviceModel
 from repro.genealogy.upgma import upgma_tree
@@ -51,6 +53,7 @@ from conftest import make_dataset
 
 SMOKE = os.environ.get("MPCGS_BENCH_SMOKE", "") not in ("", "0")
 OUTPUT_PATH = Path(__file__).parent / "BENCH_fused.json"
+BACKENDS_OUTPUT_PATH = Path(__file__).parent / "BENCH_backends.json"
 
 N_PROPOSALS = 16
 N_SEQUENCES = 24
@@ -332,6 +335,127 @@ def run_fused_benchmark(smoke: bool = SMOKE) -> dict:
     }
     OUTPUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True))
     return payload
+
+
+def run_backend_benchmark(smoke: bool = SMOKE) -> dict:
+    """The backend dimension: per-backend proposal-set and full-chain timings.
+
+    For every registered backend whose library is installed, the identical
+    pre-generated proposal-set stream is pushed through cached and fused
+    engines on that backend (``seconds_per_proposal_set``), and one full
+    fused-engine GMH chain is run (``chain_wall_seconds``).  The numpy rows
+    are the baseline: the backend indirection must not regress them — the
+    numpy-backend engine runs the byte-identical numpy calls as the
+    pre-backend engine, so its stream values must be *bit-equal* to the
+    default engine's and its wall clock statistically indistinguishable
+    (asserted with a generous noise bound).  Also records the device cost
+    model's :meth:`DeviceModel.fused_speedup` — measured where torch is
+    installed, analytic (``"projected": true``) otherwise.
+
+    Emits ``benchmarks/BENCH_backends.json``.
+    """
+    n_sites = 120 if smoke else 240
+    n_stream_sets = 20 if smoke else 60
+    n_samples = 40 if smoke else 120
+    burn_in = 10 if smoke else 30
+    dataset = make_dataset(N_SEQUENCES, n_sites, true_theta=1.0, seed=42)
+    model = Felsenstein81(dataset.alignment.base_frequencies(pseudocount=1.0))
+    tree = upgma_tree(dataset.alignment, 1.0)
+    cfg = SamplerConfig(n_proposals=N_PROPOSALS, n_samples=n_samples, burn_in=burn_in)
+    stream = _generate_batch_stream(dataset, 1.0, n_stream_sets, seed=99)
+
+    def stream_seconds(engine) -> tuple[float, np.ndarray]:
+        outputs = []
+        start = time.perf_counter()
+        for generator, proposals in stream:
+            engine.prepare(generator)
+            outputs.append(engine.evaluate_batch(proposals))
+        return time.perf_counter() - start, np.concatenate(outputs)
+
+    # Untimed warm-up: first-touch costs (imports, allocator growth, branch
+    # caches) land here, not in whichever row happens to run first.
+    stream_seconds(FusedEngine(alignment=dataset.alignment, model=model))
+    stream_seconds(CachedEngine(alignment=dataset.alignment, model=model))
+
+    # The pre-backend reference timing/values: default-constructed engines.
+    reference_values = {}
+    reference_seconds = {}
+    for engine_name, cls in (("cached", CachedEngine), ("fused", FusedEngine)):
+        best, values = np.inf, None
+        for _ in range(3):
+            elapsed, values = stream_seconds(cls(alignment=dataset.alignment, model=model))
+            best = min(best, elapsed)
+        reference_seconds[engine_name] = best
+        reference_values[engine_name] = values
+
+    rows = {}
+    for backend in sorted(available_backends()):
+        if not backend_available(backend):
+            rows[backend] = {"available": False}
+            continue
+        row = {"available": True}
+        for engine_name, cls in (("cached", CachedEngine), ("fused", FusedEngine)):
+            best, values = np.inf, None
+            for _ in range(3):
+                engine = cls(alignment=dataset.alignment, model=model, backend=backend)
+                elapsed, values = stream_seconds(engine)
+                best = min(best, elapsed)
+            row[engine_name] = {
+                "seconds_per_proposal_set": best / n_stream_sets,
+                "vs_default_ratio": best / reference_seconds[engine_name],
+                "bit_equal_to_default": bool(
+                    np.array_equal(values, reference_values[engine_name])
+                ),
+                "max_value_diff": float(
+                    np.max(np.abs(values - reference_values[engine_name]))
+                ),
+            }
+        chain_engine = FusedEngine(alignment=dataset.alignment, model=model, backend=backend)
+        start = time.perf_counter()
+        result = MultiProposalSampler(chain_engine, 1.0, cfg).run(
+            tree, np.random.default_rng(7)
+        )
+        row["chain_wall_seconds"] = time.perf_counter() - start
+        row["chain_n_proposal_sets"] = result.n_proposal_sets
+        rows[backend] = row
+
+    payload = {
+        "smoke": smoke,
+        "workload": {
+            "n_sequences": N_SEQUENCES,
+            "n_sites": n_sites,
+            "n_proposals": N_PROPOSALS,
+            "n_stream_sets": n_stream_sets,
+            "n_samples": n_samples,
+            "burn_in": burn_in,
+        },
+        "backends": rows,
+        "reference_seconds_per_proposal_set": {
+            name: seconds / n_stream_sets for name, seconds in reference_seconds.items()
+        },
+        "device_model_fused_speedup": DeviceModel().fused_speedup(
+            N_PROPOSALS, n_sites, N_SEQUENCES
+        ),
+    }
+    BACKENDS_OUTPUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return payload
+
+
+def test_backend_benchmark(record):
+    payload = run_backend_benchmark()
+    record("backends", payload)
+    numpy_row = payload["backends"]["numpy"]
+    assert numpy_row["available"]
+    for engine_name in ("cached", "fused"):
+        # The numpy backend IS the pre-backend code path: values bit-equal,
+        # wall clock within noise of the default-constructed engine (the
+        # generous bound absorbs shared-runner jitter; the real guard is the
+        # best-of-3 minimum on both sides).
+        assert numpy_row[engine_name]["bit_equal_to_default"], numpy_row
+        assert numpy_row[engine_name]["vs_default_ratio"] < 1.5, numpy_row
+    speedup = payload["device_model_fused_speedup"]
+    assert speedup["speedup"] > 0
+    assert speedup["projected"] == (not backend_available("torch"))
 
 
 def test_fused_engine_benchmark(record):

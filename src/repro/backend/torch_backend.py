@@ -1,0 +1,198 @@
+"""The optional torch array backend (CPU by default, CUDA-capable).
+
+Implements the :class:`~repro.backend.base.ArrayBackend` surface on torch
+tensors in float64, adapting the numpy calling conventions the kernels use
+(``axis=``/``keepdims=``) to torch's (``dim=``/``keepdim=``).  The module
+imports torch lazily — it is registered unconditionally (so ``mpcgs info``
+can list it with its availability flag) but only constructible where torch
+is installed; :func:`repro.backend.base.get_backend` enforces that with an
+explicit error.
+
+Numerical contract: float64 end to end, so results agree with the numpy
+backend to ~1e-9 on log-likelihoods (a different BLAS reassociates sums —
+agreement is close, not bitwise; the cross-backend equivalence suite pins
+the documented tolerance).  Host arrays are converted at the kernel
+boundary on every call, which is correct but leaves device-resident
+pipelining on the table; the benchmark records the measured cost either way.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+__all__ = ["TorchBackend"]
+
+
+class TorchBackend:
+    """Array backend backed by torch tensors (float64)."""
+
+    name = "torch"
+
+    def __init__(self, device: str = "cpu") -> None:
+        import torch  # deferred: the numpy default path must not require torch
+
+        self._torch = torch
+        self.device = device
+        self.ndarray = torch.Tensor
+        self.float64 = torch.float64
+        self.int64 = torch.int64
+        self.int8 = torch.int8
+        self.inf = float("inf")
+
+    # -- dtype plumbing ----------------------------------------------------
+    def _dtype(self, dtype):
+        torch = self._torch
+        if dtype is None:
+            return None
+        if dtype in (float, np.float64, torch.float64):
+            return torch.float64
+        if dtype in (int, np.int64, torch.int64):
+            return torch.int64
+        if dtype in (np.int8, torch.int8):
+            return torch.int8
+        if dtype in (bool, np.bool_, torch.bool):
+            return torch.bool
+        raise TypeError(f"torch backend has no mapping for dtype {dtype!r}")
+
+    def _tensor(self, x, dtype=None):
+        torch = self._torch
+        if isinstance(x, torch.Tensor):
+            return x.to(dtype=self._dtype(dtype)) if dtype is not None else x
+        return torch.as_tensor(np.asarray(x), dtype=self._dtype(dtype), device=self.device)
+
+    # -- host <-> device movement ------------------------------------------
+    def asarray(self, x, dtype=None):
+        return self._tensor(x, dtype)
+
+    def to_numpy(self, x):
+        if isinstance(x, self._torch.Tensor):
+            return x.detach().cpu().numpy()
+        return np.asarray(x)
+
+    def asindex(self, x):
+        # Integer and boolean host arrays both index tensors once they are
+        # tensors themselves; keep their dtype (long / bool) intact.
+        return self._torch.as_tensor(np.asarray(x), device=self.device)
+
+    # -- constructors ------------------------------------------------------
+    def array(self, x, dtype=None):
+        return self._tensor(np.array(x), dtype)
+
+    def empty(self, shape, dtype=None):
+        dt = self._dtype(dtype) or self._torch.float64
+        return self._torch.empty(shape, dtype=dt, device=self.device)
+
+    def empty_like(self, x):
+        return self._torch.empty_like(self._tensor(x))
+
+    def zeros(self, shape, dtype=None):
+        dt = self._dtype(dtype) or self._torch.float64
+        return self._torch.zeros(shape, dtype=dt, device=self.device)
+
+    def ones(self, shape, dtype=None):
+        dt = self._dtype(dtype) or self._torch.float64
+        return self._torch.ones(shape, dtype=dt, device=self.device)
+
+    def full(self, shape, value, dtype=None):
+        dt = self._dtype(dtype) or self._torch.float64
+        return self._torch.full(shape, value, dtype=dt, device=self.device)
+
+    def arange(self, n):
+        return self._torch.arange(n, device=self.device)
+
+    def eye(self, n):
+        return self._torch.eye(n, dtype=self._torch.float64, device=self.device)
+
+    # -- shape / layout ----------------------------------------------------
+    def stack(self, xs, axis=0):
+        return self._torch.stack([self._tensor(x) for x in xs], dim=axis)
+
+    def copy(self, x):
+        return self._tensor(x).clone()
+
+    def broadcast_to(self, x, shape):
+        return self._torch.broadcast_to(self._tensor(x), shape)
+
+    def ascontiguousarray(self, x):
+        return self._tensor(x).contiguous()
+
+    def transpose(self, x, axes):
+        return self._tensor(x).permute(axes)
+
+    def squeeze(self, x, axis=None):
+        t = self._tensor(x)
+        return self._torch.squeeze(t) if axis is None else self._torch.squeeze(t, dim=axis)
+
+    # -- math --------------------------------------------------------------
+    def matmul(self, a, b):
+        return self._torch.matmul(self._tensor(a), self._tensor(b))
+
+    def einsum(self, spec, *operands):
+        return self._torch.einsum(spec, *[self._tensor(op) for op in operands])
+
+    def exp(self, x):
+        return self._torch.exp(self._tensor(x, float))
+
+    def log(self, x):
+        return self._torch.log(self._tensor(x, float))
+
+    def expm1(self, x):
+        return self._torch.expm1(self._tensor(x, float))
+
+    def sqrt(self, x):
+        return self._torch.sqrt(self._tensor(x, float))
+
+    def maximum(self, a, b):
+        return self._torch.maximum(self._tensor(a, float), self._tensor(b, float))
+
+    def clip(self, x, lo, hi):
+        return self._torch.clamp(self._tensor(x), min=lo, max=hi)
+
+    def where(self, cond, a, b):
+        return self._torch.where(self._tensor(cond), self._tensor(a, float), self._tensor(b, float))
+
+    def max(self, x, axis=None, keepdims=False):
+        t = self._tensor(x)
+        if axis is None:
+            out = self._torch.max(t)
+            return out.reshape((1,) * t.ndim) if keepdims else out
+        return self._torch.amax(t, dim=axis, keepdim=keepdims)
+
+    def sum(self, x, axis=None, keepdims=False):
+        t = self._tensor(x)
+        if axis is None:
+            out = self._torch.sum(t)
+            return out.reshape((1,) * t.ndim) if keepdims else out
+        return self._torch.sum(t, dim=axis, keepdim=keepdims)
+
+    def any(self, x):
+        return bool(self._torch.any(self._tensor(x)))
+
+    def unique(self, x, return_inverse=False, axis=None):
+        return self._torch.unique(
+            self._tensor(x), sorted=True, return_inverse=return_inverse, dim=axis
+        )
+
+    def diag(self, x):
+        return self._torch.diag(self._tensor(x))
+
+    def fill_diagonal(self, x, value):
+        x.fill_diagonal_(value)
+
+    def eigh(self, x):
+        result = self._torch.linalg.eigh(self._tensor(x, float))
+        return result.eigenvalues, result.eigenvectors
+
+    def allclose(self, a, b, atol=1e-8):
+        return self._torch.allclose(self._tensor(a, float), self._tensor(b, float), atol=atol)
+
+    @staticmethod
+    def isscalar(x):
+        return np.isscalar(x)
+
+    @staticmethod
+    def errstate(**kwargs):
+        # torch has no errstate; float64 tensor math never traps here.
+        return contextlib.nullcontext()

@@ -24,6 +24,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..backend.rng_registry import derive_master_seed, named_stream
 from ..core.config import SamplerConfig
 from ..diagnostics.traces import ChainResult, ChainTrace
 from ..genealogy.tree import Genealogy
@@ -102,9 +103,11 @@ class MultiChainSampler:
         Number of OS processes running chains concurrently (default 1 —
         sequential, the historical behaviour, bit-identical output).  With
         more workers the chains execute on a :class:`ProcessPoolExecutor`;
-        because every chain owns an independent spawned RNG stream and the
-        pool is drained in chain-index order, the pooled trace is
-        bit-identical to the sequential run — only the wall clock changes
+        because every chain owns the named RNG stream ``("chain", i)`` — a
+        pure function of the master seed and the chain index — and the pool
+        is drained in chain-index order, the pooled trace is bit-identical
+        to the sequential run for *any* worker count and any execution
+        order — only the wall clock changes
         (reported as ``extras["parallel_wall_seconds"]``).  Requires a
         picklable ``engine_factory`` (a module-level function or class
         instance, not a lambda/closure).
@@ -147,9 +150,13 @@ class MultiChainSampler:
         """
         quotas = self.chain_quotas()
 
-        # Independent per-chain streams via the SeedSequence spawn tree: child
-        # streams are provably non-overlapping, unlike ad-hoc integer reseeding.
-        child_rngs = rng.spawn(self.n_chains)
+        # Independent per-chain streams named ("chain", i) under one master
+        # seed: chain i's stream is a pure function of (master, i), so the
+        # pooled result is bit-identical for any worker count and any chain
+        # execution order — unlike the old rng.spawn tree, which handed out
+        # streams in request order and tied reproducibility to topology.
+        master = derive_master_seed(rng)
+        child_rngs = [named_stream(master, "chain", i) for i in range(self.n_chains)]
         active = [(i, quota) for i, quota in enumerate(quotas) if quota > 0]
         parallel_start = time.perf_counter()
         results = self._execute(active, initial_tree, child_rngs)

@@ -27,6 +27,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..backend.rng_registry import derive_master_seed, named_stream
 from ..demography.base import Demography
 from ..diagnostics.traces import ChainResult
 from ..service.checkpoint import (
@@ -113,9 +114,10 @@ class _EngineBuilder:
     engine_name: str
     alignment: Alignment
     model: object
+    backend: str = "numpy"
 
     def __call__(self) -> LikelihoodEngine:
-        return make_engine(self.engine_name, self.alignment, self.model)
+        return make_engine(self.engine_name, self.alignment, self.model, backend=self.backend)
 
 
 def require_growth_sampler(config: MPCGSConfig) -> None:
@@ -238,7 +240,9 @@ class MPCGS:
         """
         # Picklable (unlike a local closure) so the multichain baseline can
         # ship it to worker processes under n_workers > 1.
-        build = _EngineBuilder(self.config.likelihood_engine, self.alignment, self.model)
+        build = _EngineBuilder(
+            self.config.likelihood_engine, self.alignment, self.model, self.config.backend
+        )
 
         if not share_cache:
             return build
@@ -745,7 +749,9 @@ def run_multilocus(
 
     Works for *any* registered demography, the constant one included (the
     combined surface is then θ-only).  Per-locus chains use independent
-    child RNG streams spawned from ``rng``.
+    named RNG streams ``("locus", j, "iteration", i)`` under a master seed
+    drawn once from ``rng``, so any subset of loci reproduces bit-identically
+    regardless of execution order or locus count.
     """
     alignments = list(alignments)
     if not alignments:
@@ -761,6 +767,7 @@ def run_multilocus(
         for driver in drivers
     ]
     theta = float(theta0)
+    master = derive_master_seed(rng)
     trees = [driver.initial_tree(theta) for driver in drivers]
     result = MultiLocusResult(
         theta=theta,
@@ -770,14 +777,15 @@ def run_multilocus(
     )
     result.trajectory.append((theta, *demography.param_values()))
 
-    for _ in range(config.n_em_iterations):
+    for iteration in range(config.n_em_iterations):
         components = []
-        locus_rngs = rng.spawn(len(drivers))
         for locus, driver in enumerate(drivers):
             sampler = driver.demography_iteration_sampler(
                 theta, demography, engine_factories[locus]
             )
-            chain = sampler.run(trees[locus], locus_rngs[locus])
+            chain = sampler.run(
+                trees[locus], named_stream(master, "locus", locus, "iteration", iteration)
+            )
             components.append(
                 DemographyRelativeLikelihood(
                     chain.interval_matrix, demography, driving_theta=theta

@@ -48,6 +48,7 @@ from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
 
+from ..backend import BACKENDS, backend_available, get_backend
 from ..baselines.heated import HeatedChainSampler, default_temperatures
 from ..baselines.lamarc import LamarcSampler
 from ..baselines.multichain import MultiChainSampler
@@ -70,6 +71,7 @@ __all__ = [
     "SAMPLERS",
     "ENGINES",
     "MODELS",
+    "BACKENDS",
     "BayesianSamplerAdapter",
     "make_sampler",
     "register_sampler",
@@ -79,7 +81,10 @@ __all__ = [
     "available_samplers",
     "available_engines",
     "available_models",
+    "available_backends",
     "available_demographies",
+    "backend_available",
+    "get_backend",
     "demography_capable_samplers",
     "require_demography_support",
 ]
@@ -356,10 +361,17 @@ for _name, _cls in MODEL_NAMES.items():
     )
 
 
-def make_engine(name: str, alignment, model: MutationModel) -> LikelihoodEngine:
-    """Construct a likelihood engine by registry name (with unknown-name listing)."""
+def make_engine(
+    name: str, alignment, model: MutationModel, backend: str = "numpy"
+) -> LikelihoodEngine:
+    """Construct a likelihood engine by registry name (with unknown-name listing).
+
+    ``backend`` selects the array backend the engine's hot path runs on
+    (any name from :func:`available_backends`); the default numpy backend
+    is bit-exact with the pre-backend code.
+    """
     ENGINES.get(name)  # uniform error message listing valid names
-    return _make_engine(name, alignment, model)
+    return _make_engine(name, alignment, model, backend=backend)
 
 
 def make_model(name: str, base_frequencies=None, **kwargs) -> MutationModel:
@@ -381,3 +393,13 @@ def available_engines() -> dict[str, str]:
 def available_models() -> dict[str, str]:
     """Registered mutation-model names with one-line descriptions."""
     return MODELS.describe()
+
+
+def available_backends() -> dict[str, str]:
+    """Registered array-backend names with one-line descriptions.
+
+    Listing is unconditional — a backend whose library is not installed
+    still appears here (``mpcgs info`` shows its availability flag);
+    constructing it is what requires the library.
+    """
+    return BACKENDS.describe()

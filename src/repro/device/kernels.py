@@ -126,7 +126,13 @@ class ProposalKernel:
         self.result_buffer = UnifiedBuffer((n_proposals + 1,), dtype=np.float64)
 
     def launch(self, current: Genealogy, target: int) -> tuple[list[Genealogy], np.ndarray]:
-        """Generate the proposal set for neighbourhood ``target`` and its log-likelihoods."""
+        """Generate the proposal set for neighbourhood ``target`` and its log-likelihoods.
+
+        Per-launch streams are named ``(seed, launch, thread)`` — the launch
+        counter is a distinct Philox key component, so launch L of seed S
+        never collides with any launch of another seed (the historical
+        additive ``seed + offset`` derivation did).
+        """
         self._launch_counter += 1
         streams = self.streams.spawn(self._launch_counter)
         proposals = [

@@ -404,6 +404,90 @@ class DeviceModel:
         )
         return cached_time / fused_time
 
+    def fused_speedup(
+        self,
+        n_proposals: int,
+        n_sites: int,
+        n_sequences: int,
+        samples_per_set: int | None = None,
+        *,
+        backend: str | None = None,
+        n_sets: int = 8,
+        seed: int = 0,
+    ) -> dict:
+        """Fused-over-cached speedup: *measured* where a device backend exists.
+
+        When the torch backend (or an explicitly requested ``backend``) is
+        importable, a small synthetic proposal-set stream is pushed through a
+        fresh :class:`~repro.likelihood.incremental.CachedEngine` and
+        :class:`~repro.likelihood.fused.FusedEngine` on that backend and the
+        measured wall-clock ratio is returned with ``"projected": False``.
+        Where no such backend is installed the analytic
+        :meth:`projected_fused_speedup` is returned instead, flagged
+        ``"projected": True`` — the caller can always tell a measurement from
+        a model number.
+        """
+        from ..backend import backend_available
+
+        if backend is None and backend_available("torch"):
+            backend = "torch"
+        if backend is None or not backend_available(backend):
+            return {
+                "speedup": float(
+                    self.projected_fused_speedup(
+                        n_proposals, n_sites, n_sequences, samples_per_set
+                    )
+                ),
+                "projected": True,
+                "backend": None,
+            }
+
+        import time
+
+        from ..genealogy.upgma import upgma_tree
+        from ..likelihood.fused import FusedEngine
+        from ..likelihood.incremental import CachedEngine
+        from ..likelihood.mutation_models import Felsenstein81
+        from ..proposals.neighborhood import NeighborhoodResimulator
+        from ..simulate import synthesize_dataset
+
+        rng = np.random.default_rng(seed)
+        dataset = synthesize_dataset(n_sequences, n_sites, true_theta=1.0, rng=rng)
+        model = Felsenstein81(dataset.alignment.base_frequencies(pseudocount=1.0))
+        resim = NeighborhoodResimulator(1.0)
+        current = upgma_tree(dataset.alignment, 1.0)
+        stream = []
+        for _ in range(n_sets):
+            target = resim.choose_target(current, rng)
+            proposals = [
+                outcome.tree
+                for outcome in resim.propose_set(current, target, n_proposals, rng)
+            ]
+            stream.append((current, proposals))
+            current = proposals[int(rng.integers(n_proposals))]
+
+        seconds = {}
+        for name, cls in (("cached", CachedEngine), ("fused", FusedEngine)):
+            engine = cls(alignment=dataset.alignment, model=model, backend=backend)
+            start = time.perf_counter()
+            for generator, proposals in stream:
+                engine.prepare(generator)
+                engine.evaluate_batch(proposals)
+            seconds[name] = time.perf_counter() - start
+        return {
+            "speedup": seconds["cached"] / seconds["fused"],
+            "projected": False,
+            "backend": backend,
+            "cached_seconds_per_set": seconds["cached"] / n_sets,
+            "fused_seconds_per_set": seconds["fused"] / n_sets,
+            "workload": {
+                "n_proposals": n_proposals,
+                "n_sites": n_sites,
+                "n_sequences": n_sequences,
+                "n_sets": n_sets,
+            },
+        }
+
     def serial_iteration_time(self, n_sites: int, n_sequences: int) -> float:
         """Projected single-lane time of one classic MH iteration (one proposal)."""
         n_nodes = 2 * n_sequences - 1

@@ -4,14 +4,33 @@ The paper needs two generators: a host Mersenne Twister for the auxiliary
 neighbourhood variable φ, and a device-side generator (MTGP32) that keeps
 independent state per thread so that concurrently executing proposal threads
 draw uncorrelated variates (Section 5.1.2).  The modern counter-based
-equivalent is Philox: every thread's stream is derived from a common seed
-plus the thread index, giving reproducible, independent streams without any
-shared mutable state — exactly the property the device generator provides.
+equivalent is Philox: every thread's stream is a pure function of
+``(seed, launch, thread)``, giving reproducible, independent streams without
+any shared mutable state — exactly the property the device generator
+provides.
+
+Keying.  Each component of ``(seed, launch, thread)`` enters the Philox key
+as a *distinct* component via the same SHA-256 derivation the named-stream
+registry uses (:func:`repro.backend.rng_registry.philox_key`).  The previous
+scheme derived child pools by *additive* seed arithmetic (``seed + offset``),
+so launch 5 of seed 0 collided bitwise with launch 0 of seed 5 — adjacent
+seeds shared almost all of their per-launch streams.  Component-wise keys
+cannot alias that way.
+
+``uniforms`` is a genuinely vectorized counter-based kernel: one batched
+philox4x32-10 sweep fills the whole ``(n_threads, n)`` matrix, the way a
+real per-thread device generator fills a launch's worth of variates in one
+grid.  It draws from a dedicated substream of each thread's key (component
+``"uniforms"``), so matrix draws and ``generator(i)`` draws never overlap;
+successive ``uniforms`` calls continue the counter, so a given call sequence
+is reproducible.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from ..backend.rng_registry import philox_key
 
 __all__ = ["ThreadStreams", "host_generator"]
 
@@ -19,6 +38,37 @@ __all__ = ["ThreadStreams", "host_generator"]
 def host_generator(seed: int | None = None) -> np.random.Generator:
     """The host-side generator (MT19937 in the paper; PCG64 here)."""
     return np.random.default_rng(seed)
+
+
+# philox4x32 round constants (Salmon et al. 2011, "Parallel random numbers:
+# as easy as 1, 2, 3").
+_M0 = np.uint64(0xD2511F53)
+_M1 = np.uint64(0xCD9E8D57)
+_W0 = np.uint64(0x9E3779B9)
+_W1 = np.uint64(0xBB67AE85)
+_MASK32 = np.uint64(0xFFFFFFFF)
+_SHIFT32 = np.uint64(32)
+_INV53 = 2.0**-53
+
+
+def _philox4x32_10(c0, c1, c2, c3, k0, k1):
+    """Ten philox4x32 rounds, vectorized over uint64 arrays of 32-bit values.
+
+    The 32x32 -> 64 bit multiplies run in uint64 (numpy has no mulhilo), and
+    every lane is masked back to 32 bits each round.
+    """
+    for _ in range(10):
+        p0 = _M0 * c0
+        p1 = _M1 * c2
+        c0, c1, c2, c3 = (
+            (p1 >> _SHIFT32) ^ c1 ^ k0,
+            p1 & _MASK32,
+            (p0 >> _SHIFT32) ^ c3 ^ k1,
+            p0 & _MASK32,
+        )
+        k0 = (k0 + _W0) & _MASK32
+        k1 = (k1 + _W1) & _MASK32
+    return c0, c1, c2, c3
 
 
 class ThreadStreams:
@@ -30,42 +80,79 @@ class ThreadStreams:
         Number of device threads that need streams (the proposal-set size in
         the proposal kernel).
     seed:
-        Base seed; thread ``i`` uses the Philox counter-based generator keyed
-        by ``(seed, i)``.
+        Base seed shared by every launch of the kernel.
+    launch:
+        Launch index.  Thread ``i`` of launch ``l`` draws from the stream
+        keyed by the distinct components ``(seed, l, i)`` — no two
+        ``(seed, launch, thread)`` triples share a stream.
     """
 
-    def __init__(self, n_threads: int, seed: int = 0) -> None:
+    def __init__(self, n_threads: int, seed: int = 0, launch: int = 0) -> None:
         if n_threads < 1:
             raise ValueError("n_threads must be positive")
         self.n_threads = int(n_threads)
         self.seed = int(seed)
-        self._generators = [
-            np.random.Generator(np.random.Philox(key=[self.seed, i])) for i in range(n_threads)
-        ]
+        self.launch = int(launch)
+        self._generators: dict[int, np.random.Generator] = {}
+        # Dedicated 32-bit key halves for the vectorized uniforms substream.
+        keys = np.stack(
+            [
+                philox_key(self.seed, "launch", self.launch, "thread", i, "uniforms")
+                for i in range(self.n_threads)
+            ]
+        )
+        self._uk0 = (keys[:, 0] & _MASK32)[:, None]
+        self._uk1 = (keys[:, 1] & _MASK32)[:, None]
+        self._uniform_counter = 0
 
     def generator(self, thread_id: int) -> np.random.Generator:
-        """The generator owned by ``thread_id``."""
+        """The generator owned by ``thread_id`` (built lazily, then cached)."""
         if not 0 <= thread_id < self.n_threads:
             raise IndexError(f"thread_id {thread_id} out of range [0, {self.n_threads})")
-        return self._generators[thread_id]
+        gen = self._generators.get(thread_id)
+        if gen is None:
+            key = philox_key(self.seed, "launch", self.launch, "thread", thread_id)
+            gen = np.random.Generator(np.random.Philox(key=key))
+            self._generators[thread_id] = gen
+        return gen
 
     def __len__(self) -> int:
         return self.n_threads
 
     def __iter__(self):
-        return iter(self._generators)
+        return (self.generator(i) for i in range(self.n_threads))
 
-    def spawn(self, seed_offset: int) -> "ThreadStreams":
-        """A fresh pool with a shifted seed (used between proposal-kernel launches)."""
-        return ThreadStreams(self.n_threads, seed=self.seed + int(seed_offset))
+    def spawn(self, launch: int) -> "ThreadStreams":
+        """A fresh pool for launch index ``launch`` of the same seed.
+
+        The launch index is a distinct key component, never folded into the
+        seed, so pools of different seeds can never collide whatever their
+        launch counters are (the historical ``seed + offset`` bug).
+        """
+        return ThreadStreams(self.n_threads, seed=self.seed, launch=int(launch))
 
     def uniforms(self, n_per_thread: int) -> np.ndarray:
         """Draw ``(n_threads, n_per_thread)`` uniforms, one row per thread.
 
         Mirrors the paper's practice of generating every random number a
         proposal thread will need *before* any branching, so all threads
-        advance their streams in lockstep (Section 5.2.1).
+        advance their streams in lockstep (Section 5.2.1).  One vectorized
+        philox4x32-10 sweep fills the whole matrix; successive calls continue
+        each thread's counter.
         """
         if n_per_thread < 1:
             raise ValueError("n_per_thread must be positive")
-        return np.vstack([g.random(n_per_thread) for g in self._generators])
+        n_blocks = (n_per_thread + 1) // 2  # one counter block yields 2 doubles
+        ctr = np.uint64(self._uniform_counter) + np.arange(n_blocks, dtype=np.uint64)
+        c0 = (ctr & _MASK32)[None, :]
+        c1 = ((ctr >> _SHIFT32) & _MASK32)[None, :]
+        zeros = np.zeros((1, n_blocks), dtype=np.uint64)
+        x0, x1, x2, x3 = _philox4x32_10(c0, c1, zeros, zeros, self._uk0, self._uk1)
+        # Two 32-bit words -> one double in [0, 1) with 53 random bits.
+        d0 = (((x0 << _SHIFT32) | x1) >> np.uint64(11)).astype(float) * _INV53
+        d1 = (((x2 << _SHIFT32) | x3) >> np.uint64(11)).astype(float) * _INV53
+        out = np.empty((self.n_threads, 2 * n_blocks))
+        out[:, 0::2] = d0
+        out[:, 1::2] = d1
+        self._uniform_counter += n_blocks
+        return out[:, :n_per_thread]

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..backend import ArrayBackend, get_backend
 from ..genealogy.tree import Genealogy
 from ..sequences.alignment import Alignment
 from .felsenstein import (
@@ -72,10 +73,25 @@ class LikelihoodEngine:
 
     alignment: Alignment
     model: MutationModel
+    backend: str = "numpy"
     n_evaluations: int = field(default=0, init=False)
     n_nodes_pruned: int = field(default=0, init=False)
     n_tree_site_products: int = field(default=0, init=False)
     _site_data: SiteData | None = field(default=None, init=False, repr=False)
+    _xp: ArrayBackend | None = field(default=None, init=False, repr=False)
+
+    @property
+    def xp(self) -> ArrayBackend:
+        """The array backend handle this engine's device math runs on.
+
+        Resolved lazily from the ``backend`` name (a property rather than
+        ``__post_init__`` work so subclasses that override ``__post_init__``
+        without chaining to super still resolve correctly).  The serial and
+        constant engines never consult it — they are host-only by design.
+        """
+        if self._xp is None:
+            self._xp = get_backend(self.backend)
+        return self._xp
 
     @property
     def site_data(self) -> SiteData:
@@ -143,7 +159,9 @@ class VectorizedEngine(LikelihoodEngine):
 
     def evaluate(self, tree: Genealogy) -> float:
         self._count(1, nodes_pruned=tree.n_internal)
-        return log_likelihood(tree, self.alignment, self.model, site_data=self.site_data)
+        return log_likelihood(
+            tree, self.alignment, self.model, site_data=self.site_data, xp=self.xp
+        )
 
     def evaluate_batch(self, trees: list[Genealogy]) -> np.ndarray:
         return np.array([self.evaluate(t) for t in trees])
@@ -154,14 +172,16 @@ class BatchedEngine(LikelihoodEngine):
 
     def evaluate(self, tree: Genealogy) -> float:
         self._count(1, nodes_pruned=tree.n_internal)
-        return log_likelihood(tree, self.alignment, self.model, site_data=self.site_data)
+        return log_likelihood(
+            tree, self.alignment, self.model, site_data=self.site_data, xp=self.xp
+        )
 
     def evaluate_batch(self, trees: list[Genealogy]) -> np.ndarray:
         if not trees:
             return np.zeros(0)
         self._count(len(trees), nodes_pruned=sum(t.n_internal for t in trees))
         return batched_log_likelihood(
-            list(trees), self.alignment, self.model, site_data=self.site_data
+            list(trees), self.alignment, self.model, site_data=self.site_data, xp=self.xp
         )
 
 
@@ -196,13 +216,21 @@ _ENGINES = {
 }
 
 
-def make_engine(name: str, alignment: Alignment, model: MutationModel) -> LikelihoodEngine:
+def make_engine(
+    name: str,
+    alignment: Alignment,
+    model: MutationModel,
+    backend: str = "numpy",
+) -> LikelihoodEngine:
     """Construct a likelihood engine by case-insensitive name.
 
-    Raises the same "unknown name, available choices" error shape as the
-    registries in :mod:`repro.core.registry`.
+    ``backend`` selects the array backend the engine's device math runs on
+    (see :mod:`repro.backend`); the default numpy backend is bit-identical
+    to the historical hard-wired implementation.  Raises the same "unknown
+    name, available choices" error shape as the registries in
+    :mod:`repro.core.registry`.
     """
     key = name.lower()
     if key not in _ENGINES:
         raise ValueError(f"unknown engine {name!r}; choose from {', '.join(sorted(_ENGINES))}")
-    return _ENGINES[key](alignment=alignment, model=model)
+    return _ENGINES[key](alignment=alignment, model=model, backend=backend)

@@ -32,14 +32,22 @@ agree to numerical precision (and are tested against each other):
 To avoid floating-point underflow on long sequences and tall trees, partial
 likelihoods are renormalized at every interior node and the scaling factors
 are accumulated in log space (Section 5.3).
+
+Backend note: this module is backend-abstracted.  *Planning* — traversal
+orders, child tables, unique-branch dedup, tip one-hots — always runs on
+the numpy host handle ``B`` (trees and alignments are host objects).
+*Device math* — the stacked matmul/einsum pruning itself — goes through the
+``xp`` handle, any :class:`~repro.backend.ArrayBackend`, defaulting to the
+bit-exact numpy backend.  Results are converted back to host arrays at the
+function boundary, so callers never see backend types.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
+from ..backend import ArrayBackend
+from ..backend.numpy_backend import NUMPY as B
 from ..genealogy.tree import Genealogy
 from ..sequences.alignment import MISSING, Alignment
 from .mutation_models import MutationModel
@@ -55,8 +63,10 @@ __all__ = [
 
 _TINY = 1e-300
 
+Array = B.ndarray
 
-def tip_partials(codes: np.ndarray) -> np.ndarray:
+
+def tip_partials(codes: Array) -> Array:
     """Conditional likelihoods for observed tips.
 
     ``codes`` is an ``(n_tips, n_sites)`` integer matrix.  The result has
@@ -64,9 +74,9 @@ def tip_partials(codes: np.ndarray) -> np.ndarray:
     and all-ones for missing data (the standard treatment: a missing
     observation is compatible with every nucleotide).
     """
-    codes = np.asarray(codes)
+    codes = B.asarray(codes)
     n_tips, n_sites = codes.shape
-    out = np.zeros((n_tips, n_sites, 4))
+    out = B.zeros((n_tips, n_sites, 4))
     for base in range(4):
         out[..., base] = (codes == base) | (codes == MISSING)
     return out.astype(float)
@@ -88,9 +98,9 @@ class SiteData:
     accumulation order of the historical ``use_patterns=False`` path).
     """
 
-    codes: np.ndarray  # (n_tips, n_cols) pattern or per-site codes
-    weights: np.ndarray  # (n_cols,) pattern multiplicities (ones when unpatterned)
-    tips: np.ndarray  # (n_tips, n_cols, 4) one-hot tip partials
+    codes: Array  # (n_tips, n_cols) pattern or per-site codes
+    weights: Array  # (n_cols,) pattern multiplicities (ones when unpatterned)
+    tips: Array  # (n_tips, n_cols, 4) one-hot tip partials
     patterned: bool = True
 
     @classmethod
@@ -99,10 +109,10 @@ class SiteData:
         if use_patterns:
             codes, weights = alignment.site_patterns()
         else:
-            codes, weights = alignment.codes, np.ones(alignment.n_sites)
+            codes, weights = alignment.codes, B.ones(alignment.n_sites)
         return cls(
             codes=codes,
-            weights=np.asarray(weights, dtype=float),
+            weights=B.asarray(weights, dtype=float),
             tips=tip_partials(codes),
             patterned=use_patterns,
         )
@@ -124,16 +134,18 @@ def log_likelihood_reference(
     Loops over every site and, within a site, over the post-order nodes,
     exactly as a non-vectorized CPU implementation would.  Used as the
     ground truth in tests and as the baseline sampler's likelihood engine.
+    Host-only by design: this is the serial-CPU baseline being compared
+    against, so it never runs on a device backend.
     """
     order = tree.postorder()
-    freqs = np.asarray(model.base_frequencies)
+    freqs = B.asarray(model.base_frequencies)
     branch = tree.branch_lengths()
     # Transition matrix per node's parent-branch (root's entry unused).
     pmats = model.transition_matrices(branch)
     codes = alignment.codes
     total = 0.0
     for site in range(alignment.n_sites):
-        partials = np.empty((tree.n_nodes, 4))
+        partials = B.empty((tree.n_nodes, 4))
         log_scale = 0.0
         for node in order:
             if tree.is_tip(node):
@@ -152,9 +164,9 @@ def log_likelihood_reference(
                 if peak <= 0.0:
                     peak = _TINY
                 partials[node] = vec / peak
-                log_scale += float(np.log(peak))
+                log_scale += float(B.log(peak))
         site_like = float(freqs @ partials[tree.root])
-        total += float(np.log(max(site_like, _TINY))) + log_scale
+        total += float(B.log(max(site_like, _TINY))) + log_scale
     return total
 
 
@@ -167,23 +179,24 @@ def site_log_likelihoods(
     model: MutationModel,
     *,
     use_patterns: bool = True,
-) -> np.ndarray:
+    xp: ArrayBackend = B,
+) -> Array:
     """Per-site log-likelihoods ``log L_i(G)`` for a single genealogy.
 
     Vectorized over sites.  With ``use_patterns`` the computation runs over
     unique alignment columns and the result is expanded back to one value
-    per original site.
+    per original site.  Always returns a host array.
     """
     if use_patterns:
         patterns, weights = alignment.site_patterns()
         del weights
-        per_pattern = _site_vector_pruning(tree, patterns, model)
-        # Expand back to per-site values.
+        per_pattern = xp.to_numpy(_site_vector_pruning(tree, patterns, model, xp=xp))
+        # Expand back to per-site values (host-side planning).
         cols = alignment.codes.T
-        uniq, inverse = np.unique(cols, axis=0, return_inverse=True)
+        uniq, inverse = B.unique(cols, axis=0, return_inverse=True)
         del uniq
         return per_pattern[inverse]
-    return _site_vector_pruning(tree, alignment.codes, model)
+    return xp.to_numpy(_site_vector_pruning(tree, alignment.codes, model, xp=xp))
 
 
 def log_likelihood(
@@ -193,6 +206,7 @@ def log_likelihood(
     *,
     use_patterns: bool = True,
     site_data: SiteData | None = None,
+    xp: ArrayBackend = B,
 ) -> float:
     """log P(D | G) for a single genealogy, vectorized over sites.
 
@@ -203,43 +217,47 @@ def log_likelihood(
     """
     if site_data is None:
         site_data = SiteData.from_alignment(alignment, use_patterns=use_patterns)
-    per_col = _site_vector_pruning(tree, site_data.codes, model, tips=site_data.tips)
+    per_col = _site_vector_pruning(tree, site_data.codes, model, tips=site_data.tips, xp=xp)
     if site_data.patterned:
-        return float(per_col @ site_data.weights)
-    return float(per_col.sum())
+        return float(xp.matmul(per_col, xp.asarray(site_data.weights)))
+    return float(xp.sum(per_col))
 
 
 def _site_vector_pruning(
     tree: Genealogy,
-    codes: np.ndarray,
+    codes: Array,
     model: MutationModel,
-    tips: np.ndarray | None = None,
-) -> np.ndarray:
-    """Core site-vectorized pruning over an ``(n_tips, n_sites)`` code matrix."""
+    tips: Array | None = None,
+    xp: ArrayBackend = B,
+):
+    """Core site-vectorized pruning over an ``(n_tips, n_sites)`` code matrix.
+
+    Returns a backend (``xp``) array of per-column log-likelihoods.
+    """
     n_sites = codes.shape[1]
     order = tree.postorder()
-    freqs = np.asarray(model.base_frequencies)
-    pmats = model.transition_matrices(tree.branch_lengths())
+    freqs = xp.asarray(model.base_frequencies)
+    pmats = model.transition_matrices(tree.branch_lengths(), xp=xp)
 
-    partials = np.empty((tree.n_nodes, n_sites, 4))
-    partials[: tree.n_tips] = tip_partials(codes) if tips is None else tips
-    log_scale = np.zeros(n_sites)
+    partials = xp.empty((tree.n_nodes, n_sites, 4))
+    partials[: tree.n_tips] = xp.asarray(tip_partials(codes) if tips is None else tips)
+    log_scale = xp.zeros(n_sites)
 
     for node in order:
         if tree.is_tip(node):
             continue
         c0, c1 = (int(c) for c in tree.children[node])
         # (n_sites, 4) = (n_sites, 4) @ (4, 4)^T for each child branch
-        left = partials[c0] @ pmats[c0].T
-        right = partials[c1] @ pmats[c1].T
+        left = xp.matmul(partials[c0], xp.transpose(pmats[c0], (1, 0)))
+        right = xp.matmul(partials[c1], xp.transpose(pmats[c1], (1, 0)))
         vec = left * right
-        peak = vec.max(axis=1)
-        peak = np.where(peak > 0.0, peak, _TINY)
+        peak = xp.max(vec, axis=1)
+        peak = xp.where(peak > 0.0, peak, _TINY)
         partials[node] = vec / peak[:, None]
-        log_scale += np.log(peak)
+        log_scale = log_scale + xp.log(peak)
 
-    site_like = partials[tree.root] @ freqs
-    return np.log(np.maximum(site_like, _TINY)) + log_scale
+    site_like = xp.matmul(partials[tree.root], freqs)
+    return xp.log(xp.maximum(site_like, _TINY)) + log_scale
 
 
 # --------------------------------------------------------------------------- #
@@ -252,25 +270,26 @@ def batched_log_likelihood(
     *,
     use_patterns: bool = True,
     site_data: SiteData | None = None,
-) -> np.ndarray:
+    xp: ArrayBackend = B,
+) -> Array:
     """log P(D | G) for a batch of genealogies sharing the same tips.
 
     All trees must have the same tip set (they are alternative genealogies
     of the same alignment, e.g. a GMH proposal set).  The computation is
     vectorized across the tree axis and the site axis simultaneously: at
     post-order step ``s`` the ``s``-th oldest interior node of *every* tree
-    is processed in one fused NumPy operation, using per-tree gathered child
-    indices.  Transition matrices are computed once per *unique* branch
-    length in the whole batch — sibling proposals share every branch
-    outside their resimulated region, so most of the ``n_trees · n_nodes``
-    matrix exponentials collapse.
+    is processed in one fused stacked operation on the ``xp`` backend, using
+    per-tree gathered child indices.  Transition matrices are computed once
+    per *unique* branch length in the whole batch — sibling proposals share
+    every branch outside their resimulated region, so most of the
+    ``n_trees · n_nodes`` matrix exponentials collapse.
 
     Returns
     -------
-    ``(n_trees,)`` array of log-likelihoods.
+    ``(n_trees,)`` host array of log-likelihoods.
     """
     if len(trees) == 0:
-        return np.zeros(0)
+        return B.zeros(0)
     n_tips = trees[0].n_tips
     n_nodes = trees[0].n_nodes
     for t in trees:
@@ -286,44 +305,50 @@ def batched_log_likelihood(
     codes, weights = site_data.codes, site_data.weights
     n_sites = codes.shape[1]
     n_trees = len(trees)
-    freqs = np.asarray(model.base_frequencies)
 
-    # Per-tree branch lengths and transition matrices: (n_trees, n_nodes, 4, 4),
-    # deduplicated through the unique lengths (identical inputs produce
-    # bitwise-identical matrices, so the dedup is value-preserving).
-    branch = np.stack([t.branch_lengths() for t in trees])
-    unique_lengths, inverse = np.unique(branch.reshape(-1), return_inverse=True)
-    pmats = model.transition_matrices(unique_lengths)[inverse.reshape(n_trees, n_nodes)]
+    # Host-side planning: branch tables, unique-length dedup, traversal
+    # orders, child tables.  Trees are host objects, so this stays on B.
+    branch = B.stack([t.branch_lengths() for t in trees])
+    unique_lengths, inverse = B.unique(branch.reshape(-1), return_inverse=True)
 
     # Per-tree post-order of interior nodes (children always precede parents
     # because parents are strictly older).
-    orders = np.stack([t.postorder()[n_tips:] for t in trees])  # (n_trees, n_internal)
-    children = np.stack([t.children for t in trees])  # (n_trees, n_nodes, 2)
-    roots = np.array([t.root for t in trees])
+    orders = B.stack([t.postorder()[n_tips:] for t in trees])  # (n_trees, n_internal)
+    children = B.stack([t.children for t in trees])  # (n_trees, n_nodes, 2)
+    roots = B.array([t.root for t in trees])
+    host_tree_idx = B.arange(n_trees)
 
-    partials = np.empty((n_trees, n_nodes, n_sites, 4))
-    partials[:, :n_tips] = site_data.tips[None, :, :, :]
-    log_scale = np.zeros((n_trees, n_sites))
+    # Device math from here on: transition matrices (deduplicated through the
+    # unique lengths — identical inputs produce bitwise-identical matrices, so
+    # the dedup is value-preserving), stacked pruning, root readout.
+    pmats = model.transition_matrices(unique_lengths, xp=xp)[
+        xp.asindex(inverse.reshape(n_trees, n_nodes))
+    ]
+    freqs = xp.asarray(model.base_frequencies)
 
-    tree_idx = np.arange(n_trees)
+    partials = xp.empty((n_trees, n_nodes, n_sites, 4))
+    partials[:, :n_tips] = xp.asarray(site_data.tips)[None, :, :, :]
+    log_scale = xp.zeros((n_trees, n_sites))
+
+    tree_idx = xp.asindex(host_tree_idx)
     for step in range(n_tips - 1):
-        nodes = orders[:, step]  # (n_trees,)
-        c0 = children[tree_idx, nodes, 0]
-        c1 = children[tree_idx, nodes, 1]
+        nodes = orders[:, step]  # (n_trees,) host
+        c0 = xp.asindex(children[host_tree_idx, nodes, 0])
+        c1 = xp.asindex(children[host_tree_idx, nodes, 1])
         # Gather child partials and child-branch transition matrices.
         left_part = partials[tree_idx, c0]  # (n_trees, n_sites, 4)
         right_part = partials[tree_idx, c1]
         left_mat = pmats[tree_idx, c0]  # (n_trees, 4, 4)
         right_mat = pmats[tree_idx, c1]
-        left = np.einsum("tsj,tij->tsi", left_part, left_mat)
-        right = np.einsum("tsj,tij->tsi", right_part, right_mat)
+        left = xp.einsum("tsj,tij->tsi", left_part, left_mat)
+        right = xp.einsum("tsj,tij->tsi", right_part, right_mat)
         vec = left * right
-        peak = vec.max(axis=2)
-        peak = np.where(peak > 0.0, peak, _TINY)
-        partials[tree_idx, nodes] = vec / peak[:, :, None]
-        log_scale += np.log(peak)
+        peak = xp.max(vec, axis=2)
+        peak = xp.where(peak > 0.0, peak, _TINY)
+        partials[tree_idx, xp.asindex(nodes)] = vec / peak[:, :, None]
+        log_scale = log_scale + xp.log(peak)
 
-    root_partials = partials[tree_idx, roots]  # (n_trees, n_sites, 4)
-    site_like = root_partials @ freqs
-    site_logs = np.log(np.maximum(site_like, _TINY)) + log_scale
-    return site_logs @ weights
+    root_partials = partials[tree_idx, xp.asindex(roots)]  # (n_trees, n_sites, 4)
+    site_like = xp.matmul(root_partials, freqs)
+    site_logs = xp.log(xp.maximum(site_like, _TINY)) + log_scale
+    return xp.to_numpy(xp.matmul(site_logs, xp.asarray(weights)))

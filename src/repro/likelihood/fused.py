@@ -28,8 +28,9 @@ and reused across iterations (a dirty path is sequential in depth — node
 d+1 consumes node d's output — but across siblings depth d is embarrassingly
 parallel, which is exactly the lane layout the paper's dynamic-parallelism
 launch uses).  Transition matrices are deduplicated through
-``np.unique`` of the batch's branch lengths, since siblings share most
-branches bitwise.
+a host-side ``unique`` of the batch's branch lengths, since siblings share
+most branches bitwise.  Planning (work-item tables, source/index gathers)
+is host-side; the stacked products run on the engine's array backend.
 
 The arithmetic per recomputed node is identical to the other engines'
 pruning step (pattern compression and per-node log-scaling included), so
@@ -51,14 +52,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
+from ..backend.numpy_backend import NUMPY as B
 from ..genealogy.tree import Genealogy
 from .engines import _ENGINES
 from .felsenstein import _TINY
 from .incremental import CachedEngine
 
 __all__ = ["FusedEngine"]
+
+Array = B.ndarray
 
 # Operand source tags for the child-gather stage of the stacked kernel.
 _SRC_TIP = 0  # precomputed tip partials (zero log-scale)
@@ -102,10 +104,11 @@ class FusedEngine(CachedEngine):
         # padded (n_trees, max_dirty, n_patterns, 4) layout.  The operand
         # staging buffers (left/right child partials and log-scales per work
         # item) are reused the same way.
-        self._work = np.empty((0, 0, 4))
-        self._work_scale = np.empty((0, 0))
-        self._operands = np.empty((2, 0, 0, 4))
-        self._operand_scales = np.empty((2, 0, 0))
+        xp = self.xp
+        self._work = xp.empty((0, 0, 4))
+        self._work_scale = xp.empty((0, 0))
+        self._operands = xp.empty((2, 0, 0, 4))
+        self._operand_scales = xp.empty((2, 0, 0))
 
     def reset_counters(self) -> None:
         """Zero the work, reuse, and stacked-kernel counters (cache kept)."""
@@ -119,20 +122,20 @@ class FusedEngine(CachedEngine):
         """Fraction of padded workspace slots that held real dirty-node work."""
         return self.n_workspace_items / self.n_padded_items if self.n_padded_items else 0.0
 
-    def _workspace(self, n_slots: int, n_patterns: int) -> tuple[np.ndarray, np.ndarray]:
+    def _workspace(self, n_slots: int, n_patterns: int) -> tuple[Array, Array]:
         """The reusable flat workspace, regrown geometrically when too small."""
         if self._work.shape[0] < n_slots or self._work.shape[1] != n_patterns:
             capacity = max(n_slots, 2 * self._work.shape[0])
-            self._work = np.empty((capacity, n_patterns, 4))
-            self._work_scale = np.empty((capacity, n_patterns))
+            self._work = self.xp.empty((capacity, n_patterns, 4))
+            self._work_scale = self.xp.empty((capacity, n_patterns))
         return self._work, self._work_scale
 
-    def _staging(self, n_items: int, n_patterns: int) -> tuple[np.ndarray, np.ndarray]:
+    def _staging(self, n_items: int, n_patterns: int) -> tuple[Array, Array]:
         """Reusable operand staging buffers, zero-scaled over the used slice."""
         if self._operands.shape[1] < n_items or self._operands.shape[2] != n_patterns:
             capacity = max(n_items, 2 * self._operands.shape[1])
-            self._operands = np.empty((2, capacity, n_patterns, 4))
-            self._operand_scales = np.empty((2, capacity, n_patterns))
+            self._operands = self.xp.empty((2, capacity, n_patterns, 4))
+            self._operand_scales = self.xp.empty((2, capacity, n_patterns))
         operands = self._operands[:, :n_items]
         scales = self._operand_scales[:, :n_items]
         scales[:] = 0.0  # tip-sourced operands rely on a zero log-scale
@@ -141,9 +144,9 @@ class FusedEngine(CachedEngine):
     # ------------------------------------------------------------------ #
     # The stacked sparse-batched kernel
     # ------------------------------------------------------------------ #
-    def evaluate_batch(self, trees: list[Genealogy]) -> np.ndarray:
+    def evaluate_batch(self, trees: list[Genealogy]) -> Array:
         if not trees:
-            return np.zeros(0)
+            return B.zeros(0)
         self._ensure_ready()
         n_tips = self.alignment.n_sequences
         if len(self._interner) > self._intern_limit:
@@ -152,7 +155,7 @@ class FusedEngine(CachedEngine):
         n_trees = len(trees)
 
         # ---- plan: per-candidate dirty paths, children before parents ----
-        all_sigs: list[np.ndarray] = []
+        all_sigs: list[Array] = []
         comps: list[list[int]] = []
         hits_total = 0
         planned_sigs: set[int] = set()
@@ -206,12 +209,13 @@ class FusedEngine(CachedEngine):
     def _run_stacked(
         self,
         trees: list[Genealogy],
-        all_sigs: list[np.ndarray],
+        all_sigs: list[Array],
         comps: list[list[int]],
         max_dirty: int,
         n_items: int,
-    ) -> np.ndarray:
+    ) -> Array:
         """Recompute every candidate's dirty path in one padded stacked sweep."""
+        xp = self.xp
         cache = self._cache
         tips = self._tip_entries
         n_patterns = tips.shape[1]
@@ -219,17 +223,18 @@ class FusedEngine(CachedEngine):
 
         # Flat work-item tables ordered by (depth step, candidate): one
         # stacked launch processes one contiguous [lo, hi) block below.
-        out_slot = np.empty(n_items, dtype=np.int64)
-        item_sig = np.empty(n_items, dtype=np.int64)
-        child_src = np.empty((n_items, 2), dtype=np.int8)
-        child_idx = np.empty((n_items, 2), dtype=np.int64)
-        lengths = np.empty((n_items, 2))
+        # All of this is host-side planning.
+        out_slot = B.empty(n_items, dtype=B.int64)
+        item_sig = B.empty(n_items, dtype=B.int64)
+        child_src = B.empty((n_items, 2), dtype=B.int8)
+        child_idx = B.empty((n_items, 2), dtype=B.int64)
+        lengths = B.empty((n_items, 2))
         step_bounds = [0]
         # Distinct frontier entries referenced by this batch, fetched once
         # and stacked so the per-step gather is one fancy index.
         cache_rows: dict[int, int] = {}
-        fetched_parts: list[np.ndarray] = []
-        fetched_scales: list[np.ndarray] = []
+        fetched_parts: list[Array] = []
+        fetched_scales: list[Array] = []
 
         positions = [{node: d for d, node in enumerate(comp)} for comp in comps]
         n_tips = trees[0].n_tips
@@ -271,29 +276,29 @@ class FusedEngine(CachedEngine):
         # regions, so this collapses the 2·n_items matrix builds).  Stored
         # pre-transposed so the stacked product is a contiguous batched
         # matmul, the fastest spelling of this contraction for 4-wide states.
-        unique_lengths, inverse = np.unique(lengths.reshape(-1), return_inverse=True)
-        pmats_t = np.ascontiguousarray(
-            self.model.transition_matrices(unique_lengths).transpose(0, 2, 1)
+        unique_lengths, inverse = B.unique(lengths.reshape(-1), return_inverse=True)
+        pmats_t = xp.ascontiguousarray(
+            xp.transpose(self.model.transition_matrices(unique_lengths, xp=xp), (0, 2, 1))
         )
         pm_idx = inverse.reshape(n_items, 2)
 
         # Stage the tip- and frontier-sourced operands for every item up
         # front; workspace-sourced operands are gathered per step, once their
         # producing step has run.
-        frontier = np.stack(fetched_parts) if fetched_parts else np.empty((0, n_patterns, 4))
+        frontier = xp.stack(fetched_parts) if fetched_parts else xp.empty((0, n_patterns, 4))
         frontier_scale = (
-            np.stack(fetched_scales) if fetched_scales else np.empty((0, n_patterns))
+            xp.stack(fetched_scales) if fetched_scales else xp.empty((0, n_patterns))
         )
         operands, scales = self._staging(n_items, n_patterns)
         for j in (0, 1):
             src, idx = child_src[:, j], child_idx[:, j]
             mask = src == _SRC_TIP
             if mask.any():
-                operands[j, mask] = tips[idx[mask]]
+                operands[j, xp.asindex(mask)] = tips[xp.asindex(idx[mask])]
             mask = src == _SRC_CACHE
             if mask.any():
-                operands[j, mask] = frontier[idx[mask]]
-                scales[j, mask] = frontier_scale[idx[mask]]
+                operands[j, xp.asindex(mask)] = frontier[xp.asindex(idx[mask])]
+                scales[j, xp.asindex(mask)] = frontier_scale[xp.asindex(idx[mask])]
 
         work, work_scale = self._workspace(n_trees * max_dirty, n_patterns)
         for step in range(max_dirty):
@@ -302,27 +307,27 @@ class FusedEngine(CachedEngine):
             for j in (0, 1):
                 mask = child_src[block, j] == _SRC_WORK
                 if mask.any():
-                    rows = child_idx[block, j][mask]
-                    operands[j, block][mask] = work[rows]
-                    scales[j, block][mask] = work_scale[rows]
-            left = np.matmul(operands[0, block], pmats_t[pm_idx[block, 0]])
-            right = np.matmul(operands[1, block], pmats_t[pm_idx[block, 1]])
+                    rows = xp.asindex(child_idx[block, j][mask])
+                    operands[j, block][xp.asindex(mask)] = work[rows]
+                    scales[j, block][xp.asindex(mask)] = work_scale[rows]
+            left = xp.matmul(operands[0, block], pmats_t[xp.asindex(pm_idx[block, 0])])
+            right = xp.matmul(operands[1, block], pmats_t[xp.asindex(pm_idx[block, 1])])
             vec = left * right
-            peak = vec.max(axis=2)
-            peak = np.where(peak > 0.0, peak, _TINY)
-            slots = out_slot[block]
+            peak = xp.max(vec, axis=2)
+            peak = xp.where(peak > 0.0, peak, _TINY)
+            slots = xp.asindex(out_slot[block])
             work[slots] = vec / peak[:, :, None]
-            work_scale[slots] = scales[0, block] + scales[1, block] + np.log(peak)
+            work_scale[slots] = scales[0, block] + scales[1, block] + xp.log(peak)
 
         # Publish the fresh partials into the shared frontier cache so the
         # chosen candidate (and any future evaluation of these states) hits.
         for i in range(n_items):
-            slot = out_slot[i]
-            cache[int(item_sig[i])] = (work[slot].copy(), work_scale[slot].copy())
+            slot = int(out_slot[i])
+            cache[int(item_sig[i])] = (xp.copy(work[slot]), xp.copy(work_scale[slot]))
 
         # Root readout for every candidate.
-        root_parts = np.empty((n_trees, n_patterns, 4))
-        root_scales = np.empty((n_trees, n_patterns))
+        root_parts = xp.empty((n_trees, n_patterns, 4))
+        root_scales = xp.empty((n_trees, n_patterns))
         for t, (tree, comp) in enumerate(zip(trees, comps)):
             if comp:
                 slot = t * max_dirty + len(comp) - 1
@@ -332,13 +337,13 @@ class FusedEngine(CachedEngine):
                 part, scale = cache[int(all_sigs[t][tree.root])]
                 root_parts[t] = part
                 root_scales[t] = scale
-        return self._readout(root_parts, root_scales)
+        return xp.to_numpy(self._readout(root_parts, root_scales))
 
     def _root_values_from_cache(
-        self, trees: list[Genealogy], all_sigs: list[np.ndarray]
-    ) -> np.ndarray:
+        self, trees: list[Genealogy], all_sigs: list[Array]
+    ) -> Array:
         """Log-likelihoods of fully-cached candidates (no dirty work at all)."""
-        values = np.empty(len(trees))
+        values = B.empty(len(trees))
         for t, tree in enumerate(trees):
             part, scale = self._cache[int(all_sigs[t][tree.root])]
             values[t] = float(self._readout(part, scale))

@@ -31,13 +31,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
+from ..backend.numpy_backend import NUMPY as B
 from ..genealogy.tree import Genealogy, SignatureInterner
 from .engines import _ENGINES, LikelihoodEngine
 from .felsenstein import _TINY
 
 __all__ = ["CachedEngine"]
+
+Array = B.ndarray
 
 
 @dataclass
@@ -76,7 +77,7 @@ class CachedEngine(LikelihoodEngine):
         self._interner = SignatureInterner()
         # Interior-node entries keyed by subtree signature id, in LRU order
         # (hits are refreshed to the back, eviction pops the front).
-        self._cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._cache: dict[int, tuple[Array, Array]] = {}
         self._site_product_carry = 0.0
         self._ready = False
 
@@ -87,10 +88,11 @@ class CachedEngine(LikelihoodEngine):
         if self._ready:
             return
         site_data = self.site_data  # shared hoisted patterns + tip partials
-        self._pattern_weights = site_data.weights
-        self._tip_entries = site_data.tips  # (n_tips, n_patterns, 4)
-        self._zero_scale = np.zeros(site_data.n_cols)
-        self._freqs = np.asarray(self.model.base_frequencies)
+        xp = self.xp
+        self._pattern_weights = xp.asarray(site_data.weights)
+        self._tip_entries = xp.asarray(site_data.tips)  # (n_tips, n_patterns, 4)
+        self._zero_scale = xp.zeros(site_data.n_cols)
+        self._freqs = xp.asarray(self.model.base_frequencies)
         if self.max_entries is None:
             # One entry: (n_patterns, 4) partials + (n_patterns,) scales, f64.
             entry_bytes = 8 * 5 * site_data.n_cols
@@ -129,7 +131,7 @@ class CachedEngine(LikelihoodEngine):
     # ------------------------------------------------------------------ #
     # Core incremental evaluation
     # ------------------------------------------------------------------ #
-    def _plan_dirty(self, tree: Genealogy, sigs: np.ndarray) -> tuple[list[int], int]:
+    def _plan_dirty(self, tree: Genealogy, sigs: Array) -> tuple[list[int], int]:
         """Collect the dirty (uncached) interior nodes of ``tree``.
 
         Walks down from the root, stopping at cached nodes and tips: the
@@ -176,26 +178,30 @@ class CachedEngine(LikelihoodEngine):
         plan, hits = self._plan_dirty(tree, sigs)
         fresh = len(plan)
         if fresh:
-            # One batched transition-matrix call covers both child branches
-            # of every node being recomputed.
-            nodes = np.asarray(plan)
+            xp = self.xp
+            # Host-side planning (index tables, branch lengths), then one
+            # batched transition-matrix call on the backend covering both
+            # child branches of every node being recomputed.
+            nodes = B.asarray(plan)
             child_pair = children[nodes]  # (fresh, 2)
             lengths = times[nodes][:, None] - times[child_pair]
-            pmats = self.model.transition_matrices(lengths.reshape(-1)).reshape(fresh, 2, 4, 4)
+            pmats = self.model.transition_matrices(lengths.reshape(-1), xp=xp).reshape(
+                fresh, 2, 4, 4
+            )
             for i in range(fresh - 1, -1, -1):
                 node = plan[i]
                 c0 = int(children[node, 0])
                 c1 = int(children[node, 1])
                 left_part, left_scale = self._entry(c0, sigs)
                 right_part, right_scale = self._entry(c1, sigs)
-                left = left_part @ pmats[i, 0].T
-                right = right_part @ pmats[i, 1].T
+                left = xp.matmul(left_part, xp.transpose(pmats[i, 0], (1, 0)))
+                right = xp.matmul(right_part, xp.transpose(pmats[i, 1], (1, 0)))
                 vec = left * right
-                peak = vec.max(axis=1)
-                peak = np.where(peak > 0.0, peak, _TINY)
+                peak = xp.max(vec, axis=1)
+                peak = xp.where(peak > 0.0, peak, _TINY)
                 cache[int(sigs[node])] = (
                     vec / peak[:, None],
-                    left_scale + right_scale + np.log(peak),
+                    left_scale + right_scale + xp.log(peak),
                 )
 
         part, scale = cache[int(sigs[root])]
@@ -207,12 +213,12 @@ class CachedEngine(LikelihoodEngine):
             cache.pop(next(iter(cache)))
         return value, fresh, tree.n_internal
 
-    def _entry(self, node: int, sigs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def _entry(self, node: int, sigs: Array) -> tuple[Array, Array]:
         if node < self._tip_entries.shape[0]:
             return self._tip_entries[node], self._zero_scale
         return self._cache[int(sigs[node])]
 
-    def _readout(self, part: np.ndarray, scale: np.ndarray) -> np.ndarray:
+    def _readout(self, part: Array, scale: Array):
         """log P(D | G) from a root partial and its log-scale.
 
         The one place the root conditional likelihoods meet the base
@@ -220,9 +226,10 @@ class CachedEngine(LikelihoodEngine):
         by the scalar path and the fused engine's stacked readout (``part``
         may carry a leading tree axis; the arithmetic broadcasts).
         """
-        site_like = part @ self._freqs
-        per_pattern = np.log(np.maximum(site_like, _TINY)) + scale
-        return per_pattern @ self._pattern_weights
+        xp = self.xp
+        site_like = xp.matmul(part, self._freqs)
+        per_pattern = xp.log(xp.maximum(site_like, _TINY)) + scale
+        return xp.matmul(per_pattern, self._pattern_weights)
 
     def _site_products(self, fresh: int, n_internal: int) -> int:
         """Fraction of a full-tree site sweep actually performed.
@@ -248,10 +255,10 @@ class CachedEngine(LikelihoodEngine):
         )
         return value
 
-    def evaluate_batch(self, trees: list[Genealogy]) -> np.ndarray:
+    def evaluate_batch(self, trees: list[Genealogy]) -> Array:
         if not trees:
-            return np.zeros(0)
-        values = np.empty(len(trees))
+            return B.zeros(0)
+        values = B.empty(len(trees))
         total_fresh = 0
         total_products = 0
         for i, tree in enumerate(trees):

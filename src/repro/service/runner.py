@@ -127,6 +127,14 @@ def _execute_job(spool: str, job_id: str, checkpoint_every: int) -> dict[str, An
     a retried job's trajectory bit-identical to an uninterrupted run.
     Returns the completed :class:`~repro.api.RunReport` as a dict.
     """
+    # Worker-dispatch determinism: every random draw a job makes is derived
+    # from its spec's seed through the named-stream registry
+    # (:mod:`repro.backend.rng_registry`) — chains are ("chain", i) streams,
+    # loci ("locus", j, "iteration", k) streams — never from worker identity,
+    # claim order, or fleet size.  A job therefore produces bit-identical
+    # results whether it runs inline, on a 1-worker pool, or interleaved
+    # with others on a 4-worker pool, which is what lets a retried or
+    # resumed attempt commit the same report the first attempt would have.
     job_dir = Path(spool) / "jobs" / job_id
     spec = RunSpec.load(job_dir / SPEC_FILENAME)
     recorder = JSONLRecorder(job_dir / EVENTS_FILENAME, job_id=job_id)

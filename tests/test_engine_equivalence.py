@@ -16,6 +16,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.backend import backend_available
+from repro.core.registry import available_backends
 from repro.likelihood.engines import (
     BatchedEngine,
     SerialEngine,
@@ -171,6 +173,70 @@ class TestCacheStalenessRegression:
         model = make_model("F81", dataset.alignment.base_frequencies(pseudocount=1.0))
         assert isinstance(make_engine("fused", dataset.alignment, model), FusedEngine)
         assert isinstance(make_engine("FUSED", dataset.alignment, model), FusedEngine)
+
+
+#: Per-backend tolerance against the default numpy path.  numpy is a pure
+#: pass-through — bit-exact, tolerance zero.  torch is float64 end to end
+#: but a different BLAS reassociates sums; 1e-9 absolute on log-likelihoods
+#: of magnitude ~1e2 is the documented contract.
+BACKEND_TOLERANCES = {"numpy": 0.0, "torch": 1e-9}
+
+
+class TestCrossBackendEquivalence:
+    """Every registered backend reproduces the default path's numbers."""
+
+    BACKEND_ENGINES = (VectorizedEngine, BatchedEngine, CachedEngine, FusedEngine)
+
+    @pytest.fixture(scope="class")
+    def instance(self):
+        dataset, trees = _dataset_and_trees(seed=23, n_sequences=7, n_sites=80, n_trees=5)
+        model = make_model("F81", dataset.alignment.base_frequencies(pseudocount=1.0))
+        return dataset, model, trees
+
+    @pytest.mark.parametrize("backend", sorted(available_backends()))
+    def test_batch_values_match_default(self, instance, backend):
+        if not backend_available(backend):
+            pytest.skip(f"backend {backend!r} library not installed")
+        dataset, model, trees = instance
+        tolerance = BACKEND_TOLERANCES[backend]
+        for cls in self.BACKEND_ENGINES:
+            reference = cls(alignment=dataset.alignment, model=model).evaluate_batch(trees)
+            values = cls(
+                alignment=dataset.alignment, model=model, backend=backend
+            ).evaluate_batch(trees)
+            if tolerance == 0.0:
+                assert np.array_equal(values, reference), (
+                    f"{cls.__name__} on {backend} is not bit-exact"
+                )
+            else:
+                assert np.allclose(values, reference, rtol=0.0, atol=tolerance), (
+                    f"{cls.__name__} on {backend} exceeds the {tolerance} tolerance"
+                )
+
+    @pytest.mark.parametrize("backend", sorted(available_backends()))
+    def test_proposal_stream_matches_default(self, instance, backend):
+        """The GMH-shaped prepare → sibling-batch hot path, per backend."""
+        if not backend_available(backend):
+            pytest.skip(f"backend {backend!r} library not installed")
+        dataset, model, (tree, *_) = instance
+        tolerance = BACKEND_TOLERANCES[backend]
+        default = FusedEngine(alignment=dataset.alignment, model=model)
+        under_test = FusedEngine(alignment=dataset.alignment, model=model, backend=backend)
+        resim = NeighborhoodResimulator(1.0)
+        rng = np.random.default_rng(23)
+        current = tree
+        for _ in range(3):
+            target = resim.choose_target(current, rng)
+            siblings = [resim.propose(current, target, rng).tree for _ in range(5)]
+            default.prepare(current)
+            under_test.prepare(current)
+            reference = default.evaluate_batch(siblings)
+            values = under_test.evaluate_batch(siblings)
+            if tolerance == 0.0:
+                assert np.array_equal(values, reference)
+            else:
+                assert np.allclose(values, reference, rtol=0.0, atol=tolerance)
+            current = siblings[int(rng.integers(len(siblings)))]
 
 
 class TestHypothesisEquivalence:

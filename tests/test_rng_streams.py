@@ -130,9 +130,34 @@ class TestThreadStreams:
     def test_spawn_shifts_every_stream(self):
         pool = ThreadStreams(3, seed=1)
         spawned = pool.spawn(7)
-        assert spawned.seed == 8
+        assert spawned.seed == 1  # launch is a distinct key component, not folded in
+        assert spawned.launch == 7
         for i in range(3):
             assert not np.allclose(pool.generator(i).random(8), spawned.generator(i).random(8))
+
+    def test_spawn_does_not_alias_across_seeds(self):
+        """Regression: launch 5 of seed 0 must not equal launch 0 of seed 5.
+
+        The historical additive derivation (``seed + offset``) made those two
+        pools bitwise identical, coupling adjacent seeds' proposal streams.
+        """
+        a = ThreadStreams(3, seed=0).spawn(5)
+        b = ThreadStreams(3, seed=5).spawn(0)
+        for i in range(3):
+            assert not np.allclose(a.generator(i).random(16), b.generator(i).random(16))
+        assert not np.allclose(
+            ThreadStreams(3, seed=0).spawn(5).uniforms(32),
+            ThreadStreams(3, seed=5).spawn(0).uniforms(32),
+        )
+
+    def test_uniforms_counter_continuation(self):
+        """Two back-to-back draws equal one big draw split in half."""
+        a = ThreadStreams(2, seed=4)
+        b = ThreadStreams(2, seed=4)
+        combined = a.uniforms(8)
+        first, second = b.uniforms(4), b.uniforms(4)
+        assert np.array_equal(combined[:, :4], first)
+        assert np.array_equal(combined[:, 4:], second)
 
     def test_host_generator_seeded_reproducibility(self):
         assert np.array_equal(host_generator(3).random(5), host_generator(3).random(5))
