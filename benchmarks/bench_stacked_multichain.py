@@ -1,0 +1,189 @@
+"""Stacked cross-chain execution benchmark (the ISSUE 9 tentpole).
+
+Runs K independent chains twice over identical named RNG streams:
+
+1. **Serial** (``mode="process"``, one worker): each chain runs to
+   completion on its own fresh engine, one after another — the historical
+   multichain baseline.
+2. **Stacked** (``mode="stacked"``): all K chains advance lock-step, every
+   round's K candidate trees evaluated in one batched call through a single
+   shared engine whose workspace and transition-matrix cache are reused
+   across chains.
+
+Because every chain owns the named stream ``("chain", i)`` and engine
+values are bitwise independent of batch composition, the pooled traces must
+be **bit-identical** between the two modes for every K — the benchmark
+asserts this, so the K-scaling curve below is a pure execution-shape
+measurement, never a quality trade.
+
+Reported per backend (numpy always; torch when installed): median wall
+clock over ≥3 repeats with spread, seconds per proposal set vs K, the
+stacked-over-serial speedup, and the fused engine's cross-chain
+transition-matrix dedup ratio.  The acceptance bar: stacked K=4 beats the
+same 4 chains run serially on the numpy backend.
+
+Emits ``benchmarks/BENCH_stacked.json`` (CI uploads it; set
+``MPCGS_BENCH_SMOKE=1`` for the reduced smoke workload).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.backend import backend_available
+from repro.baselines.multichain import MultiChainSampler
+from repro.core.config import SamplerConfig
+from repro.genealogy.upgma import upgma_tree
+from repro.likelihood.fused import FusedEngine
+from repro.likelihood.mutation_models import Felsenstein81
+
+from conftest import make_dataset
+
+SMOKE = os.environ.get("MPCGS_BENCH_SMOKE", "") not in ("", "0")
+OUTPUT_PATH = Path(__file__).parent / "BENCH_stacked.json"
+
+N_SEQUENCES = 16
+CHAIN_COUNTS = (1, 2, 4, 8)
+REPEATS = 3
+
+
+class _FusedFactory:
+    """Picklable fused-engine factory pinned to one backend."""
+
+    def __init__(self, alignment, model, backend: str) -> None:
+        self.alignment = alignment
+        self.model = model
+        self.backend = backend
+
+    def __call__(self) -> FusedEngine:
+        return FusedEngine(
+            alignment=self.alignment, model=self.model, backend=self.backend
+        )
+
+
+def _timed_run(factory, cfg, tree, *, n_chains: int, mode: str, seed: int):
+    """Median-of-``REPEATS`` wall clock for one (mode, K) cell.
+
+    Every repeat reruns the sampler from the same seed (identical chains,
+    identical work), so the median over repeats with the min–max spread
+    guards the timing against a transient load spike without averaging in
+    a different workload.  Returns (result, median_seconds, spread_seconds).
+    """
+    result = None
+    times = []
+    for _ in range(REPEATS):
+        sampler = MultiChainSampler(
+            engine_factory=factory,
+            theta=1.0,
+            n_chains=n_chains,
+            config=cfg,
+            mode=mode,
+        )
+        start = time.perf_counter()
+        result = sampler.run(tree, np.random.default_rng(seed))
+        times.append(time.perf_counter() - start)
+    return result, statistics.median(times), max(times) - min(times)
+
+
+def run_stacked_benchmark(smoke: bool = SMOKE) -> dict:
+    # Sites are the lever that keeps the K=4 regression bar out of timing
+    # noise: proposal generation (interval kinetics, shared by both modes)
+    # is site-count-independent, while the likelihood work the stacked mode
+    # batches grows with the site count.
+    n_sites = 300 if smoke else 500
+    n_samples = 32 if smoke else 96
+    burn_in = 8 if smoke else 24
+    dataset = make_dataset(N_SEQUENCES, n_sites, true_theta=1.0, seed=42)
+    model = Felsenstein81(dataset.alignment.base_frequencies(pseudocount=1.0))
+    tree = upgma_tree(dataset.alignment, 1.0)
+    cfg = SamplerConfig(n_samples=n_samples, burn_in=burn_in)
+
+    backends = {}
+    for backend in ("numpy", "torch"):
+        if not backend_available(backend):
+            backends[backend] = {"available": False}
+            continue
+        factory = _FusedFactory(dataset.alignment, model, backend)
+        curve = {}
+        for n_chains in CHAIN_COUNTS:
+            serial, serial_s, serial_spread = _timed_run(
+                factory, cfg, tree, n_chains=n_chains, mode="process", seed=7
+            )
+            stacked, stacked_s, stacked_spread = _timed_run(
+                factory, cfg, tree, n_chains=n_chains, mode="stacked", seed=7
+            )
+            # The whole point: identical pooled traces, different wall clock.
+            identical = bool(
+                np.array_equal(serial.interval_matrix, stacked.interval_matrix)
+                and np.array_equal(
+                    np.asarray(serial.trace.log_likelihoods),
+                    np.asarray(stacked.trace.log_likelihoods),
+                )
+            )
+            n_sets = stacked.n_proposal_sets
+            curve[str(n_chains)] = {
+                "n_proposal_sets": n_sets,
+                "serial_seconds": serial_s,
+                "serial_spread_seconds": serial_spread,
+                "stacked_seconds": stacked_s,
+                "stacked_spread_seconds": stacked_spread,
+                "serial_seconds_per_proposal_set": serial_s / n_sets,
+                "stacked_seconds_per_proposal_set": stacked_s / n_sets,
+                "stacked_speedup": serial_s / stacked_s,
+                "bit_identical": identical,
+                "lockstep_rounds": stacked.extras["lockstep_rounds"],
+                "pmat_dedup_ratio": stacked.extras.get("pmat_dedup_ratio"),
+            }
+        backends[backend] = {"available": True, "k_curve": curve}
+
+    numpy_curve = backends["numpy"]["k_curve"]
+    payload = {
+        "smoke": smoke,
+        "repeats": REPEATS,
+        "workload": {
+            "n_sequences": N_SEQUENCES,
+            "n_sites": n_sites,
+            "n_samples": n_samples,
+            "burn_in": burn_in,
+            "chain_counts": list(CHAIN_COUNTS),
+        },
+        "backends": backends,
+        # The acceptance bar quoted by CI: same 4 chains, same bits, less
+        # wall clock when they share one engine.
+        "stacked_k4_speedup_numpy": numpy_curve["4"]["stacked_speedup"],
+        "all_bit_identical": bool(
+            all(
+                cell["bit_identical"]
+                for row in backends.values()
+                if row.get("available")
+                for cell in row["k_curve"].values()
+            )
+        ),
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return payload
+
+
+def test_stacked_multichain_benchmark(record):
+    payload = run_stacked_benchmark()
+    record("stacked_multichain", payload)
+    # Correctness bars — deterministic, always enforced: every (backend, K)
+    # cell pools bit-identical traces, and the fused engine's shared
+    # workspace deduplicates transition matrices across chains once K > 1.
+    assert payload["all_bit_identical"]
+    numpy_curve = payload["backends"]["numpy"]["k_curve"]
+    for n_chains, cell in numpy_curve.items():
+        if int(n_chains) > 1:
+            assert cell["pmat_dedup_ratio"] > 1.0, (n_chains, cell)
+    # The regression bar: stacked K=4 beats the same 4 chains run serially.
+    assert payload["stacked_k4_speedup_numpy"] > 1.0, numpy_curve["4"]
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_stacked_benchmark(), indent=2, sort_keys=True))

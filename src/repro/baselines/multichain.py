@@ -15,6 +15,7 @@ the measured work and the idealized parallel-time model the paper uses.
 
 from __future__ import annotations
 
+import atexit
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -25,7 +26,7 @@ from typing import Callable
 import numpy as np
 
 from ..backend.rng_registry import derive_master_seed, named_stream
-from ..core.config import SamplerConfig
+from ..core.config import MULTICHAIN_MODES, SamplerConfig
 from ..diagnostics.traces import ChainResult, ChainTrace
 from ..genealogy.tree import Genealogy
 from ..likelihood.engines import LikelihoodEngine
@@ -36,6 +37,7 @@ __all__ = [
     "WorkerCrashError",
     "multichain_parallel_time",
     "gmh_parallel_time",
+    "shutdown_worker_pools",
 ]
 
 
@@ -67,6 +69,43 @@ def _run_single_chain(
     """
     engine = engine_factory()
     return LamarcSampler(engine=engine, theta=theta, config=config).run(initial_tree, rng)
+
+
+# Worker pools shared across runs, keyed by worker count.  An EM driver
+# builds a fresh MultiChainSampler every iteration; creating (and tearing
+# down) a ProcessPoolExecutor per iteration paid the worker fork/spawn cost
+# over and over for identical pools.  The pool holds no run state — every
+# job ships its own factory/config/RNG — so reuse cannot change results,
+# only amortize startup.  A pool whose worker died is discarded (see
+# :meth:`MultiChainSampler._execute`) so retries really do get a fresh one.
+_WORKER_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def _acquire_pool(max_workers: int) -> ProcessPoolExecutor:
+    pool = _WORKER_POOLS.get(max_workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+        _WORKER_POOLS[max_workers] = pool
+    return pool
+
+
+def _discard_pool(max_workers: int) -> None:
+    pool = _WORKER_POOLS.pop(max_workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_worker_pools() -> None:
+    """Shut down every cached multichain worker pool (idempotent).
+
+    Registered atexit; also callable directly by embedders that want the
+    worker processes gone before interpreter teardown.
+    """
+    for max_workers in list(_WORKER_POOLS):
+        _discard_pool(max_workers)
+
+
+atexit.register(shutdown_worker_pools)
 
 
 def multichain_parallel_time(burn_in: float, total_samples: float, n_processors: int) -> float:
@@ -111,6 +150,15 @@ class MultiChainSampler:
         (reported as ``extras["parallel_wall_seconds"]``).  Requires a
         picklable ``engine_factory`` (a module-level function or class
         instance, not a lambda/closure).
+    mode:
+        ``"process"`` (default) runs each chain to completion independently,
+        in-process or on worker processes per ``n_workers``.  ``"stacked"``
+        delegates to :class:`~repro.parallel.stacked.StackedMultiChain`:
+        all chains advance lock-step in one process, one shared engine
+        evaluating every chain's candidate per round as a single fused
+        batch.  Both modes pool bit-identical traces (chains own named
+        streams either way); stacked ignores ``n_workers`` and does not
+        require a picklable factory.
     """
 
     engine_factory: Callable[[], LikelihoodEngine]
@@ -118,6 +166,7 @@ class MultiChainSampler:
     n_chains: int
     config: SamplerConfig
     n_workers: int = 1
+    mode: str = "process"
 
     def __post_init__(self) -> None:
         if self.n_chains < 1:
@@ -126,6 +175,11 @@ class MultiChainSampler:
             raise ValueError("theta must be positive")
         if self.n_workers < 1:
             raise ValueError("n_workers must be positive")
+        if self.mode not in MULTICHAIN_MODES:
+            raise ValueError(
+                f"unknown multichain mode {self.mode!r}; "
+                f"choose from {MULTICHAIN_MODES}"
+            )
 
     def chain_quotas(self) -> list[int]:
         """Per-chain sample quotas summing exactly to ``config.n_samples``.
@@ -148,6 +202,17 @@ class MultiChainSampler:
         ``n_workers`` processes when configured; pooling always happens in
         chain-index order, so the result is identical either way.
         """
+        if self.mode == "stacked":
+            # Imported lazily: repro.parallel.stacked imports helpers from
+            # this module, so a top-level import here would be circular.
+            from ..parallel.stacked import StackedMultiChain
+
+            return StackedMultiChain(
+                engine_factory=self.engine_factory,
+                theta=self.theta,
+                n_chains=self.n_chains,
+                config=self.config,
+            ).run(initial_tree, rng)
         quotas = self.chain_quotas()
 
         # Independent per-chain streams named ("chain", i) under one master
@@ -253,30 +318,34 @@ class MultiChainSampler:
                 "module-level function or class instance, not a lambda or "
                 "closure); run with n_workers=1 or pass a picklable factory"
             ) from exc
-        with ProcessPoolExecutor(max_workers=min(self.n_workers, len(jobs))) as pool:
-            futures = [
-                (
-                    index,
-                    pool.submit(
-                        _run_single_chain,
-                        self.engine_factory,
-                        self.theta,
-                        cfg,
-                        initial_tree,
-                        chain_rng,
-                    ),
-                )
-                for index, cfg, chain_rng in jobs
-            ]
-            try:
-                return {index: future.result() for index, future in futures}
-            except BrokenProcessPool as exc:
-                # A killed worker otherwise surfaces as the pool's own
-                # plumbing error; map it to the typed job-level failure the
-                # scheduler's retry path catches.
-                raise WorkerCrashError(
-                    f"a multichain worker process died while running "
-                    f"{len(jobs)} chains on {self.n_workers} workers "
-                    "(killed by a signal or the OOM killer); the run can be "
-                    "retried on a fresh pool"
-                ) from exc
+        max_workers = min(self.n_workers, len(jobs))
+        pool = _acquire_pool(max_workers)
+        futures = [
+            (
+                index,
+                pool.submit(
+                    _run_single_chain,
+                    self.engine_factory,
+                    self.theta,
+                    cfg,
+                    initial_tree,
+                    chain_rng,
+                ),
+            )
+            for index, cfg, chain_rng in jobs
+        ]
+        try:
+            return {index: future.result() for index, future in futures}
+        except BrokenProcessPool as exc:
+            # A killed worker otherwise surfaces as the pool's own plumbing
+            # error; map it to the typed job-level failure the scheduler's
+            # retry path catches — and drop the broken pool from the shared
+            # cache so that retry (and every later run) really does start
+            # on a fresh pool.
+            _discard_pool(max_workers)
+            raise WorkerCrashError(
+                f"a multichain worker process died while running "
+                f"{len(jobs)} chains on {self.n_workers} workers "
+                "(killed by a signal or the OOM killer); the run can be "
+                "retried on a fresh pool"
+            ) from exc

@@ -50,7 +50,13 @@ import numpy as np
 import json as _json
 
 from .api import Experiment, RunSpec
-from .core.config import DEMOGRAPHIES, EstimatorConfig, MPCGSConfig, SamplerConfig
+from .core.config import (
+    DEMOGRAPHIES,
+    MULTICHAIN_MODES,
+    EstimatorConfig,
+    MPCGSConfig,
+    SamplerConfig,
+)
 from .core.registry import (
     available_backends,
     available_demographies,
@@ -325,6 +331,16 @@ def build_cli() -> argparse.ArgumentParser:
             "(measured parallel wall time; output is identical to --workers 1)"
         ),
     )
+    p_baseline.add_argument(
+        "--mode",
+        choices=MULTICHAIN_MODES,
+        default=None,
+        help=(
+            "multichain execution mode: 'process' runs chains independently "
+            "(per --workers), 'stacked' advances them lock-step through one "
+            "batched engine (output is identical either way)"
+        ),
+    )
     p_baseline.set_defaults(handler=_cmd_run, default_sampler="lamarc")
 
     p_info = sub.add_parser(
@@ -548,6 +564,13 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         if workers < 1:
             parser.error("--workers must be at least 1")
         cfg = replace(cfg, sampler_options={**cfg.sampler_options, "n_workers": workers})
+    mode = getattr(args, "mode", None)
+    if mode is not None:
+        if cfg.sampler_name != "multichain":
+            parser.error(
+                f"--mode applies to the multichain sampler, not {cfg.sampler_name!r}"
+            )
+        cfg = replace(cfg, sampler_options={**cfg.sampler_options, "mode": mode})
     if cfg.sampler_name == "bayesian":
         parser.error("the bayesian sampler has no maximization stage; use `mpcgs bayes`")
     # Report sampler/demography incompatibility as a usage error here;

@@ -101,6 +101,24 @@ def _interior_topological_order(tree: Genealogy) -> list[int]:
 _SINGLE_ENGINE_SAMPLERS = frozenset({"gmh", "lamarc", "heated", "bayesian"})
 
 
+def _uses_single_engine(cfg: MPCGSConfig) -> bool:
+    """Whether this config's sampler holds exactly one engine per run.
+
+    True for the stock single-engine samplers, and for the multichain
+    baseline in ``mode="stacked"`` — the stacked executor calls the factory
+    once and pushes every chain through that one engine, so a warm cache
+    shared across EM iterations is just as safe (and just as profitable) as
+    for the gmh chain.  Process-mode multichain keeps fresh engines: each
+    chain must pay and count its full pruning work independently.
+    """
+    if cfg.sampler_name in _SINGLE_ENGINE_SAMPLERS:
+        return True
+    return (
+        cfg.sampler_name == "multichain"
+        and cfg.sampler_options.get("mode") == "stacked"
+    )
+
+
 @dataclass(frozen=True)
 class _EngineBuilder:
     """Picklable zero-argument engine factory.
@@ -401,11 +419,12 @@ class MPCGS:
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be positive")
         # Cache sharing is safe only for samplers known to hold a single
-        # engine.  Everything else — the multi-chain baseline (which must
-        # pay and count every chain's full pruning work independently),
-        # custom registered samplers whose engine discipline is unknown, and
-        # explicit sampler_factory callers — gets fresh engines per call.
-        share_cache = sampler_factory is None and cfg.sampler_name in _SINGLE_ENGINE_SAMPLERS
+        # engine.  Everything else — the process-mode multi-chain baseline
+        # (which must pay and count every chain's full pruning work
+        # independently), custom registered samplers whose engine discipline
+        # is unknown, and explicit sampler_factory callers — gets fresh
+        # engines per call.
+        share_cache = sampler_factory is None and _uses_single_engine(cfg)
         if sampler_factory is None:
             sampler_factory = registry_sampler_factory(
                 cfg.sampler_name, cfg.sampler, **cfg.sampler_options
@@ -527,7 +546,7 @@ class MPCGS:
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be positive")
         require_demography_support(cfg)
-        share_cache = cfg.sampler_name in _SINGLE_ENGINE_SAMPLERS
+        share_cache = _uses_single_engine(cfg)
         engine_factory = self._engine_factory(share_cache=share_cache)
         run_key = (
             self.run_key(theta0)
@@ -631,9 +650,7 @@ class MPCGS:
         """One EM iteration's demography-targeted sampler at the driving point."""
         cfg = self.config
         if engine_factory is None:
-            engine_factory = self._engine_factory(
-                share_cache=cfg.sampler_name in _SINGLE_ENGINE_SAMPLERS
-            )
+            engine_factory = self._engine_factory(share_cache=_uses_single_engine(cfg))
         # A parameter-free demography is the constant model every sampler
         # already targets: omit the option so samplers without a demography
         # keyword (multichain, custom ones) work unchanged.
@@ -763,7 +780,7 @@ def run_multilocus(
     demography = config.demography_model()
     drivers = [MPCGS(alignment, config) for alignment in alignments]
     engine_factories = [
-        driver._engine_factory(share_cache=config.sampler_name in _SINGLE_ENGINE_SAMPLERS)
+        driver._engine_factory(share_cache=_uses_single_engine(config))
         for driver in drivers
     ]
     theta = float(theta0)

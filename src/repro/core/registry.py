@@ -223,7 +223,8 @@ SAMPLERS.register(
     _build_multichain,
     description=(
         "P independent chains with pooled samples (Fig. 6 baseline); "
-        "options n_chains, n_workers (process-parallel execution)"
+        "options n_chains, n_workers (process-parallel execution), "
+        "mode ('process' or 'stacked' lock-step batched execution)"
     ),
     metadata={"supports_demography": False},
 )

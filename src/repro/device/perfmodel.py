@@ -319,6 +319,7 @@ class DeviceModel:
         n_sequences: int,
         mean_dirty_nodes: float | None = None,
         max_dirty_nodes: int | None = None,
+        n_chains: int = 1,
     ) -> KernelCost:
         """One fused proposal-set launch: all N+1 dirty paths in a padded stack.
 
@@ -331,9 +332,18 @@ class DeviceModel:
         padded-batch occupancy; the default pad models the maximum of N+1
         dirty-path draws as the mean plus a ``log2``-sized extreme-value
         excess, clamped to the interior-node count.
+
+        ``n_chains > 1`` models the stacked cross-chain executor: K chains'
+        proposal sets share the launch, multiplying the lane demand to
+        ``K · (N+1) · n_sites`` while the launch/reduction/sync overheads
+        are paid once — the cross-chain occupancy term that makes stacking
+        K narrow sets cheaper than K separate launches whenever the device
+        has idle processing elements.
         """
         if n_proposals < 1:
             raise ValueError("n_proposals must be positive")
+        if n_chains < 1:
+            raise ValueError("n_chains must be positive")
         spec = self.spec
         n_internal = n_sequences - 1
         if mean_dirty_nodes is None:
@@ -344,7 +354,7 @@ class DeviceModel:
             )
         if not 1 <= mean_dirty_nodes <= max_dirty_nodes:
             raise ValueError("need 1 <= mean_dirty_nodes <= max_dirty_nodes")
-        n_trees = n_proposals + 1
+        n_trees = n_chains * (n_proposals + 1)
         work_per_lane = max_dirty_nodes * (1.0 + spec.memory_access_penalty / 8.0)
         lane_demand = n_trees * n_sites
         waves = int(np.ceil(lane_demand / spec.n_processing_elements))
@@ -403,6 +413,45 @@ class DeviceModel:
             + sampling
         )
         return cached_time / fused_time
+
+    def projected_stacked_speedup(
+        self,
+        n_chains: int,
+        n_proposals: int,
+        n_sites: int,
+        n_sequences: int,
+        mean_dirty_nodes: float | None = None,
+        max_dirty_nodes: int | None = None,
+    ) -> float:
+        """Projected speedup of stacking K chains' sets into one launch.
+
+        Compares K serialized :meth:`fused_set_kernel` launches (K
+        independent chains each fusing its own proposal set — the
+        process-mode layout collapsed onto one device) against a single
+        K-chain launch whose lane demand is ``K·(N+1)·n_sites``
+        (``n_chains=K``).  While the device still has idle processing
+        elements the wide launch costs barely more than a narrow one, so
+        the ratio approaches K; once the lanes saturate the PEs the parallel
+        terms equalize and only the K−1 saved launch/reduction/sync
+        overheads remain.
+        """
+        if n_chains < 1:
+            raise ValueError("n_chains must be positive")
+        separate = (
+            n_chains
+            * self.fused_set_kernel(
+                n_proposals, n_sites, n_sequences, mean_dirty_nodes, max_dirty_nodes
+            ).total_time
+        )
+        stacked = self.fused_set_kernel(
+            n_proposals,
+            n_sites,
+            n_sequences,
+            mean_dirty_nodes,
+            max_dirty_nodes,
+            n_chains=n_chains,
+        ).total_time
+        return separate / stacked
 
     def fused_speedup(
         self,

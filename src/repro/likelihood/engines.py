@@ -136,6 +136,28 @@ class LikelihoodEngine:
         """log P(D | G) for each genealogy in ``trees``."""
         raise NotImplementedError
 
+    def evaluate_stacked(self, groups: list[list[Genealogy]]) -> list[np.ndarray]:
+        """Evaluate several independent tree groups through one batched call.
+
+        ``groups`` holds one list of candidate genealogies per logical unit
+        of work — e.g. one group per chain of a stacked multichain round.
+        The groups are flattened into a *single* ``evaluate_batch`` call (so
+        a batching engine sees the full cross-group batch: one fused
+        workspace, transition matrices deduplicated across groups) and the
+        values are split back per group.  Because every engine's batch values
+        are independent of batch composition, each group's values are
+        identical to evaluating it alone — only the execution shape changes.
+        """
+        flat = [tree for group in groups for tree in group]
+        values = np.asarray(self.evaluate_batch(flat))
+        out: list[np.ndarray] = []
+        lo = 0
+        for group in groups:
+            hi = lo + len(group)
+            out.append(values[lo:hi])
+            lo = hi
+        return out
+
 
 class SerialEngine(LikelihoodEngine):
     """Scalar per-site evaluation, one proposal at a time (the serial baseline).
@@ -168,7 +190,30 @@ class VectorizedEngine(LikelihoodEngine):
 
 
 class BatchedEngine(LikelihoodEngine):
-    """Site- and proposal-vectorized evaluation of whole proposal sets."""
+    """Site- and proposal-vectorized evaluation of whole proposal sets.
+
+    The ``(n_trees, n_nodes, n_patterns, 4)`` partial-likelihood workspace of
+    :func:`~repro.likelihood.felsenstein.batched_log_likelihood` is owned by
+    the engine and reused across calls (regrown geometrically when a larger
+    batch arrives), so a chain evaluating one proposal set per step — or a
+    stacked multichain run pushing K chains' candidates through per round —
+    stops paying a fresh device allocation per call.
+    """
+
+    _partials_ws = None  # lazily grown; shared by every evaluate_batch call
+
+    def _workspace(self, n_trees: int, n_nodes: int, n_cols: int):
+        ws = self._partials_ws
+        if (
+            ws is None
+            or ws.shape[0] < n_trees
+            or ws.shape[1] != n_nodes
+            or ws.shape[2] != n_cols
+        ):
+            capacity = max(n_trees, 2 * (ws.shape[0] if ws is not None else 0))
+            ws = self.xp.empty((capacity, n_nodes, n_cols, 4))
+            self._partials_ws = ws
+        return ws
 
     def evaluate(self, tree: Genealogy) -> float:
         self._count(1, nodes_pruned=tree.n_internal)
@@ -180,8 +225,16 @@ class BatchedEngine(LikelihoodEngine):
         if not trees:
             return np.zeros(0)
         self._count(len(trees), nodes_pruned=sum(t.n_internal for t in trees))
+        workspace = self._workspace(
+            len(trees), trees[0].n_nodes, self.site_data.n_cols
+        )
         return batched_log_likelihood(
-            list(trees), self.alignment, self.model, site_data=self.site_data, xp=self.xp
+            list(trees),
+            self.alignment,
+            self.model,
+            site_data=self.site_data,
+            xp=self.xp,
+            workspace=workspace,
         )
 
 

@@ -271,6 +271,7 @@ def batched_log_likelihood(
     use_patterns: bool = True,
     site_data: SiteData | None = None,
     xp: ArrayBackend = B,
+    workspace: Array | None = None,
 ) -> Array:
     """log P(D | G) for a batch of genealogies sharing the same tips.
 
@@ -283,6 +284,14 @@ def batched_log_likelihood(
     per *unique* branch length in the whole batch — sibling proposals share
     every branch outside their resimulated region, so most of the
     ``n_trees · n_nodes`` matrix exponentials collapse.
+
+    ``workspace`` optionally supplies the ``(≥n_trees, n_nodes, n_cols, 4)``
+    partial-likelihood buffer (an ``xp`` array); every slot is fully
+    rewritten per call, so an engine can hand the same buffer to every batch
+    instead of allocating a fresh one — the stacked cross-chain executor
+    pushes ``K·(N+1)``-tree batches through here every round, where the
+    per-call allocation is pure overhead.  A buffer of the wrong shape is
+    ignored (a fresh one is allocated), so callers can pass opportunistically.
 
     Returns
     -------
@@ -326,7 +335,12 @@ def batched_log_likelihood(
     ]
     freqs = xp.asarray(model.base_frequencies)
 
-    partials = xp.empty((n_trees, n_nodes, n_sites, 4))
+    if workspace is not None and workspace.shape[0] >= n_trees and tuple(
+        workspace.shape[1:]
+    ) == (n_nodes, n_sites, 4):
+        partials = workspace[:n_trees]
+    else:
+        partials = xp.empty((n_trees, n_nodes, n_sites, 4))
     partials[:, :n_tips] = xp.asarray(site_data.tips)[None, :, :, :]
     log_scale = xp.zeros((n_trees, n_sites))
 
@@ -351,4 +365,12 @@ def batched_log_likelihood(
     root_partials = partials[tree_idx, xp.asindex(roots)]  # (n_trees, n_sites, 4)
     site_like = xp.matmul(root_partials, freqs)
     site_logs = xp.log(xp.maximum(site_like, _TINY)) + log_scale
-    return xp.to_numpy(xp.matmul(site_logs, xp.asarray(weights)))
+    # Pattern-weight reduction per tree via the 1-D dot, never the multi-row
+    # gemv: BLAS reduces a row of an (n_trees, n_cols) matrix-vector product
+    # in a different order than the equivalent 1-D dot, so one tree's total
+    # could depend on how many other trees shared its batch.  The per-row dot
+    # makes every tree's value bitwise identical to the single-tree path for
+    # any batch composition — the contract the samplers' batched evaluation
+    # (and the stacked cross-chain executor in particular) relies on.
+    w = xp.asarray(weights)
+    return xp.to_numpy(xp.stack([xp.matmul(site_logs[t], w) for t in range(n_trees)]))

@@ -89,11 +89,22 @@ class FusedEngine(CachedEngine):
         ``workspace_occupancy`` is the ratio of the two, the quantity
         :meth:`repro.device.perfmodel.DeviceModel.projected_fused_speedup`
         models as padded-batch occupancy.
+    ``n_pmat_requests`` / ``n_pmat_builds``
+        Transition matrices the batch's work items referenced (two child
+        branches per item) versus the *unique* branch lengths actually
+        exponentiated.  Within one proposal set siblings share most branches;
+        under stacked cross-chain execution the dedup also spans chains —
+        candidates from different chains of the same lock-step round share
+        every branch outside their dirty regions bitwise —
+        so ``pmat_dedup_ratio`` is the direct measure of the cross-chain
+        sharing the stacked batch shape buys.
     """
 
     n_stacked_steps: int = field(default=0, init=False)
     n_workspace_items: int = field(default=0, init=False)
     n_padded_items: int = field(default=0, init=False)
+    n_pmat_requests: int = field(default=0, init=False)
+    n_pmat_builds: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -116,11 +127,18 @@ class FusedEngine(CachedEngine):
         self.n_stacked_steps = 0
         self.n_workspace_items = 0
         self.n_padded_items = 0
+        self.n_pmat_requests = 0
+        self.n_pmat_builds = 0
 
     @property
     def workspace_occupancy(self) -> float:
         """Fraction of padded workspace slots that held real dirty-node work."""
         return self.n_workspace_items / self.n_padded_items if self.n_padded_items else 0.0
+
+    @property
+    def pmat_dedup_ratio(self) -> float:
+        """Transition matrices requested per matrix actually built (≥ 1)."""
+        return self.n_pmat_requests / self.n_pmat_builds if self.n_pmat_builds else 0.0
 
     def _workspace(self, n_slots: int, n_patterns: int) -> tuple[Array, Array]:
         """The reusable flat workspace, regrown geometrically when too small."""
@@ -277,6 +295,8 @@ class FusedEngine(CachedEngine):
         # pre-transposed so the stacked product is a contiguous batched
         # matmul, the fastest spelling of this contraction for 4-wide states.
         unique_lengths, inverse = B.unique(lengths.reshape(-1), return_inverse=True)
+        self.n_pmat_requests += 2 * n_items
+        self.n_pmat_builds += int(unique_lengths.shape[0])
         pmats_t = xp.ascontiguousarray(
             xp.transpose(self.model.transition_matrices(unique_lengths, xp=xp), (0, 2, 1))
         )

@@ -224,12 +224,23 @@ class CachedEngine(LikelihoodEngine):
         The one place the root conditional likelihoods meet the base
         frequencies, the underflow clamp, and the pattern weights — shared
         by the scalar path and the fused engine's stacked readout (``part``
-        may carry a leading tree axis; the arithmetic broadcasts).
+        may carry a leading tree axis; the arithmetic broadcasts).  The
+        stacked case reduces each tree's pattern weights through the same
+        1-D dot the scalar path uses — not one multi-row matrix-vector
+        product, whose BLAS reduction order can differ from the dot's — so
+        a tree's value never depends on how many trees share its readout.
         """
         xp = self.xp
         site_like = xp.matmul(part, self._freqs)
         per_pattern = xp.log(xp.maximum(site_like, _TINY)) + scale
-        return xp.matmul(per_pattern, self._pattern_weights)
+        if per_pattern.ndim == 1:
+            return xp.matmul(per_pattern, self._pattern_weights)
+        return xp.stack(
+            [
+                xp.matmul(per_pattern[t], self._pattern_weights)
+                for t in range(per_pattern.shape[0])
+            ]
+        )
 
     def _site_products(self, fresh: int, n_internal: int) -> int:
         """Fraction of a full-tree site sweep actually performed.

@@ -1,0 +1,15 @@
+"""Cross-chain execution strategies.
+
+:mod:`repro.baselines.multichain` defines *what* the multichain baseline
+computes (P independent chains, pooled in chain-index order); this package
+holds *how* the chains execute beyond the classic one-process-per-chain
+layout.  :class:`~repro.parallel.stacked.StackedMultiChain` advances all
+chains lock-step through one shared batching engine, which is the
+single-device analogue of the paper's work-stacking: instead of P devices
+each running one chain, one device runs P chains' candidate evaluations as
+a single fused batch per round.
+"""
+
+from .stacked import StackedMultiChain
+
+__all__ = ["StackedMultiChain"]

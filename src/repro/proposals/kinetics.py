@@ -38,11 +38,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 from scipy.optimize import brentq
 
-__all__ = ["IntervalKinetics"]
+__all__ = ["IntervalKinetics", "kinetics_for"]
 
 _MAX_ACTIVE = 3  # a neighbourhood resimulation never has more than three active lineages
 _REL_TOL = 1e-12
@@ -57,6 +58,21 @@ def _expint(rate: float, upto: float) -> float:
     if abs(rate) <= _REL_TOL:
         return upto
     return -math.expm1(-rate * upto) / rate
+
+
+@lru_cache(maxsize=512)
+def kinetics_for(n_inactive: int, theta: float) -> "IntervalKinetics":
+    """Shared :class:`IntervalKinetics` instance for ``(n_inactive, theta)``.
+
+    The kinetics of an interval depend only on its inactive-lineage count and
+    the driving θ, and ``n_inactive`` ranges over a handful of small integers,
+    so every proposal set — and, under stacked cross-chain execution, every
+    chain in the stack — keeps re-requesting the same few objects.  The
+    instances are frozen (immutable), so sharing one per ``(n_inactive, θ)``
+    across proposal sets, chains, and resimulators is safe and skips the
+    repeated construction/validation on the proposal hot path.
+    """
+    return IntervalKinetics(n_inactive=n_inactive, theta=theta)
 
 
 @dataclass(frozen=True)

@@ -50,7 +50,7 @@ from .intervals import (
     extract_region,
     rescaled_interval_spans,
 )
-from .kinetics import IntervalKinetics
+from .kinetics import IntervalKinetics, kinetics_for
 
 __all__ = [
     "NeighborhoodResimulator",
@@ -253,6 +253,68 @@ class NeighborhoodResimulator:
             return outcome
         return self.propose(tree, target, rng)
 
+    def propose_random_stack(
+        self,
+        trees: list[Genealogy],
+        rngs: list[np.random.Generator],
+    ) -> list[ResimulationOutcome]:
+        """One lock-step proposal for each of a *stack* of chains.
+
+        ``trees[i]`` is chain ``i``'s current state and ``rngs[i]`` its
+        private stream.  The per-set pipeline of :meth:`propose_random` is
+        stage-separated across the stack — all target choices, then all set
+        contexts, then all forward passes, then all rebuilds — so each stage
+        runs over the whole stack while every chain still consumes *its own*
+        stream in exactly the order the solo :meth:`propose_random` call
+        would (choose_target, forward pass, rebuild; the context build draws
+        nothing).  Each chain's outcome is therefore bit-identical to its
+        solo run for any stack width, which is the contract the stacked
+        multichain executor's lock-step rounds rely on.
+
+        The stage separation is what the stack shares: the per-interval
+        kinetics objects are memoized across every context in the stack
+        (:func:`repro.proposals.kinetics.kinetics_for`), and the caller gets
+        all sibling trees back in one list ready for a single batched
+        likelihood evaluation.
+        """
+        if len(trees) != len(rngs):
+            raise ValueError("need exactly one RNG stream per stacked chain")
+        targets = [self.choose_target(t, r) for t, r in zip(trees, rngs)]
+        if self.batch_proposals:
+            self.n_proposal_sets += len(trees)
+            contexts = [self._build_set_context(t, tgt) for t, tgt in zip(trees, targets)]
+            merge_times = [
+                self._forward_pass_batch(ctx, 1, r) for ctx, r in zip(contexts, rngs)
+            ]
+            outcomes = [
+                self._rebuild_batch(t, ctx, mt, r)[0]
+                for t, ctx, mt, r in zip(trees, contexts, merge_times, rngs)
+            ]
+            self.n_proposals_generated += len(trees)
+            return outcomes
+        # Reference kernel, stage-separated the same way (counter semantics
+        # follow :meth:`propose`: no set is counted on this path).
+        contexts = [self._build_set_context(t, tgt) for t, tgt in zip(trees, targets)]
+        merge_times = [self._forward_pass(ctx, r) for ctx, r in zip(contexts, rngs)]
+        outcomes = []
+        for t, ctx, mt, r in zip(trees, contexts, merge_times, rngs):
+            new_tree, new_nodes, first_pair = self._rebuild(t, ctx.region, mt, r)
+            if self.validate:
+                new_tree.validate()
+            self.n_proposals_generated += 1
+            outcomes.append(
+                ResimulationOutcome(
+                    tree=new_tree,
+                    region=ctx.region,
+                    new_times=(
+                        float(new_tree.times[new_nodes[0]]),
+                        float(new_tree.times[new_nodes[1]]),
+                    ),
+                    topology_changed=self._topology_changed(t, ctx.region, first_pair),
+                )
+            )
+        return outcomes
+
     # ------------------------------------------------------------------ #
     # Shared per-set context
     # ------------------------------------------------------------------ #
@@ -261,9 +323,7 @@ class NeighborhoodResimulator:
         region = extract_region(tree, target)
         intervals = build_intervals(tree, region)
         self.n_interval_builds += 1
-        kinetics = [
-            IntervalKinetics(n_inactive=iv.n_inactive, theta=self.theta) for iv in intervals
-        ]
+        kinetics = [kinetics_for(iv.n_inactive, self.theta) for iv in intervals]
         if self.demography is None:
             tau_starts = None
             spans = [iv.length for iv in intervals]

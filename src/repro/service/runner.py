@@ -41,12 +41,13 @@ import time
 import uuid
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Mapping
 
 from ..api import Experiment, RunSpec
 from ..baselines.multichain import WorkerCrashError
+from ..core.config import MULTICHAIN_MODES
 from .checkpoint import load_checkpoint
 from .events import (
     JOB_CACHE_HIT,
@@ -118,7 +119,12 @@ class JobRecord:
         return cls.from_dict(json.loads(Path(path).read_text()))
 
 
-def _execute_job(spool: str, job_id: str, checkpoint_every: int) -> dict[str, Any]:
+def _execute_job(
+    spool: str,
+    job_id: str,
+    checkpoint_every: int,
+    multichain_mode: str | None = None,
+) -> dict[str, Any]:
     """Run one spooled job to completion; module-level so pool workers can import it.
 
     Streams run events into the job's ``events.jsonl``, cuts an EM
@@ -126,6 +132,15 @@ def _execute_job(spool: str, job_id: str, checkpoint_every: int) -> dict[str, An
     attempt left a checkpoint behind — resumes from it, which is what makes
     a retried job's trajectory bit-identical to an uninterrupted run.
     Returns the completed :class:`~repro.api.RunReport` as a dict.
+
+    ``multichain_mode`` optionally overrides the execution mode of
+    *multichain* jobs (other samplers are untouched).  The service's workers
+    are already OS processes, so a multichain job spawning its own nested
+    worker pool inside one is pure overhead; forcing ``"stacked"`` keeps
+    each job single-process while batching its chains' evaluations.  The
+    override is execution-shape only — stacked traces are bit-identical to
+    process-mode traces — so the job's spec hash (and with it the result
+    store's dedup) deliberately keys on the *submitted* spec.
     """
     # Worker-dispatch determinism: every random draw a job makes is derived
     # from its spec's seed through the named-stream registry
@@ -137,6 +152,17 @@ def _execute_job(spool: str, job_id: str, checkpoint_every: int) -> dict[str, An
     # resumed attempt commit the same report the first attempt would have.
     job_dir = Path(spool) / "jobs" / job_id
     spec = RunSpec.load(job_dir / SPEC_FILENAME)
+    if multichain_mode is not None and spec.config.sampler_name == "multichain":
+        spec = replace(
+            spec,
+            config=replace(
+                spec.config,
+                sampler_options={
+                    **spec.config.sampler_options,
+                    "mode": multichain_mode,
+                },
+            ),
+        )
     recorder = JSONLRecorder(job_dir / EVENTS_FILENAME, job_id=job_id)
     experiment = Experiment.from_spec(spec)
 
@@ -181,6 +207,14 @@ class ExperimentService:
         retried on a fresh pool before being marked failed.
     checkpoint_every:
         EM-checkpoint cadence passed to every job (iterations).
+    multichain_mode:
+        Optional execution-mode override for multichain jobs (a name from
+        :data:`~repro.core.config.MULTICHAIN_MODES`).  ``"stacked"`` is the
+        natural fleet setting: each service worker is already an OS
+        process, so running the job's chains lock-step through one batched
+        engine avoids nesting a worker pool inside a worker while leaving
+        the pooled trace bit-identical.  ``None`` (default) runs every job
+        exactly as submitted.
     on_event:
         Optional subscriber attached to the service's :class:`EventBus`
         (every job's lifecycle and run events flow through it).
@@ -193,16 +227,23 @@ class ExperimentService:
         n_workers: int = 1,
         max_retries: int = 2,
         checkpoint_every: int = 1,
+        multichain_mode: str | None = None,
         on_event=None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be positive")
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
+        if multichain_mode is not None and multichain_mode not in MULTICHAIN_MODES:
+            raise ValueError(
+                f"unknown multichain mode {multichain_mode!r}; "
+                f"choose from {MULTICHAIN_MODES}"
+            )
         self.spool = Path(spool)
         self.n_workers = n_workers
         self.max_retries = max_retries
         self.checkpoint_every = checkpoint_every
+        self.multichain_mode = multichain_mode
         for sub in ("jobs", "queue", "active"):
             (self.spool / sub).mkdir(parents=True, exist_ok=True)
         self.store = ResultStore(self.spool / "store")
@@ -412,6 +453,15 @@ class ExperimentService:
             else:
                 self._fail(follower, error, stats)
 
+    def _mode_args(self) -> tuple:
+        """Extra ``_execute_job`` args: the multichain-mode override, when set.
+
+        Appended only when configured so a default service invokes the job
+        entry point with its historical three-argument shape (which test
+        doubles and any external wrappers may rely on).
+        """
+        return (self.multichain_mode,) if self.multichain_mode is not None else ()
+
     def _start_attempt(self, record: JobRecord) -> None:
         record.attempts += 1
         self._set_state(record, RUNNING)
@@ -425,7 +475,9 @@ class ExperimentService:
         """Execute a job in-process (``n_workers == 1``), with the same retry rules."""
         while True:
             try:
-                report = _execute_job(str(self.spool), record.job_id, self.checkpoint_every)
+                report = _execute_job(
+                    str(self.spool), record.job_id, self.checkpoint_every, *self._mode_args()
+                )
             except (WorkerCrashError, BrokenProcessPool) as exc:
                 if record.attempts >= record.max_attempts:
                     self._fail(record, exc, stats)
@@ -471,7 +523,11 @@ class ExperimentService:
         def submit_to_pool(record: JobRecord) -> None:
             pool = self._ensure_pool()
             future = pool.submit(
-                _execute_job, str(self.spool), record.job_id, self.checkpoint_every
+                _execute_job,
+                str(self.spool),
+                record.job_id,
+                self.checkpoint_every,
+                *self._mode_args(),
             )
             futures[future] = (record, self._pool_generation)
 

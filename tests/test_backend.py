@@ -152,10 +152,16 @@ class TestCLISurface:
 # Golden fixed-seed chain values recorded from the pre-backend-refactor
 # tree (commit 2d7310d): the default numpy backend must reproduce every
 # float bit-for-bit.  (ll_first, ll_last, np.sum(lls), n_accepted.)
+#
+# The fused entry equals the cached entry exactly: since the stacked
+# readout reduces each tree's pattern weights through the same 1-D dot as
+# the scalar path (so batch composition cannot move a value's last bit —
+# the stacked cross-chain executor's contract), the fused engine's values
+# are bitwise those of the cached engine rather than one ulp off.
 _GOLDEN = {
     "serial": (-322.3815795125959, -319.24835895850373, -6417.293081893069, 17),
     "cached": (-322.38157951259603, -319.24835895850384, -6417.293081893071, 17),
-    "fused": (-322.381579512596, -319.2483589585038, -6417.293081893071, 17),
+    "fused": (-322.38157951259603, -319.24835895850384, -6417.293081893071, 17),
 }
 _GOLDEN_INTERVAL_SHA = "3514a90f828e383a916529a5c580ef51954abb569e0d6d7b6f70b39a18dea86e"
 

@@ -248,6 +248,126 @@ class TestMultiChainWorkers:
             )
 
 
+class TestStackedMultiChain:
+    """Lock-step cross-chain execution (stacked mode): same output, one engine."""
+
+    @staticmethod
+    def _factory(small_dataset, uniform_model, engine_name="vectorized"):
+        from repro.core.mpcgs import _EngineBuilder
+
+        return _EngineBuilder(engine_name, small_dataset.alignment, uniform_model)
+
+    @pytest.mark.parametrize("n_chains", [1, 2, 4, 8])
+    def test_stacked_is_bit_identical_to_serial(
+        self, small_dataset, uniform_model, seed_tree, n_chains
+    ):
+        # n_samples=12 over 8 chains exercises the uneven quotas (and, with
+        # burn_in + quota*thin varying per chain, the narrowing stack).
+        cfg = SamplerConfig(n_samples=12, burn_in=3, thin=2)
+        factory = self._factory(small_dataset, uniform_model)
+        serial = MultiChainSampler(
+            engine_factory=factory, theta=1.0, n_chains=n_chains, config=cfg
+        ).run(seed_tree, np.random.default_rng(77))
+        stacked = MultiChainSampler(
+            engine_factory=factory,
+            theta=1.0,
+            n_chains=n_chains,
+            config=cfg,
+            mode="stacked",
+        ).run(seed_tree, np.random.default_rng(77))
+        assert np.array_equal(serial.interval_matrix, stacked.interval_matrix)
+        assert np.array_equal(
+            np.asarray(serial.trace.log_likelihoods),
+            np.asarray(stacked.trace.log_likelihoods),
+        )
+        assert np.array_equal(
+            np.asarray(serial.trace.heights), np.asarray(stacked.trace.heights)
+        )
+        assert serial.extras["chain_boundaries"] == stacked.extras["chain_boundaries"]
+        assert serial.extras["per_chain_steps"] == stacked.extras["per_chain_steps"]
+        assert stacked.extras["execution_mode"] == "stacked"
+        # The lock-step loop runs as many rounds as the longest chain has steps.
+        assert stacked.extras["lockstep_rounds"] == max(
+            stacked.extras["per_chain_steps"]
+        )
+
+    @pytest.mark.parametrize("engine_name", ["batched", "fused"])
+    def test_stacked_batching_engines_match_serial(
+        self, small_dataset, uniform_model, seed_tree, engine_name
+    ):
+        """The K·1-tree fused/batched rounds reproduce the solo chains' bits.
+
+        This is the strong form of the contract: engine values must be
+        bitwise independent of batch composition, so pushing four chains'
+        candidates through one workspace changes nothing but the wall clock.
+        """
+        cfg = SamplerConfig(n_samples=12, burn_in=3)
+        factory = self._factory(small_dataset, uniform_model, engine_name)
+        serial = MultiChainSampler(
+            engine_factory=factory, theta=1.0, n_chains=4, config=cfg
+        ).run(seed_tree, np.random.default_rng(77))
+        stacked = MultiChainSampler(
+            engine_factory=factory, theta=1.0, n_chains=4, config=cfg, mode="stacked"
+        ).run(seed_tree, np.random.default_rng(77))
+        assert np.array_equal(serial.interval_matrix, stacked.interval_matrix)
+        assert np.array_equal(
+            np.asarray(serial.trace.log_likelihoods),
+            np.asarray(stacked.trace.log_likelihoods),
+        )
+        if engine_name == "fused":
+            # The shared workspace deduplicates transition matrices across
+            # chains, so more matrices are requested than built.
+            assert stacked.extras["pmat_dedup_ratio"] > 1.0
+
+    def test_stacked_counts_shared_engine_evaluations(
+        self, small_dataset, uniform_model, seed_tree
+    ):
+        """One engine, one initial evaluation: K−1 duplicate evals are saved."""
+        cfg = SamplerConfig(n_samples=12, burn_in=3)
+        factory = self._factory(small_dataset, uniform_model)
+        stacked = MultiChainSampler(
+            engine_factory=factory, theta=1.0, n_chains=4, config=cfg, mode="stacked"
+        ).run(seed_tree, np.random.default_rng(77))
+        assert stacked.n_likelihood_evaluations == stacked.n_proposal_sets + 1
+
+    def test_stacked_accepts_unpicklable_factory(
+        self, small_dataset, uniform_model, seed_tree
+    ):
+        # No processes, no pickling: a closure factory is fine in stacked mode.
+        cfg = SamplerConfig(n_samples=6, burn_in=2)
+        result = MultiChainSampler(
+            engine_factory=lambda: make_engine(small_dataset, uniform_model),
+            theta=1.0,
+            n_chains=2,
+            config=cfg,
+            mode="stacked",
+        ).run(seed_tree, np.random.default_rng(5))
+        assert result.n_samples == 6
+
+    def test_surplus_chains_are_skipped(self, small_dataset, uniform_model, seed_tree):
+        cfg = SamplerConfig(n_samples=2, burn_in=1)
+        result = MultiChainSampler(
+            engine_factory=self._factory(small_dataset, uniform_model),
+            theta=1.0,
+            n_chains=4,
+            config=cfg,
+            mode="stacked",
+        ).run(seed_tree, np.random.default_rng(5))
+        assert result.extras["per_chain_samples"] == [1, 1, 0, 0]
+        assert result.extras["chain_boundaries"] == [(0, 1), (1, 2), (2, 2), (2, 2)]
+        assert result.extras["per_chain_steps"][2:] == [0, 0]
+
+    def test_unknown_mode_is_rejected(self, small_dataset, uniform_model):
+        with pytest.raises(ValueError, match="mode"):
+            MultiChainSampler(
+                engine_factory=self._factory(small_dataset, uniform_model),
+                theta=1.0,
+                n_chains=2,
+                config=SamplerConfig(),
+                mode="threads",
+            )
+
+
 class TestStepCountHelpers:
     def test_multichain_steps(self):
         assert multichain_parallel_time(100, 1000, 1) == 1100

@@ -385,6 +385,75 @@ class TestExperimentService:
         assert final.state == "failed"
         assert "WorkerCrashError" in final.error
 
+    def test_multichain_mode_override_runs_job_stacked(self, tmp_path, phylip_file):
+        """A service configured with multichain_mode='stacked' executes
+        multichain jobs lock-step — and, because stacked traces are
+        bit-identical, commits the same report a default service would."""
+        config = MPCGSConfig(
+            n_em_iterations=1,
+            sampler=SamplerConfig(n_samples=10, burn_in=2, n_proposals=2),
+            sampler_name="multichain",
+            sampler_options={"n_chains": 3},
+        )
+        spec = RunSpec(config=config, sequence_file=phylip_file, theta0=1.0, seed=7)
+        with ExperimentService(tmp_path / "plain") as service:
+            plain_record = service.submit(spec)
+            service.serve()
+            plain = service.report_for(plain_record.job_id)
+        with ExperimentService(
+            tmp_path / "stacked", multichain_mode="stacked"
+        ) as service:
+            record = service.submit(spec)
+            service.serve()
+            stacked = service.report_for(record.job_id)
+        # Bit-identical chains → bit-identical estimate; only the work
+        # accounting differs (the shared engine evaluates the initial tree
+        # once instead of once per chain: n_chains − 1 evaluations saved).
+        assert stacked["theta"] == plain["theta"]
+        assert stacked["n_samples"] == plain["n_samples"]
+        assert stacked["theta_trajectory"] == plain["theta_trajectory"]
+        assert (
+            stacked["n_likelihood_evaluations"]
+            == plain["n_likelihood_evaluations"] - 2
+        )
+
+    def test_multichain_mode_is_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="multichain mode"):
+            ExperimentService(tmp_path / "spool", multichain_mode="threads")
+
+    def test_worker_crash_retried_under_stacked_mode(
+        self, tmp_path, phylip_file, monkeypatch
+    ):
+        """The fresh-pool retry contract holds with the stacked override on."""
+        config = MPCGSConfig(
+            n_em_iterations=1,
+            sampler=SamplerConfig(n_samples=10, burn_in=2, n_proposals=2),
+            sampler_name="multichain",
+            sampler_options={"n_chains": 2},
+        )
+        spec = RunSpec(config=config, sequence_file=phylip_file, theta0=1.0, seed=7)
+        attempts: list[int] = []
+        real = runner_module._execute_job
+
+        def flaky(spool, job_id, checkpoint_every, multichain_mode=None):
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise WorkerCrashError("simulated dead worker")
+            assert multichain_mode == "stacked"
+            return real(spool, job_id, checkpoint_every, multichain_mode)
+
+        monkeypatch.setattr(runner_module, "_execute_job", flaky)
+        with ExperimentService(
+            tmp_path / "spool", max_retries=2, multichain_mode="stacked"
+        ) as service:
+            record = service.submit(spec)
+            stats = service.serve()
+        assert len(attempts) == 2
+        assert stats["retries"] == 1 and stats["completed"] == 1
+        assert service.status(record.job_id).state == "done"
+        kinds = [e.kind for e in service.job_events(record.job_id)]
+        assert "job.retrying" in kinds
+
     def test_deterministic_failure_is_not_retried(self, tmp_path, fast_spec, monkeypatch):
         calls: list[int] = []
 
