@@ -60,14 +60,33 @@ def _run_single_chain(
     config: SamplerConfig,
     initial_tree: Genealogy,
     rng: np.random.Generator,
+    fault_context: tuple | None = None,
+    chain_index: int = 0,
 ) -> ChainResult:
     """Run one LAMARC-style chain (module-level so process workers can import it).
 
     Every chain builds its own engine from the factory, exactly as the
     in-process path does, so per-chain work counters stay honest regardless
     of where the chain executes.
+
+    ``fault_context`` — ``(plan_dict, scope_list)`` from the parent's active
+    :class:`~repro.service.faults.FaultInjector` — rebuilds the injector
+    inside the worker under the scope ``(*parent_scope, "chain", i)``: the
+    same stream names the inline path derives, so a chain draws identical
+    faults whether it runs in-process or on a pool worker.
     """
     engine = engine_factory()
+    if fault_context is not None:
+        from ..service.faults import FaultPlan, fault_scope
+
+        plan_doc, parent_scope = fault_context
+        injector = FaultPlan.from_dict(plan_doc).injector(
+            *parent_scope, "chain", chain_index
+        )
+        with fault_scope(injector):
+            return LamarcSampler(engine=engine, theta=theta, config=config).run(
+                initial_tree, rng
+            )
     return LamarcSampler(engine=engine, theta=theta, config=config).run(initial_tree, rng)
 
 
@@ -295,17 +314,28 @@ class MultiChainSampler:
         child_rngs: list[np.random.Generator],
     ) -> dict[int, ChainResult]:
         """Run the non-empty chains, in-process or on worker processes."""
+        from ..service.faults import current_injector, fault_scope
+
         jobs = [
             (index, self.config.scaled(n_samples=quota), child_rngs[index])
             for index, quota in active
         ]
+        # Thread any active fault injector down to the chains.  Each chain
+        # gets the derived scope (*parent, "chain", i) — in-process via a
+        # per-chain fault_scope, on pool workers by shipping the plan and
+        # parent scope so the worker rebuilds the identical streams.  Fault
+        # draws are therefore topology-independent, like every other draw.
+        injector = current_injector()
         if self.n_workers <= 1 or len(jobs) <= 1:
-            return {
-                index: _run_single_chain(
-                    self.engine_factory, self.theta, cfg, initial_tree, chain_rng
-                )
-                for index, cfg, chain_rng in jobs
-            }
+            results: dict[int, ChainResult] = {}
+            for index, cfg, chain_rng in jobs:
+                with fault_scope(
+                    injector.derive("chain", index) if injector is not None else None
+                ):
+                    results[index] = _run_single_chain(
+                        self.engine_factory, self.theta, cfg, initial_tree, chain_rng
+                    )
+            return results
         # Probe picklability up front (only the factory is caller-supplied;
         # everything else we ship is known-picklable), so a genuine worker
         # exception later propagates unmodified instead of being mistaken
@@ -320,6 +350,9 @@ class MultiChainSampler:
             ) from exc
         max_workers = min(self.n_workers, len(jobs))
         pool = _acquire_pool(max_workers)
+        fault_context = (
+            (injector.plan.to_dict(), list(injector.scope)) if injector is not None else None
+        )
         futures = [
             (
                 index,
@@ -330,6 +363,8 @@ class MultiChainSampler:
                     cfg,
                     initial_tree,
                     chain_rng,
+                    fault_context,
+                    index,
                 ),
             )
             for index, cfg, chain_rng in jobs

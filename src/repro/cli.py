@@ -399,6 +399,36 @@ def build_cli() -> argparse.ArgumentParser:
         default=2,
         help="retries for jobs whose worker process died (default 2)",
     )
+    p_serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="hung-job watchdog: kill and retry jobs running longer than this "
+        "(default: off; forces pool execution even with --workers 1)",
+    )
+    p_serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="active-job lease lifetime; expired leases are requeued at serve "
+        "start (default 60)",
+    )
+    p_serve.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="base of the exponential retry backoff, 0 to disable (default 0.5)",
+    )
+    p_serve.add_argument(
+        "--chaos",
+        default=None,
+        metavar="PLAN",
+        help="deterministic fault-injection plan: a JSON document or a path to "
+        "one (see repro.service.faults.FaultPlan; default: $MPCGS_FAULT_PLAN)",
+    )
     p_serve.add_argument("--quiet", action="store_true", help="suppress the event stream")
     p_serve.add_argument("--json", action="store_true", help="print the final tally as JSON")
     p_serve.set_defaults(handler=_cmd_serve)
@@ -753,11 +783,21 @@ def _cmd_serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
         payload = ", ".join(f"{k}={v}" for k, v in event.payload.items())
         print(f"[{event.job_id}] {event.kind}" + (f" ({payload})" if payload else ""))
 
+    if args.job_timeout is not None and args.job_timeout <= 0:
+        parser.error("--job-timeout must be positive")
+    if args.lease_ttl <= 0:
+        parser.error("--lease-ttl must be positive")
+    if args.retry_backoff < 0:
+        parser.error("--retry-backoff must be non-negative")
+
     service = ExperimentService(
         _spool_dir(args),
         n_workers=args.workers,
         max_retries=args.max_retries,
         checkpoint_every=args.checkpoint_every,
+        lease_ttl=args.lease_ttl,
+        retry_backoff=args.retry_backoff,
+        fault_plan=args.chaos,
         on_event=None if args.quiet else printer,
     )
     with service:
@@ -765,15 +805,22 @@ def _cmd_serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
             max_jobs=args.max_jobs,
             idle_timeout=args.idle_timeout,
             poll_interval=args.poll,
+            job_timeout=args.job_timeout,
         )
     if args.json:
         print(_json.dumps(stats, indent=2, sort_keys=True))
     else:
-        print(
+        tally = (
             f"served: {stats['completed']} completed "
             f"({stats['executed']} executed, {stats['cache_hits']} cache hits), "
             f"{stats['failed']} failed, {stats['retries']} retries"
         )
+        # Fault-tolerance counters only when they fired, keeping the common
+        # tally line stable for scripts that match on it.
+        for key in ("timeouts", "recovered", "quarantined"):
+            if stats.get(key):
+                tally += f", {stats[key]} {key}"
+        print(tally)
     return 1 if stats["failed"] else 0
 
 

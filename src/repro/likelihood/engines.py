@@ -26,6 +26,7 @@ device performance model can report work done alongside wall-clock time.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -33,6 +34,7 @@ import numpy as np
 from ..backend import ArrayBackend, get_backend
 from ..genealogy.tree import Genealogy
 from ..sequences.alignment import Alignment
+from ..service.faults import current_injector
 from .felsenstein import (
     SiteData,
     batched_log_likelihood,
@@ -47,8 +49,61 @@ __all__ = [
     "VectorizedEngine",
     "BatchedEngine",
     "ConstantEngine",
+    "NumericalFaultError",
+    "DEGRADATION_LADDER",
+    "checked_loglik",
     "make_engine",
 ]
+
+
+class NumericalFaultError(ArithmeticError):
+    """An engine produced a non-finite log-likelihood (NaN or ±inf).
+
+    The pruning kernels clamp per-site likelihoods away from zero, so a
+    non-finite value can only mean corrupted inputs or state — a fault, not
+    a statistic.  Raising a *typed* error at the engine boundary (instead of
+    letting NaN propagate through acceptance ratios and θ estimates) lets
+    the job runner react structurally: it walks the job down
+    :data:`DEGRADATION_LADDER` to a simpler engine and records each step as
+    a ``job.degraded`` event before declaring the job failed.
+    """
+
+
+#: Engine-degradation order: when a run dies with :class:`NumericalFaultError`
+#: on an engine, the job runner retries it on the named fallback (the next
+#: rung strips one layer of evaluation machinery — fused stacking, then the
+#: partial-likelihood cache, then proposal batching).  Engines absent from
+#: the map (``vectorized``, ``serial``, ``constant``) have nothing simpler
+#: to fall back to; the fault is final there.
+DEGRADATION_LADDER: dict[str, str | None] = {
+    "fused": "cached",
+    "cached": "vectorized",
+    "batched": "vectorized",
+}
+
+
+def checked_loglik(values, engine_name: str):
+    """Gate engine output: inject scoped NaN faults, reject non-finite values.
+
+    Every engine passes its evaluation results through here.  Under an
+    active :func:`~repro.service.faults.fault_scope` the injector may poison
+    one value (that is how chaos tests reach the degradation path); with no
+    scope the hook is one ``None`` check.  Scalars and 1-D batches are both
+    accepted and returned unchanged when healthy.
+    """
+    injector = current_injector()
+    if injector is not None:
+        values = injector.corrupt_likelihood(values)
+    if np.ndim(values) == 0:
+        finite = math.isfinite(float(values))
+    else:
+        finite = bool(np.all(np.isfinite(values)))
+    if not finite:
+        raise NumericalFaultError(
+            f"{engine_name} produced a non-finite log-likelihood; "
+            "the evaluation cannot be trusted"
+        )
+    return values
 
 
 @dataclass
@@ -127,6 +182,10 @@ class LikelihoodEngine:
         self.n_nodes_pruned = 0
         self.n_tree_site_products = 0
 
+    def _healthy(self, values):
+        """Every evaluation result exits through :func:`checked_loglik`."""
+        return checked_loglik(values, type(self).__name__)
+
     # Subclasses override the two methods below.
     def evaluate(self, tree: Genealogy) -> float:
         """log P(D | G) for one genealogy."""
@@ -170,7 +229,7 @@ class SerialEngine(LikelihoodEngine):
 
     def evaluate(self, tree: Genealogy) -> float:
         self._count(1, nodes_pruned=tree.n_internal)
-        return log_likelihood_reference(tree, self.alignment, self.model)
+        return self._healthy(log_likelihood_reference(tree, self.alignment, self.model))
 
     def evaluate_batch(self, trees: list[Genealogy]) -> np.ndarray:
         return np.array([self.evaluate(t) for t in trees])
@@ -181,8 +240,10 @@ class VectorizedEngine(LikelihoodEngine):
 
     def evaluate(self, tree: Genealogy) -> float:
         self._count(1, nodes_pruned=tree.n_internal)
-        return log_likelihood(
-            tree, self.alignment, self.model, site_data=self.site_data, xp=self.xp
+        return self._healthy(
+            log_likelihood(
+                tree, self.alignment, self.model, site_data=self.site_data, xp=self.xp
+            )
         )
 
     def evaluate_batch(self, trees: list[Genealogy]) -> np.ndarray:
@@ -217,8 +278,10 @@ class BatchedEngine(LikelihoodEngine):
 
     def evaluate(self, tree: Genealogy) -> float:
         self._count(1, nodes_pruned=tree.n_internal)
-        return log_likelihood(
-            tree, self.alignment, self.model, site_data=self.site_data, xp=self.xp
+        return self._healthy(
+            log_likelihood(
+                tree, self.alignment, self.model, site_data=self.site_data, xp=self.xp
+            )
         )
 
     def evaluate_batch(self, trees: list[Genealogy]) -> np.ndarray:
@@ -228,13 +291,15 @@ class BatchedEngine(LikelihoodEngine):
         workspace = self._workspace(
             len(trees), trees[0].n_nodes, self.site_data.n_cols
         )
-        return batched_log_likelihood(
-            list(trees),
-            self.alignment,
-            self.model,
-            site_data=self.site_data,
-            xp=self.xp,
-            workspace=workspace,
+        return self._healthy(
+            batched_log_likelihood(
+                list(trees),
+                self.alignment,
+                self.model,
+                site_data=self.site_data,
+                xp=self.xp,
+                workspace=workspace,
+            )
         )
 
 
@@ -250,11 +315,11 @@ class ConstantEngine(LikelihoodEngine):
 
     def evaluate(self, tree: Genealogy) -> float:
         self._count(1)
-        return 0.0
+        return self._healthy(0.0)
 
     def evaluate_batch(self, trees: list[Genealogy]) -> np.ndarray:
         self._count(len(trees))
-        return np.zeros(len(trees))
+        return self._healthy(np.zeros(len(trees)))
 
 
 # The incremental engines (repro.likelihood.incremental's CachedEngine and

@@ -222,7 +222,7 @@ class FusedEngine(CachedEngine):
         if n_items:
             self.n_stacked_steps += max_dirty
             self.n_padded_items += n_trees * max_dirty
-        return values
+        return self._healthy(values)
 
     def _run_stacked(
         self,

@@ -211,7 +211,10 @@ class CachedEngine(LikelihoodEngine):
         self.n_cache_misses += fresh
         while len(cache) > self.max_entries:
             cache.pop(next(iter(cache)))
-        return value, fresh, tree.n_internal
+        # The health gate sits on the readout value, not the cached partials:
+        # every public evaluation path (evaluate/evaluate_batch/prepare)
+        # funnels through here, so one check covers them all.
+        return self._healthy(value), fresh, tree.n_internal
 
     def _entry(self, node: int, sigs: Array) -> tuple[Array, Array]:
         if node < self._tip_entries.shape[0]:

@@ -1,6 +1,6 @@
 """repro.service — the serving layer over the sampler engines.
 
-Composes four pieces, none of which touch the numerics:
+Composes five pieces, none of which touch the numerics:
 
 * :mod:`repro.service.hashing` — canonical spec serialization and the
   content hash that keys everything;
@@ -10,6 +10,9 @@ Composes four pieces, none of which touch the numerics:
   checkpoints the driver writes and the scheduler resumes from;
 * :mod:`repro.service.events` — the typed streaming event bus and its
   JSONL recorder;
+* :mod:`repro.service.faults` — deterministic fault injection
+  (:class:`~repro.service.faults.FaultPlan`): seeded, named-stream chaos
+  the fault-tolerance machinery is tested against;
 * :mod:`repro.service.runner` — the queue-backed job scheduler
   (:class:`~repro.service.runner.ExperimentService`) that shards queued
   :class:`~repro.api.RunSpec` documents over a persistent worker fleet,
@@ -24,6 +27,7 @@ leaf modules — eager import here would be circular.
 from __future__ import annotations
 
 from .checkpoint import (
+    CheckpointCorruptError,
     CheckpointMismatchError,
     EMCheckpoint,
     load_checkpoint,
@@ -32,10 +36,15 @@ from .checkpoint import (
 from .events import (
     CHECKPOINT_WRITTEN,
     EM_ITERATION_COMPLETED,
+    FAULT_INJECTED,
     JOB_CACHE_HIT,
+    JOB_DEGRADED,
+    JOB_QUARANTINED,
+    JOB_RECOVERED,
     JOB_RETRYING,
     JOB_STATE_CHANGED,
     JOB_SUBMITTED,
+    JOB_TIMEOUT,
     RUN_COMPLETED,
     RUN_STARTED,
     Event,
@@ -43,6 +52,15 @@ from .events import (
     JSONLRecorder,
     read_events,
     tail_events,
+)
+from .faults import (
+    FAULT_PLAN_ENV,
+    FAULT_SITES,
+    FaultInjector,
+    FaultPlan,
+    current_injector,
+    fault_scope,
+    stable_job_key,
 )
 from .hashing import (
     canonical_json,
@@ -54,6 +72,7 @@ from .hashing import (
 from .store import ResultStore
 
 __all__ = [
+    "CheckpointCorruptError",
     "CheckpointMismatchError",
     "EMCheckpoint",
     "load_checkpoint",
@@ -63,6 +82,13 @@ __all__ = [
     "JSONLRecorder",
     "read_events",
     "tail_events",
+    "FAULT_PLAN_ENV",
+    "FAULT_SITES",
+    "FaultInjector",
+    "FaultPlan",
+    "current_injector",
+    "fault_scope",
+    "stable_job_key",
     "canonical_json",
     "content_hash",
     "digest_alignment",
@@ -72,18 +98,24 @@ __all__ = [
     # lazily resolved (see __getattr__):
     "ExperimentService",
     "JobRecord",
+    "JobTimeoutError",
     "WorkerCrashError",
     "JOB_SUBMITTED",
     "JOB_STATE_CHANGED",
     "JOB_CACHE_HIT",
     "JOB_RETRYING",
+    "JOB_TIMEOUT",
+    "JOB_DEGRADED",
+    "JOB_RECOVERED",
+    "JOB_QUARANTINED",
+    "FAULT_INJECTED",
     "RUN_STARTED",
     "RUN_COMPLETED",
     "EM_ITERATION_COMPLETED",
     "CHECKPOINT_WRITTEN",
 ]
 
-_LAZY = {"ExperimentService", "JobRecord", "WorkerCrashError"}
+_LAZY = {"ExperimentService", "JobRecord", "JobTimeoutError", "WorkerCrashError"}
 
 
 def __getattr__(name: str):

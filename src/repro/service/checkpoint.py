@@ -30,7 +30,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-__all__ = ["EMCheckpoint", "save_checkpoint", "load_checkpoint", "CheckpointMismatchError"]
+__all__ = [
+    "EMCheckpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "CheckpointMismatchError",
+    "CheckpointCorruptError",
+]
 
 #: Bumped when the on-disk layout changes incompatibly.
 CHECKPOINT_VERSION = 1
@@ -38,6 +44,18 @@ CHECKPOINT_VERSION = 1
 
 class CheckpointMismatchError(ValueError):
     """A checkpoint does not belong to the run trying to resume from it."""
+
+
+class CheckpointCorruptError(ValueError):
+    """A checkpoint file could not be unpickled (torn write, truncation, rot).
+
+    Atomic replace makes this unreachable through the normal write path, but
+    a disk-level fault or a file touched by something other than
+    :func:`save_checkpoint` must degrade to "start the run fresh", not crash
+    the scheduler — the job runner catches exactly this type, discards the
+    file, and reruns from iteration zero (bit-identically, since a fresh run
+    is the resume contract's baseline).
+    """
 
 
 @dataclass
@@ -109,10 +127,13 @@ def save_checkpoint(path: str | Path, checkpoint: EMCheckpoint) -> Path:
 
 def load_checkpoint(path: str | Path, *, expected_run_key: str | None = None) -> EMCheckpoint:
     """Read a checkpoint back; optionally verify it belongs to ``expected_run_key``."""
-    with open(path, "rb") as handle:
-        checkpoint = pickle.load(handle)
+    try:
+        with open(path, "rb") as handle:
+            checkpoint = pickle.load(handle)
+    except (pickle.UnpicklingError, EOFError, AttributeError, ImportError, IndexError) as exc:
+        raise CheckpointCorruptError(f"unreadable checkpoint {path}: {exc}") from exc
     if not isinstance(checkpoint, EMCheckpoint):
-        raise ValueError(f"{path} does not contain an EMCheckpoint")
+        raise CheckpointCorruptError(f"{path} does not contain an EMCheckpoint")
     if checkpoint.version != CHECKPOINT_VERSION:
         raise ValueError(
             f"checkpoint version {checkpoint.version} is not supported "

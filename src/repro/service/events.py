@@ -17,10 +17,13 @@ fields they do not know, so the schema can grow.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterator, Mapping
+
+from .faults import current_injector
 
 __all__ = [
     "Event",
@@ -32,6 +35,11 @@ __all__ = [
     "JOB_STATE_CHANGED",
     "JOB_CACHE_HIT",
     "JOB_RETRYING",
+    "JOB_TIMEOUT",
+    "JOB_DEGRADED",
+    "JOB_RECOVERED",
+    "JOB_QUARANTINED",
+    "FAULT_INJECTED",
     "RUN_STARTED",
     "RUN_COMPLETED",
     "EM_ITERATION_COMPLETED",
@@ -48,8 +56,24 @@ JOB_SUBMITTED = "job.submitted"
 JOB_STATE_CHANGED = "job.state_changed"
 #: A submission was satisfied from the result store (payload: ``spec_hash``).
 JOB_CACHE_HIT = "job.cache_hit"
-#: A crashed worker's job was requeued (payload: ``attempt``, ``error``).
+#: A failed attempt will be retried after a backoff (payload: ``attempt``,
+#: ``error``, ``delay_seconds``).
 JOB_RETRYING = "job.retrying"
+#: A job exceeded ``serve(job_timeout=...)`` and its worker was killed
+#: (payload: ``attempt``, ``timeout_seconds``).
+JOB_TIMEOUT = "job.timeout"
+#: A numerical fault demoted the job one engine-ladder step (payload:
+#: ``from_engine``, ``to_engine``, ``error``).
+JOB_DEGRADED = "job.degraded"
+#: An expired-lease job was requeued by :meth:`ExperimentService.recover`
+#: (payload: ``owner``, ``lease_age_seconds``).
+JOB_RECOVERED = "job.recovered"
+#: A corrupt spool entry was moved aside to ``spool/corrupt/`` (payload:
+#: ``reason``).
+JOB_QUARANTINED = "job.quarantined"
+#: A :class:`~repro.service.faults.FaultPlan` trigger fired (payload:
+#: ``site``, ``scope``, ``draw``; site-specific detail fields).
+FAULT_INJECTED = "fault.injected"
 #: A worker started (or resumed) executing a spec (payload: ``resumed_from_iteration``).
 RUN_STARTED = "run.started"
 #: A run finished and its report exists (payload: ``theta``, ``n_samples``).
@@ -148,12 +172,45 @@ class JSONLRecorder:
         if self.job_id is not None and event.job_id is None:
             event = event.with_job(self.job_id)
         line = json.dumps(event.to_dict(), sort_keys=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
+        injector = current_injector()
+        if injector is not None and injector.fire("torn_write", notify=False, file=self.path.name):
+            # A crash mid-append: half the line, no newline, then die with
+            # the same typed transient error a killed worker produces.
+            # notify=False — reporting this fault would append through this
+            # very recorder; the torn half-line *is* the audit artifact.
+            self._append(line[: max(1, len(line) // 2)])
+            raise injector.crash_error(
+                f"injected torn write to {self.path.name} (process died mid-append)"
+            )
+        self._append(line + "\n")
+
+    def _append(self, text: str) -> None:
+        """One ``O_APPEND`` write, healing a torn predecessor line.
+
+        If the previous writer died mid-line the file ends without a
+        newline; starting this event on a fresh line keeps the torn
+        fragment isolated to *its own* line (which :func:`read_events`
+        skips) instead of gluing it to a valid event and losing both.
+        """
+        fd = os.open(self.path, os.O_RDWR | os.O_APPEND | os.O_CREAT, 0o666)
+        try:
+            size = os.fstat(fd).st_size
+            if size and os.pread(fd, 1, size - 1) != b"\n":
+                text = "\n" + text
+            os.write(fd, text.encode("utf-8"))
+        finally:
+            os.close(fd)
 
 
 def read_events(path: str | Path) -> Iterator[Event]:
-    """Iterate the events of a JSONL log (skipping a torn final line, if any)."""
+    """Iterate the events of a JSONL log, skipping unparseable lines.
+
+    A writer that crashes mid-append leaves a torn line; because a retried
+    attempt (or the service) keeps appending afterwards, a torn line can sit
+    anywhere in the log, not just at the end.  Every line that is not a
+    complete event document is skipped — the readable events around it are
+    all still delivered.
+    """
     path = Path(path)
     if not path.exists():
         return
@@ -165,8 +222,7 @@ def read_events(path: str | Path) -> Iterator[Event]:
             try:
                 yield Event.from_dict(json.loads(line))
             except (ValueError, KeyError):
-                # A torn line from a crashed writer ends the readable prefix.
-                return
+                continue  # a torn line from a crashed writer
 
 
 def tail_events(path: str | Path, n: int) -> list[Event]:

@@ -1,0 +1,339 @@
+"""Deterministic fault injection: bit-reproducible chaos for the serving stack.
+
+Fault tolerance that is never exercised is a liability, but exercising it
+with ``kill -9`` at random moments makes every chaos run a new experiment.
+This module makes injected faults *named random draws*: a :class:`FaultPlan`
+fixes the fault classes and their rates, and every trigger decision is a
+draw from the named-stream RNG registry
+(:mod:`repro.backend.rng_registry`) under the stream
+``("fault", <job scope>, <attempt>, ..., <site>)`` — a pure function of the
+plan seed and the injection site, never of wall clock, thread timing, or
+worker identity.  Re-running the same submission script against the same
+plan replays the same crashes at the same EM iterations, which is what lets
+CI *assert* recovery behaviour instead of hoping for it.
+
+Four fault classes are modelled, matching the real failure modes the
+scheduler must absorb:
+
+``worker_crash``
+    The worker process dies mid-run (signal/OOM).  Injected by raising
+    :class:`~repro.baselines.multichain.WorkerCrashError` at an
+    EM-iteration boundary — the same typed, transient failure a genuinely
+    killed worker produces, so the identical retry-from-checkpoint path
+    runs, inline or pooled.
+``worker_hang``
+    The worker wedges (deadlock, NFS stall): ``time.sleep(hang_seconds)``
+    at an iteration boundary, which only ``serve(job_timeout=...)``'s
+    watchdog can clear.
+``torn_write``
+    A crash mid-append: the :class:`~repro.service.events.JSONLRecorder`
+    (or a :class:`~repro.service.runner.JobRecord` save) writes a partial
+    line/temp file and then dies, exercising the readers' torn-line
+    tolerance and the spool's atomic-replace discipline.
+``nan_likelihood``
+    A numerical fault: one engine evaluation returns NaN, driving the
+    typed :class:`~repro.likelihood.engines.NumericalFaultError` path and
+    the job runner's engine-degradation ladder.
+
+Activation is explicit and inert by default: a plan reaches a worker only
+through ``ExperimentService(fault_plan=...)``, the ``MPCGS_FAULT_PLAN``
+environment variable (a JSON document or a path to one), or a direct
+:func:`fault_scope` context.  With no active scope every hook in the hot
+path is a single ``is None`` check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, fields as dataclass_fields
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping
+
+import numpy as np
+
+from ..backend.rng_registry import named_stream
+
+__all__ = [
+    "FAULT_SITES",
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "FaultInjector",
+    "current_injector",
+    "fault_scope",
+    "stable_job_key",
+]
+
+#: Environment variable consulted by :meth:`FaultPlan.from_env` (and through
+#: it the :class:`~repro.service.runner.ExperimentService` constructor).
+FAULT_PLAN_ENV = "MPCGS_FAULT_PLAN"
+
+#: The injectable fault classes, in the order their rates appear on the plan.
+FAULT_SITES = ("worker_crash", "worker_hang", "torn_write", "nan_likelihood")
+
+_RATE_FIELD = {
+    "worker_crash": "worker_crash_rate",
+    "worker_hang": "worker_hang_rate",
+    "torn_write": "torn_write_rate",
+    "nan_likelihood": "nan_rate",
+}
+
+
+def stable_job_key(job_id: str) -> str:
+    """The fault-stream scope of a job: its FIFO sequence prefix.
+
+    Job ids carry a random collision-avoidance suffix
+    (``job-000003-9f2c1a``); keying fault streams on the full id would make
+    every chaos run draw fresh faults.  The zero-padded sequence prefix is a
+    pure function of submission order, so the same submission script against
+    the same plan replays the same faults.  Ids that do not follow the
+    service's naming scheme pass through unchanged.
+    """
+    parts = job_id.split("-")
+    if len(parts) >= 2 and parts[0] == "job" and parts[1].isdigit():
+        return "-".join(parts[:2])
+    return job_id
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded recipe of which faults to inject, how often, and how hard.
+
+    Rates are per *opportunity*: crash/hang rates apply at each EM-iteration
+    boundary, the torn-write rate at each event-log append / record save,
+    and the NaN rate once per run attempt (with the poisoned evaluation's
+    offset drawn uniformly from ``[0, nan_window)`` — a per-evaluation rate
+    would fire with near-certainty over the thousands of evaluations even a
+    small run performs).
+    """
+
+    seed: int = 0
+    worker_crash_rate: float = 0.0
+    worker_hang_rate: float = 0.0
+    torn_write_rate: float = 0.0
+    nan_rate: float = 0.0
+    #: How long an injected hang sleeps; keep it far above ``job_timeout``
+    #: so only the watchdog (never luck) clears it.
+    hang_seconds: float = 3600.0
+    #: The poisoned evaluation's offset is drawn from ``[0, nan_window)``.
+    nan_window: int = 64
+
+    def __post_init__(self) -> None:
+        for site, attr in _RATE_FIELD.items():
+            rate = getattr(self, attr)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{attr} must be in [0, 1], got {rate!r}")
+        if self.hang_seconds < 0:
+            raise ValueError("hang_seconds must be non-negative")
+        if self.nan_window < 1:
+            raise ValueError("nan_window must be at least 1")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault class has a non-zero rate."""
+        return any(getattr(self, attr) > 0.0 for attr in _RATE_FIELD.values())
+
+    def rate(self, site: str) -> float:
+        """The configured rate of ``site`` (raises ``KeyError`` for unknown sites)."""
+        return float(getattr(self, _RATE_FIELD[site]))
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in dataclass_fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        known = {f.name for f in dataclass_fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    @classmethod
+    def coerce(cls, value: "FaultPlan | Mapping[str, Any] | str | Path | None") -> "FaultPlan | None":
+        """Accept a plan in any of its spellings (instance, dict, JSON, path)."""
+        if value is None or isinstance(value, FaultPlan):
+            return value
+        if isinstance(value, Mapping):
+            return cls.from_dict(value)
+        text = str(value).strip()
+        if text.startswith("{"):
+            return cls.from_dict(json.loads(text))
+        return cls.load(text)
+
+    @classmethod
+    def from_env(cls, environ: Mapping[str, str] | None = None) -> "FaultPlan | None":
+        """The plan named by ``MPCGS_FAULT_PLAN`` (inline JSON or a path), else ``None``."""
+        value = (environ if environ is not None else os.environ).get(FAULT_PLAN_ENV, "").strip()
+        if not value:
+            return None
+        return cls.coerce(value)
+
+    # -- activation ---------------------------------------------------------
+
+    def injector(
+        self,
+        *scope: str | int,
+        on_fault: Callable[[dict[str, Any]], None] | None = None,
+    ) -> "FaultInjector":
+        """A fresh :class:`FaultInjector` whose streams are named by ``scope``.
+
+        The job runner scopes injectors as ``(stable_job_key(job_id),
+        attempt)`` and derives further components (engine-ladder step,
+        multichain chain index) below that, so every decision point owns an
+        independent, reproducible stream.
+        """
+        return FaultInjector(self, scope, on_fault=on_fault)
+
+
+class FaultInjector:
+    """Draws a :class:`FaultPlan`'s triggers from named, scoped RNG streams.
+
+    One injector corresponds to one scope (one job attempt, one ladder
+    step, one chain); each fault site draws from its own stream
+    ``(plan.seed, "fault", *scope, site)``, so adding opportunities at one
+    site never shifts another site's draws.  Fired triggers are recorded on
+    :attr:`triggers` and reported through ``on_fault`` (when set) so chaos
+    runs leave an auditable ``fault.injected`` trail.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        scope: tuple,
+        *,
+        on_fault: Callable[[dict[str, Any]], None] | None = None,
+    ) -> None:
+        self.plan = plan
+        self.scope = tuple(scope)
+        self.on_fault = on_fault
+        self.triggers: list[dict[str, Any]] = []
+        self._streams: dict[str, np.random.Generator] = {}
+        self._nan_decided = False
+        self._nan_countdown: int | None = None
+
+    def derive(self, *extra: str | int) -> "FaultInjector":
+        """A child injector with ``extra`` appended to the scope (fresh streams)."""
+        child = FaultInjector(self.plan, self.scope + tuple(extra), on_fault=self.on_fault)
+        child.triggers = self.triggers  # one audit trail per attempt
+        return child
+
+    def _stream(self, site: str) -> np.random.Generator:
+        stream = self._streams.get(site)
+        if stream is None:
+            stream = named_stream(self.plan.seed, "fault", *self.scope, site)
+            self._streams[site] = stream
+        return stream
+
+    def _record(self, site: str, draw: float, **detail: Any) -> dict[str, Any]:
+        trigger = {"site": site, "scope": list(self.scope), "draw": draw, **detail}
+        self.triggers.append(trigger)
+        if self.on_fault is not None:
+            self.on_fault(trigger)
+        return trigger
+
+    def fire(self, site: str, *, notify: bool = True, **detail: Any) -> bool:
+        """One trigger decision at ``site``; True means the fault fires now."""
+        rate = self.plan.rate(site)
+        if rate <= 0.0:
+            return False
+        draw = float(self._stream(site).random())
+        if draw >= rate:
+            return False
+        if notify:
+            self._record(site, draw, **detail)
+        else:
+            self.triggers.append({"site": site, "scope": list(self.scope), "draw": draw, **detail})
+        return True
+
+    def crash_error(self, message: str) -> RuntimeError:
+        """The typed transient error an injected death raises.
+
+        :class:`~repro.baselines.multichain.WorkerCrashError` — imported
+        lazily; this module is a leaf the engines import, so a top-level
+        import of the baselines package would be circular.
+        """
+        from ..baselines.multichain import WorkerCrashError
+
+        return WorkerCrashError(message)
+
+    def pulse(self) -> None:
+        """One crash/hang opportunity (the runner calls this at EM boundaries)."""
+        if self.fire("worker_hang", hang_seconds=self.plan.hang_seconds):
+            time.sleep(self.plan.hang_seconds)
+        if self.fire("worker_crash"):
+            raise self.crash_error(
+                f"injected worker crash (fault plan seed {self.plan.seed}, "
+                f"scope {self.scope})"
+            )
+
+    def corrupt_likelihood(self, values):
+        """Maybe poison one engine evaluation with NaN (at most once per scope).
+
+        The first call decides — one draw at rate ``nan_rate`` plus a drawn
+        evaluation offset — and subsequent calls count evaluations down to
+        that offset.  Scalars come back as NaN floats; arrays come back as
+        fresh copies with one element poisoned (engine-owned workspaces are
+        never mutated in place).
+        """
+        if self.plan.nan_rate <= 0.0:
+            return values
+        if not self._nan_decided:
+            self._nan_decided = True
+            stream = self._stream("nan_likelihood")
+            draw = float(stream.random())
+            if draw < self.plan.nan_rate:
+                self._nan_countdown = int(stream.integers(self.plan.nan_window))
+                self._record("nan_likelihood", draw, evaluation_offset=self._nan_countdown)
+        if self._nan_countdown is None:
+            return values
+        n_values = 1 if np.ndim(values) == 0 else int(np.shape(values)[0])
+        if self._nan_countdown >= n_values:
+            self._nan_countdown -= n_values
+            return values
+        index = self._nan_countdown
+        self._nan_countdown = None
+        if np.ndim(values) == 0:
+            return float("nan")
+        poisoned = np.array(values, dtype=float, copy=True)
+        poisoned[index] = float("nan")
+        return poisoned
+
+
+# ---------------------------------------------------------------------------
+# The active-injector scope (how hooks deep in the stack find the plan)
+# ---------------------------------------------------------------------------
+
+_ACTIVE: FaultInjector | None = None
+
+
+def current_injector() -> FaultInjector | None:
+    """The injector of the innermost active :func:`fault_scope` (or ``None``).
+
+    The hooks in :class:`~repro.service.events.JSONLRecorder`,
+    :meth:`~repro.service.runner.JobRecord.save`, and the engine evaluate
+    paths consult this instead of threading an injector parameter through
+    every signature; outside any scope they cost one ``None`` check.
+    """
+    return _ACTIVE
+
+
+@contextmanager
+def fault_scope(injector: FaultInjector | None) -> Iterator[FaultInjector | None]:
+    """Activate ``injector`` for the duration of the block (``None`` is a no-op scope)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = injector
+    try:
+        yield injector
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,273 @@
+"""Lease-based crash recovery and graceful-shutdown requeueing.
+
+The ``active/`` markers are lease files (owner + heartbeat); a service that
+dies mid-batch leaves expired leases behind, and
+:meth:`ExperimentService.recover` — run automatically at serve start —
+requeues exactly those jobs.  The recovered runs resume from their EM
+checkpoints, so the headline assertion here is *bit-identity*: a batch
+served by a killed-and-restarted service commits the same reports an
+uninterrupted service would have.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.api import RunSpec
+from repro.backend.rng_registry import named_stream
+from repro.baselines.multichain import WorkerCrashError
+from repro.core.config import MPCGSConfig, SamplerConfig
+from repro.sequences.phylip import write_phylip
+from repro.service import ExperimentService, FaultPlan
+from repro.service import runner as runner_module
+from repro.simulate.datasets import synthesize_dataset
+
+from test_faults import scrub
+
+FAST_CONFIG = MPCGSConfig(
+    n_em_iterations=2,
+    sampler=SamplerConfig(n_samples=10, burn_in=3, n_proposals=2),
+)
+
+RESUME_CONFIG = MPCGSConfig(
+    n_em_iterations=3,
+    sampler=SamplerConfig(n_samples=10, burn_in=3, n_proposals=2),
+)
+
+
+@pytest.fixture
+def phylip_file(tmp_path, rng):
+    data = synthesize_dataset(n_sequences=5, n_sites=60, true_theta=1.0, rng=rng)
+    path = tmp_path / "seqs.phy"
+    write_phylip(data.alignment, path)
+    return str(path)
+
+
+def make_spec(phylip_file, seed, config=FAST_CONFIG):
+    return RunSpec(config=config, sequence_file=phylip_file, theta0=1.0, seed=seed)
+
+
+def backdate_lease(service, job_id, age=9999.0):
+    """Rewrite a lease as if its owner stopped heartbeating ``age`` seconds ago."""
+    path = service._lease_path(job_id)
+    lease = json.loads(path.read_text())
+    lease["heartbeat"] = time.time() - age
+    path.write_text(json.dumps(lease))
+
+
+# ---------------------------------------------------------------------------
+# Leases
+# ---------------------------------------------------------------------------
+
+
+class TestLeases:
+    def test_claim_writes_an_owned_lease(self, tmp_path, phylip_file):
+        service = ExperimentService(tmp_path / "spool")
+        record = service.submit(make_spec(phylip_file, seed=1))
+        claimed = service._claim_next()
+        assert claimed.job_id == record.job_id
+        lease = service._read_lease(service._lease_path(record.job_id))
+        assert lease["owner"] == service.owner_id
+        assert lease["heartbeat"] == pytest.approx(time.time(), abs=5.0)
+
+    def test_refresh_keeps_claimed_at_and_bumps_heartbeat(self, tmp_path, phylip_file):
+        service = ExperimentService(tmp_path / "spool")
+        record = service.submit(make_spec(phylip_file, seed=1))
+        service._claim_next()
+        first = service._read_lease(service._lease_path(record.job_id))
+        time.sleep(0.02)
+        service._write_lease(record.job_id)
+        second = service._read_lease(service._lease_path(record.job_id))
+        assert second["claimed_at"] == first["claimed_at"]
+        assert second["heartbeat"] > first["heartbeat"]
+
+    def test_unreadable_lease_reads_as_none(self, tmp_path):
+        service = ExperimentService(tmp_path / "spool")
+        path = tmp_path / "spool" / "active" / "job-x"
+        path.write_text('{"owner": "torn')  # a torn lease write
+        assert service._read_lease(path) is None
+        assert service._read_lease(tmp_path / "missing") is None
+
+
+# ---------------------------------------------------------------------------
+# recover()
+# ---------------------------------------------------------------------------
+
+
+class TestRecover:
+    def test_fresh_lease_is_not_stolen(self, tmp_path, phylip_file):
+        sibling = ExperimentService(tmp_path / "spool")
+        record = sibling.submit(make_spec(phylip_file, seed=1))
+        sibling._claim_next()
+        other = ExperimentService(tmp_path / "spool", lease_ttl=60.0)
+        assert other.recover() == []
+        assert sibling.status(record.job_id).state == "queued"
+        assert other._lease_path(record.job_id).exists()
+
+    def test_expired_lease_is_requeued(self, tmp_path, phylip_file):
+        dead = ExperimentService(tmp_path / "spool")
+        record = dead.submit(make_spec(phylip_file, seed=1))
+        claimed = dead._claim_next()
+        dead._start_attempt(claimed)
+        backdate_lease(dead, record.job_id)
+
+        service = ExperimentService(tmp_path / "spool", lease_ttl=1.0)
+        recovered = service.recover()
+        assert [r.job_id for r in recovered] == [record.job_id]
+        assert service.status(record.job_id).state == "queued"
+        assert (tmp_path / "spool" / "queue" / record.job_id).exists()
+        assert not service._lease_path(record.job_id).exists()
+        events = service.job_events(record.job_id)
+        payloads = [e.payload for e in events if e.kind == "job.recovered"]
+        assert len(payloads) == 1
+        assert payloads[0]["owner"] == dead.owner_id
+        assert payloads[0]["lease_age_seconds"] > 1.0
+
+    def test_legacy_empty_marker_is_recoverable(self, tmp_path, phylip_file):
+        service = ExperimentService(tmp_path / "spool")
+        record = service.submit(make_spec(phylip_file, seed=1))
+        # An older service wrote empty claim markers, not leases: simulate
+        # one by claiming without lease content.
+        (tmp_path / "spool" / "queue" / record.job_id).rename(
+            tmp_path / "spool" / "active" / record.job_id
+        )
+        recovered = service.recover()
+        assert [r.job_id for r in recovered] == [record.job_id]
+
+    def test_stale_marker_of_settled_job_is_dropped(self, tmp_path, phylip_file):
+        service = ExperimentService(tmp_path / "spool")
+        record = service.submit(make_spec(phylip_file, seed=1))
+        service.serve()
+        assert service.status(record.job_id).state == "done"
+        marker = service._lease_path(record.job_id)
+        marker.write_text(json.dumps({"owner": "ghost", "heartbeat": 0.0}))
+        assert service.recover() == []
+        assert not marker.exists()
+        assert service.status(record.job_id).state == "done"
+
+    def test_recovered_resume_commits_bit_identical_report(self, tmp_path, phylip_file):
+        """Kill a worker mid-run (after a checkpoint), abandon the claim,
+        recover with a new service — the committed report matches an
+        uninterrupted run bit-for-bit."""
+        spec = make_spec(phylip_file, seed=5, config=RESUME_CONFIG)
+        engine = spec.config.likelihood_engine.lower()
+
+        with ExperimentService(tmp_path / "clean") as service:
+            clean = service.submit(spec)
+            service.serve()
+            baseline = scrub(service.report_for(clean.job_id))
+
+        # A plan seed whose injected crash fires at the *third* pulse: the
+        # initial pulse and iteration 1's pulse survive, so iteration 1's
+        # checkpoint is on disk when the worker dies during iteration 2's
+        # event callback.
+        rate = 0.5
+        plan_seed = next(
+            seed
+            for seed in range(500)
+            if (
+                lambda d: d[0] >= rate and d[1] >= rate and d[2] < rate
+            )(
+                named_stream(
+                    seed, "fault", "job-000001", 1, "engine", engine, "worker_crash"
+                ).random(3)
+            )
+        )
+        plan = FaultPlan(seed=plan_seed, worker_crash_rate=rate)
+
+        spool = tmp_path / "spool"
+        dead = ExperimentService(spool, fault_plan=plan)
+        record = dead.submit(spec)
+        claimed = dead._claim_next()
+        dead._start_attempt(claimed)
+        with pytest.raises(WorkerCrashError, match="injected worker crash"):
+            runner_module._execute_job(
+                str(spool), record.job_id, 1, None, plan.to_dict(), 1
+            )
+        assert (dead.job_dir(record.job_id) / "checkpoint.pkl").exists()
+        backdate_lease(dead, record.job_id)
+
+        # The restarted service carries no fault plan — the dead one's chaos
+        # died with it; what must survive is the checkpoint.
+        with ExperimentService(spool, lease_ttl=1.0) as service:
+            stats = service.serve()
+        assert stats["recovered"] == 1
+        assert stats["completed"] == 1 and stats["failed"] == 0
+        final = service.status(record.job_id)
+        assert final.state == "done"
+        assert scrub(service.report_for(record.job_id)) == baseline
+        # The resumed attempt started from the surviving checkpoint, not 0.
+        resumes = [
+            e.payload["resumed_from_iteration"]
+            for e in service.job_events(record.job_id)
+            if e.kind == "run.started"
+        ]
+        assert resumes[-1] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Graceful shutdown (KeyboardInterrupt) and serve-restart-resume
+# ---------------------------------------------------------------------------
+
+
+class TestShutdownAndRestart:
+    def test_keyboard_interrupt_requeues_inline_in_flight_job(
+        self, tmp_path, phylip_file, monkeypatch
+    ):
+        spec = make_spec(phylip_file, seed=11)
+        with ExperimentService(tmp_path / "spool") as service:
+            record = service.submit(spec)
+            monkeypatch.setattr(
+                runner_module,
+                "_execute_job",
+                lambda *a, **k: (_ for _ in ()).throw(KeyboardInterrupt()),
+            )
+            stats = service.serve()
+            assert stats["completed"] == 0 and stats["failed"] == 0
+            assert service.status(record.job_id).state == "queued"
+            assert (tmp_path / "spool" / "queue" / record.job_id).exists()
+            assert list((tmp_path / "spool" / "active").iterdir()) == []
+
+    def test_interrupted_batch_restarts_to_bit_identical_reports(
+        self, tmp_path, phylip_file, monkeypatch
+    ):
+        specs = [make_spec(phylip_file, seed=20 + i) for i in range(3)]
+
+        baseline = {}
+        with ExperimentService(tmp_path / "clean") as service:
+            records = [service.submit(spec) for spec in specs]
+            service.serve()
+            for record in records:
+                baseline[record.spec_hash] = scrub(service.report_for(record.job_id))
+
+        # First service: completes one job, is "killed" starting the second.
+        real = runner_module._execute_job
+        calls = []
+
+        def interrupted(*args, **kwargs):
+            calls.append(args)
+            if len(calls) >= 2:
+                raise KeyboardInterrupt()
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(runner_module, "_execute_job", interrupted)
+        spool = tmp_path / "spool"
+        with ExperimentService(spool) as service:
+            records = [service.submit(spec) for spec in specs]
+            stats = service.serve()
+        assert stats["completed"] == 1
+        monkeypatch.setattr(runner_module, "_execute_job", real)
+
+        # Restarted service drains the remainder.
+        with ExperimentService(spool) as service:
+            stats = service.serve()
+        assert stats["completed"] == 2 and stats["failed"] == 0
+        for record in records:
+            final = service.status(record.job_id)
+            assert final.state == "done"
+            assert scrub(service.report_for(record.job_id)) == baseline[record.spec_hash]
+        assert list((spool / "active").iterdir()) == []
+        assert list((spool / "queue").iterdir()) == []

@@ -294,6 +294,9 @@ class TestExperimentService:
                 "cache_hits": 0,
                 "executed": 1,
                 "retries": 0,
+                "timeouts": 0,
+                "recovered": 0,
+                "quarantined": 0,
             }
             final = service.status(record.job_id)
             assert final.state == "done" and not final.cache_hit
@@ -380,6 +383,9 @@ class TestExperimentService:
             "cache_hits": 0,
             "executed": 0,
             "retries": 1,
+            "timeouts": 0,
+            "recovered": 0,
+            "quarantined": 0,
         }
         final = service.status(record.job_id)
         assert final.state == "failed"
@@ -518,3 +524,106 @@ class TestExperimentService:
         service = ExperimentService(tmp_path / "spool")
         with pytest.raises(FileNotFoundError):
             service.status("job-999999-nope")
+
+    def test_job_record_ignores_unknown_keys(self):
+        """Forward compatibility: a record written by a newer service (with
+        extra bookkeeping fields) round-trips through an older reader."""
+        record = runner_module.JobRecord(
+            job_id="job-000001-abcdef", spec_hash="h", state="running", attempts=2
+        )
+        doc = record.to_dict()
+        doc["lease_owner"] = "host:123:abc"  # a field this version never wrote
+        restored = runner_module.JobRecord.from_dict(doc)
+        assert restored == record
+        assert "lease_owner" not in restored.to_dict()
+
+    def test_id_allocation_scans_the_spool_once(self, tmp_path, monkeypatch):
+        """Regression: 1k submissions must not rescan jobs/ per submit."""
+        service = ExperimentService(tmp_path / "spool")
+        jobs_dir = tmp_path / "spool" / "jobs"
+        # Pre-existing entries, including ones the scan must skip.
+        (jobs_dir / "job-000007-aaaaaa").mkdir()
+        (jobs_dir / "not-a-job").mkdir()
+        (jobs_dir / "job-").mkdir()
+        scans = []
+        real_scan = ExperimentService._scan_highest_seq
+        monkeypatch.setattr(
+            ExperimentService,
+            "_scan_highest_seq",
+            lambda self: scans.append(1) or real_scan(self),
+        )
+        ids = [service._new_job_id() for _ in range(1000)]
+        assert len(scans) == 1  # one directory listing for a thousand ids
+        assert ids == sorted(ids)  # FIFO-sortable
+        assert ids[0].startswith("job-000008-")  # continues past the survivor
+        assert ids[-1].startswith("job-001007-")
+        assert len(set(ids)) == 1000
+
+    def test_corrupt_spool_entry_is_quarantined_not_fatal(
+        self, tmp_path, fast_spec
+    ):
+        """A queue marker whose job dir lacks (or has mangled) job.json must
+        not crash the serve loop: it is moved to spool/corrupt/ and serving
+        continues with the healthy jobs."""
+        quarantined_events = []
+
+        def on_event(event):
+            if event.kind == "job.quarantined":
+                quarantined_events.append(event)
+
+        with ExperimentService(tmp_path / "spool", on_event=on_event) as service:
+            good = service.submit(fast_spec)
+            # Corrupt entry 1: claimable marker, no job dir at all.
+            (tmp_path / "spool" / "queue" / "job-000900-dead00").touch()
+            # Corrupt entry 2: job dir present but job.json is mangled.
+            broken_dir = tmp_path / "spool" / "jobs" / "job-000901-dead01"
+            broken_dir.mkdir(parents=True)
+            (broken_dir / "job.json").write_text('{"job_id": "job-000901')
+            (tmp_path / "spool" / "queue" / "job-000901-dead01").touch()
+
+            stats = service.serve()
+
+        assert stats["completed"] == 1 and stats["quarantined"] == 2
+        assert service.status(good.job_id).state == "done"
+        corrupt_dir = tmp_path / "spool" / "corrupt"
+        assert (corrupt_dir / "job-000901-dead01" / "job.json").exists()
+        assert not broken_dir.exists()
+        assert list((tmp_path / "spool" / "queue").iterdir()) == []
+        assert list((tmp_path / "spool" / "active").iterdir()) == []
+        assert {e.job_id for e in quarantined_events} == {
+            "job-000900-dead00",
+            "job-000901-dead01",
+        }
+        # jobs() inspection also tolerates the debris (here: after the move).
+        assert [r.job_id for r in service.jobs()] == [good.job_id]
+
+    def test_jobs_listing_skips_unreadable_records(self, tmp_path, fast_spec):
+        service = ExperimentService(tmp_path / "spool")
+        good = service.submit(fast_spec)
+        broken_dir = tmp_path / "spool" / "jobs" / "job-000500-beef00"
+        broken_dir.mkdir(parents=True)
+        (broken_dir / "job.json").write_text("not json at all")
+        listed = service.jobs()
+        assert [r.job_id for r in listed] == [good.job_id]
+
+    def test_watchdog_times_out_hung_job(self, tmp_path, phylip_file):
+        """A wedged worker is killed by serve(job_timeout=...) and the job
+        fails with the typed timeout error once attempts are exhausted."""
+        from repro.service import FaultPlan
+
+        spec = RunSpec(
+            config=FAST_CONFIG, sequence_file=phylip_file, theta0=1.0, seed=17
+        )
+        plan = FaultPlan(seed=0, worker_hang_rate=1.0, hang_seconds=60.0)
+        with ExperimentService(
+            tmp_path / "spool", fault_plan=plan, max_retries=0
+        ) as service:
+            record = service.submit(spec)
+            stats = service.serve(job_timeout=1.5)
+        assert stats["timeouts"] == 1 and stats["failed"] == 1
+        final = service.status(record.job_id)
+        assert final.state == "failed"
+        assert final.error.startswith("JobTimeoutError")
+        kinds = [e.kind for e in service.job_events(record.job_id)]
+        assert "job.timeout" in kinds
+        assert list((tmp_path / "spool" / "active").iterdir()) == []
